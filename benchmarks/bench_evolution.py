@@ -1,0 +1,38 @@
+"""Experiment S5 — the related-work trajectory (§5).
+
+Regenerates the paper's comparison with Chung et al. (2017): DNSSEC
+deployment must grow from ~0.8 % to ~5.5 % across the snapshots, AB
+signal populations appear only in the latest years, and validation
+failures shrink relative to the signed population.
+"""
+
+import os
+
+from conftest import save_artifact
+
+from repro.ecosystem.evolution import measure_trend
+
+TREND_SCALE = min(float(os.environ.get("REPRO_BENCH_SCALE", "1e-4")), 5e-6)
+
+
+def test_deployment_trajectory(benchmark, results_dir):
+    def run_trend():
+        return measure_trend(scale=TREND_SCALE, seed=1)
+
+    trend = benchmark.pedantic(run_trend, rounds=1, iterations=1)
+
+    lines = [f"{'year':<6} {'secured %':>9} {'invalid %':>9} {'islands %':>9} {'signal':>7}  source"]
+    for point in trend:
+        lines.append(
+            f"{point.year:<6} {point.secured_pct:>9.2f} {point.invalid_pct:>9.2f} "
+            f"{point.islands_pct:>9.2f} {point.with_signal:>7}  {point.source}"
+        )
+    save_artifact(results_dir, "s5_trend.txt", "\n".join(lines))
+
+    by_year = {point.year: point for point in trend}
+    secured = [point.secured_pct for point in trend]
+    assert secured == sorted(secured), "adoption must grow monotonically"
+    assert by_year[2017].secured_pct < 1.5  # Chung et al.: 0.6-1.0 %
+    assert 4.0 <= by_year[2025].secured_pct <= 7.0  # the paper: 5.5 %
+    assert by_year[2017].with_signal == 0
+    assert by_year[2025].with_signal > 0

@@ -1,0 +1,58 @@
+"""Experiment F1 / S41 / S43 — regenerate Figure 1 (the DNSSEC status
+and bootstrapping-possibility breakdown) plus the §4.1/§4.3 headline
+percentages and run the full shape-check battery."""
+
+from conftest import save_artifact
+
+from repro.reports.compare import check_shapes
+from repro.reports.figure1 import compute_figure1, expected_figure1, render_figure1
+from repro.reports.table3 import compute_table3
+
+
+def test_figure1(benchmark, campaign, full_fidelity, results_dir):
+    report = campaign.report
+    data = benchmark(compute_figure1, report)
+
+    save_artifact(
+        results_dir,
+        "figure1.txt",
+        render_figure1(data, expected_figure1(campaign.world.targets)),
+    )
+
+    # The breakdown is internally consistent.
+    assert data.total == data.unsigned + data.with_dnssec
+    assert data.islands == (
+        data.island_without_cds
+        + data.island_invalid_cds
+        + data.island_cds_delete
+        + data.possible_to_bootstrap
+    )
+
+    if not full_fidelity:
+        return
+
+    # §4.1: 93.2 % unsigned / 5.5 % secured / 0.2 % invalid / 1.1 % islands.
+    assert 0.90 <= data.unsigned / data.total <= 0.96
+    assert 0.045 <= data.already_secured / data.total <= 0.065
+    assert data.invalid_dnssec / data.total <= 0.005
+    assert 0.008 <= data.islands / data.total <= 0.014
+
+    # §4.3: the AB deployment space is ~0.1 % of all zones, and most
+    # islands cannot be bootstrapped (no CDS).
+    assert data.possible_to_bootstrap / data.total < 0.005
+    assert data.island_without_cds > data.possible_to_bootstrap
+
+
+def test_shape_checks(benchmark, campaign, full_fidelity, results_dir):
+    report = campaign.report
+    checks = benchmark(
+        check_shapes, report, compute_table3(report), campaign.world.targets
+    )
+    save_artifact(
+        results_dir,
+        "shape_checks.txt",
+        "\n".join(str(check) for check in checks),
+    )
+    if full_fidelity:
+        failed = [check for check in checks if not check.passed]
+        assert not failed, [str(check) for check in failed]

@@ -1,0 +1,101 @@
+"""Experiments µ1–µ3 — substrate microbenchmarks and design ablations:
+wire codec throughput, signing/validation cost per algorithm, lazy zone
+materialisation, and the NSEC3 hash loop.
+
+These quantify the design choices DESIGN.md §5 calls out (Ed25519 as the
+default synthetic-zone algorithm; lazy materialisation keeping large
+worlds cheap)."""
+
+import pytest
+
+from repro.dns import Message, Name, RRType, RRset, TXT, make_query, make_response
+from repro.dns.rdata import A
+from repro.dnssec import Algorithm, KeyPair, sign_rrset, validate_rrset
+from repro.dnssec.nsec import nsec3_hash
+from repro.ecosystem.generator import materialize_customer_zone
+from repro.ecosystem.spec import CdsScenario, SignalScenario, StatusScenario, ZoneSpec
+
+OWNER = Name.from_text("bench.example")
+
+
+@pytest.fixture(scope="module")
+def response_wire():
+    query = make_query("www.bench.example", RRType.A, msg_id=9)
+    response = make_response(query)
+    response.answer.append(
+        RRset("www.bench.example", RRType.A, 300, [A(f"192.0.2.{i}") for i in range(1, 9)])
+    )
+    return response.to_wire()
+
+
+def test_wire_encode(benchmark):
+    query = make_query("some.long.zone.name.example.co.uk", RRType.CDS, msg_id=7)
+    wire = benchmark(query.to_wire)
+    assert len(wire) > 12
+
+
+def test_wire_decode(benchmark, response_wire):
+    message = benchmark(Message.from_wire, response_wire)
+    assert len(message.answer) == 1
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [Algorithm.ED25519, Algorithm.ECDSAP256SHA256, Algorithm.RSASHA256],
+    ids=lambda a: a.name,
+)
+def test_sign_rrset(benchmark, algorithm):
+    seed = b"bench" if algorithm != Algorithm.RSASHA256 else None
+    key = KeyPair.generate(algorithm, ksk=True, seed=seed)
+    rrset = RRset(OWNER, RRType.TXT, 300, [TXT(["benchmark payload"])])
+    rrsig = benchmark(sign_rrset, rrset, key)
+    assert rrsig.signature
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [Algorithm.ED25519, Algorithm.ECDSAP256SHA256, Algorithm.RSASHA256],
+    ids=lambda a: a.name,
+)
+def test_validate_rrset(benchmark, algorithm):
+    seed = b"bench" if algorithm != Algorithm.RSASHA256 else None
+    key = KeyPair.generate(algorithm, ksk=True, seed=seed)
+    rrset = RRset(OWNER, RRType.TXT, 300, [TXT(["benchmark payload"])])
+    rrsig = sign_rrset(rrset, key)
+    result = benchmark(validate_rrset, rrset, [rrsig], [key.dnskey()])
+    assert result.ok
+
+
+def test_zone_materialisation(benchmark):
+    """Ablation: cost of lazily materialising one signed customer zone
+    (paid once per zone per scan, amortised by the per-server LRU)."""
+    spec = ZoneSpec(
+        name="lazy-bench.example.com",
+        suffix="com",
+        operator="BenchOp",
+        status=StatusScenario.ISLAND,
+        cds=CdsScenario.OK,
+        signal=SignalScenario.NONE,
+        ns_hosts=("ns1.bench-dns.net", "ns2.bench-dns.net"),
+    )
+    zone = benchmark(materialize_customer_zone, spec, "ns1.bench-dns.net")
+    assert zone.get_rrset(spec.name, RRType.DNSKEY) is not None
+    assert zone.get_rrset(spec.name, RRType.CDS) is not None
+
+
+def test_nsec3_hash(benchmark):
+    digest = benchmark(nsec3_hash, OWNER, b"\xab\xcd", 10)
+    assert len(digest) == 20
+
+
+def test_query_round_trip(benchmark, campaign):
+    """End-to-end cost of one query against the simulated fabric."""
+    network = campaign.world.network
+    ip = campaign.world.root_ips[0]
+    query = make_query("com", RRType.NS, msg_id=77)
+
+    def round_trip():
+        return network.query(ip, query)
+
+    response = benchmark(round_trip)
+    assert response.rcode.name in ("NOERROR", "NXDOMAIN")

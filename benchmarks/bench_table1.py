@@ -1,0 +1,57 @@
+"""Experiment T1 — regenerate Table 1 (DNSSEC amongst the top 20 DNS
+operators) and assert the paper's shape: who the big operators are, which
+offer no DNSSEC, and the two default-on outliers (Google Domains, OVH)."""
+
+from conftest import save_artifact
+
+from repro.ecosystem.paper_targets import NO_DNSSEC_OPERATORS
+from repro.reports.table1 import compute_table1, expected_table1, render_table1
+
+
+def test_table1(benchmark, campaign, full_fidelity, results_dir):
+    report = campaign.report
+    rows = benchmark(compute_table1, report)
+    by_name = {row.operator: row for row in rows}
+
+    save_artifact(
+        results_dir,
+        "table1.txt",
+        render_table1(rows, expected_table1(campaign.world.targets)),
+    )
+
+    # GoDaddy is the largest operator; Cloudflare second.
+    assert rows[0].operator == "GoDaddy"
+    assert rows[1].operator == "Cloudflare"
+
+    if not full_fidelity:
+        return
+
+    # The no-DNSSEC operators secure nothing (errant-DS invalids only).
+    for name in NO_DNSSEC_OPERATORS & set(by_name):
+        assert by_name[name].secured == 0
+        assert by_name[name].islands == 0
+
+    # Deployment is single-digit percent for typical operators...
+    godaddy = by_name["GoDaddy"]
+    assert godaddy.secured / godaddy.domains < 0.01
+
+    # ... except the DNSSEC-by-default outliers (paper: 45.3 % / 43.9 %).
+    google = by_name["Google Domains"]
+    assert 0.40 <= google.secured / google.domains <= 0.50
+    if "OVH" in by_name:
+        ovh = by_name["OVH"]
+        assert 0.38 <= ovh.secured / ovh.domains <= 0.50
+
+    # WIX's island experiment (paper: 15.7 % secure islands).
+    wix = by_name["WIX"]
+    assert 0.13 <= wix.islands / wix.domains <= 0.19
+
+    # Cloudflare holds a visible island share (1.6 % in the paper).
+    cloudflare = by_name["Cloudflare"]
+    assert 0.01 <= cloudflare.islands / cloudflare.domains <= 0.03
+
+    # The paper's top-20 list survives scaling: every measured top-20
+    # operator is one of the paper's (no synthetic tail host intrudes).
+    from repro.ecosystem.paper_targets import TABLE1
+
+    assert all(row.operator in TABLE1 for row in rows)

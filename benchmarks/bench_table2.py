@@ -1,0 +1,50 @@
+"""Experiment T2 / S42a / S42b / S42c — regenerate Table 2 (top CDS
+publishers) and the §4.2 in-text statistics: CDS-in-unsigned zones,
+delete sentinels, query failures, and per-NS consistency."""
+
+from conftest import save_artifact
+
+from repro.reports.table2 import compute_table2, expected_table2, render_table2
+
+
+def test_table2(benchmark, campaign, full_fidelity, results_dir):
+    report = campaign.report
+    rows = benchmark(compute_table2, report)
+
+    save_artifact(
+        results_dir,
+        "table2.txt",
+        render_table2(rows, expected_table2(campaign.world.targets)),
+    )
+
+    assert rows, "no CDS publishers found"
+    # Google Domains dominates CDS publication (paper: 4.6 M zones).
+    assert rows[0].operator == "Google Domains"
+
+    if not full_fidelity:
+        return
+
+    by_name = {row.operator: row for row in rows}
+    # Cloudflare publishes CDS for a small share of a huge portfolio
+    # (paper: 4.4 %), the Swiss specialists for most of theirs.
+    assert by_name["Cloudflare"].pct < 10
+    specialists = [row for row in rows if row.pct > 60]
+    assert len(specialists) >= 3, "CDS adoption should be driven by specialists"
+
+    # §4.2 in-text statistics (scaled: exact counts vary with rounding).
+    scanned = report.total_resolved
+    assert report.cds_query_failures / scanned > 0.01  # paper: 2.6 %
+    assert report.cds_in_unsigned >= 1  # paper: 2 854 (Canal Dominios)
+    assert report.cds_delete_island >= 1  # paper: 165.5 k
+    assert report.cds_delete_signed >= 1  # paper: 3 289
+    # Islands with CDS are overwhelmingly consistent (paper: 99.7 %).
+    total_islands_cds = report.islands_with_cds
+    assert total_islands_cds > 0
+    assert report.islands_cds_consistent / total_islands_cds > 0.9
+    # Inconsistencies concentrate in multi-operator setups (paper: 86.9 %).
+    if report.islands_cds_inconsistent:
+        share = (
+            report.islands_cds_inconsistent_multi_operator
+            / report.islands_cds_inconsistent
+        )
+        assert share >= 0.5

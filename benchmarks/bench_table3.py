@@ -1,0 +1,87 @@
+"""Experiment T3 / S44 — regenerate Table 3 (the RFC 9615 signal funnel
+per AB operator) and assert the paper's headline: only three operators
+implement AB, Cloudflare dominates, and ~99.9 % of signal deployments
+are correct."""
+
+from conftest import save_artifact
+
+from repro.reports.table3 import (
+    AB_COLUMNS,
+    compute_table3,
+    expected_table3,
+    render_table3,
+)
+
+
+def test_table3(benchmark, campaign, full_fidelity, results_dir):
+    report = campaign.report
+    data = benchmark(compute_table3, report)
+
+    save_artifact(
+        results_dir,
+        "table3.txt",
+        render_table3(data, expected_table3(campaign.world.targets)),
+    )
+
+    # Exactly the three AB operators have substantial signal populations.
+    for name in AB_COLUMNS:
+        assert data.columns[name].with_signal > 0, name
+
+    # The funnel is internally consistent.
+    for column in data.columns.values():
+        assert column.with_signal == column.already_secured + column.cannot + column.potential
+        assert column.potential == column.incorrect + column.correct
+
+    # Matches the scaled ground truth exactly (after the re-check pass).
+    expected = expected_table3(campaign.world.targets, after_recheck=True)
+    for name, funnel in data.columns.items():
+        want = expected.columns[name]
+        assert funnel.with_signal == want.with_signal, name
+        assert funnel.correct == want.correct, name
+        assert funnel.incorrect == want.incorrect, name
+        assert funnel.cannot_delete == want.cannot_delete, name
+        assert funnel.cannot_invalid == want.cannot_invalid, name
+
+    if not full_fidelity:
+        return
+
+    cf = data.columns["Cloudflare"]
+    rest = sum(f.with_signal for n, f in data.columns.items() if n != "Cloudflare")
+    # Paper: 1.23 M vs ~7.9 k (155x). Rare-case preservation keeps every
+    # deSEC/Glauca misconfiguration alive at small scales, so require a
+    # decisive 5x here.
+    assert cf.with_signal > 5 * rest
+
+    # Operators flout the RFC 9615 cleanup recommendation: ~65 % of
+    # signal populations are already-secured zones.
+    secured_share = data.total("already_secured") / data.total("with_signal")
+    assert 0.55 <= secured_share <= 0.75
+
+    # Deletion requests dominate the "cannot" bucket (paper: 159.5 k of
+    # 160.4 k = 99.4 %).  Preservation keeps every one of the paper's
+    # rare invalid-DNSSEC cells alive at small scales, so require a
+    # majority here and exact agreement with the scaled expectation
+    # (asserted above), under which the paper-scale ratio holds by
+    # construction.
+    assert data.total("cannot_delete") / data.total("cannot") > 0.5
+
+    # 99.9 % of zones with AB potential implement it correctly.  Every
+    # one of the paper's 208 incorrect zones survives scaling (preserved
+    # cells) while the 271 850 correct ones scale down, so the measured
+    # ratio is a *lower bound*; the paper-scale ratio holds because the
+    # funnel equals the scaled expectation (asserted above).  Require a
+    # clear majority here and verify the paper-scale extrapolation.
+    correct_share = data.total("correct") / data.total("potential")
+    assert correct_share >= 0.7
+    from repro.ecosystem.paper_targets import TABLE3
+
+    paper_correct = sum(TABLE3["correct"])
+    paper_potential = sum(TABLE3["potential"])
+    assert paper_correct / paper_potential >= 0.999
+
+    # deSEC publishes no delete requests in signal zones; Cloudflare does.
+    assert data.columns["deSEC"].cannot_delete == 0
+    assert data.columns["Cloudflare"].cannot_delete > 0
+
+    # The re-check pass resolved deSEC's transient signature failures.
+    assert len(campaign.rechecked) >= 1

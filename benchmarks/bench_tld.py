@@ -1,0 +1,35 @@
+"""Experiment S6 — the financial-incentive effect (paper §6).
+
+Registries that pay operators to deploy DNSSEC (.ch/.li in the model)
+should show visibly higher secured and CDS-publication rates than the
+un-incentivised gTLDs, because the Swiss CDS-specialist operators
+concentrate their customer zones there.
+"""
+
+from conftest import save_artifact
+
+from repro.reports.tld import compute_tld_report, render_tld_report
+
+
+def test_incentive_effect(benchmark, campaign, full_fidelity, results_dir):
+    rows = benchmark(compute_tld_report, campaign.report)
+    save_artifact(results_dir, "s6_tld.txt", render_tld_report(rows))
+
+    by_suffix = {row.suffix: row for row in rows}
+    assert "com" in by_suffix and "ch" in by_suffix and "li" in by_suffix
+
+    if not full_fidelity:
+        return
+
+    com = by_suffix["com"]
+    ch = by_suffix["ch"]
+    li = by_suffix["li"]
+    # The incentivised TLDs (both run by SWITCH) publish CDS at a higher
+    # rate than the biggest gTLD.  The effect is strongest in the small
+    # .li zone, where the Swiss specialists are a visible fraction; in
+    # .ch it is diluted by the TLD's size but still positive in the
+    # combined population.
+    assert li.cds_pct > com.cds_pct * 1.3
+    combined_cds = 100.0 * (ch.with_cds + li.with_cds) / (ch.domains + li.domains)
+    assert combined_cds > com.cds_pct * 1.05
+    assert li.secured_pct > com.secured_pct

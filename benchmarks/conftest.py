@@ -1,0 +1,42 @@
+"""Shared campaign fixture for the benchmark harness.
+
+One full measurement campaign (build → scan → analyze → re-check) is run
+per session and shared by the per-table benchmarks; its scale is
+controlled with ``REPRO_BENCH_SCALE`` (default 1e-4 = 28 760 zones, the
+full-fidelity setting whose percentages match the paper to rounding).
+Set e.g. ``REPRO_BENCH_SCALE=2e-6`` for a quick smoke run.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.campaign import run_campaign
+
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1e-4"))
+FULL_FIDELITY = SCALE >= 9e-5
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def campaign():
+    return run_campaign(scale=SCALE, seed=1, recheck=True)
+
+
+@pytest.fixture(scope="session")
+def full_fidelity():
+    return FULL_FIDELITY
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
+    path = results_dir / name
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")

@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Audit a DNS operator's RFC 9615 deployment, condition by condition.
+
+This example builds a miniature deployment *by hand* with the low-level
+API — a registry, an operator with two nameservers, a customer zone that
+is a secure island, and the ``_dsboot…_signal`` zones — then runs the
+scanner and walks through each acceptance condition the way a registry
+implementing authenticated bootstrapping would.
+
+Run:  python examples/bootstrap_audit.py
+"""
+
+from repro.core import assess_zone
+from repro.core.signal import analyze_signals, validate_chain
+from repro.dns import Name, NS, RRType, RRset, SOA, A, Zone
+from repro.dnssec import Algorithm, KeyPair, ds_from_dnskey, sign_zone, sign_rrset
+from repro.dnssec.ds import cds_from_dnskey
+from repro.scanner import Scanner
+from repro.server import AuthoritativeServer, SimulatedNetwork
+
+CUSTOMER = "shop.example.ch"
+NS1, NS2 = "ns1.hoster.net", "ns2.hoster.net"
+
+
+def build_network():
+    network = SimulatedNetwork()
+
+    # --- the customer zone: signed, but no DS at the registry (island) ---
+    customer_key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"customer")
+    customer = Zone(CUSTOMER)
+    customer.add(CUSTOMER, 3600, SOA(NS1, f"hostmaster.{CUSTOMER}", 1))
+    customer.add(CUSTOMER, 3600, NS(NS1))
+    customer.add(CUSTOMER, 3600, NS(NS2))
+    customer.add(f"www.{CUSTOMER}", 300, A("192.0.2.10"))
+    cds = cds_from_dnskey(Name.from_text(CUSTOMER), customer_key.dnskey())
+    customer.add_rrset(RRset(CUSTOMER, RRType.CDS, 3600, [cds]))
+    customer.add_rrset(RRset(CUSTOMER, RRType.CDNSKEY, 3600, [customer_key.cdnskey()]))
+    sign_zone(customer, [customer_key])
+
+    # --- the operator's NS-host zone and signaling zones -------------------
+    hoster_key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"hoster")
+    hoster = Zone("hoster.net")
+    hoster.add("hoster.net", 3600, SOA(NS1, "hostmaster.hoster.net", 1))
+    for ns_host, ip in ((NS1, "203.0.113.1"), (NS2, "203.0.113.2")):
+        hoster.add("hoster.net", 3600, NS(ns_host))
+        hoster.add(ns_host, 3600, A(ip))
+
+    signal_zones = []
+    for ns_host in (NS1, NS2):
+        signal_key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=ns_host.encode())
+        origin = Name.from_text(f"_signal.{ns_host}")
+        signal = Zone(origin)
+        signal.add(origin, 3600, SOA(NS1, "hostmaster.hoster.net", 1))
+        signal.add(origin, 3600, NS(NS1))
+        signal.add(origin, 3600, NS(NS2))
+        boot = Name.from_text(f"_dsboot.{CUSTOMER}").concatenate(origin)
+        signal.add_rrset(RRset(boot, RRType.CDS, 3600, [cds]))
+        signal.add_rrset(RRset(boot, RRType.CDNSKEY, 3600, [customer_key.cdnskey()]))
+        sign_zone(signal, [signal_key])
+        signal_zones.append(signal)
+        # Securely delegate the signaling zone from hoster.net.
+        hoster.add(origin, 3600, NS(NS1))
+        hoster.add(origin, 3600, NS(NS2))
+        hoster.add(origin, 3600, ds_from_dnskey(origin, signal_key.dnskey()))
+    sign_zone(hoster, [hoster_key])
+
+    # --- registries and root -------------------------------------------------
+    ch_key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"ch")
+    ch = Zone("ch")
+    ch.add("ch", 3600, SOA("a.nic.ch", "hostmaster.nic.ch", 1))
+    ch.add("ch", 3600, NS("a.nic.ch"))
+    ch.add("a.nic.ch", 3600, A("192.5.6.1"))
+    ch.add(CUSTOMER, 3600, NS(NS1))
+    ch.add(CUSTOMER, 3600, NS(NS2))  # no DS: a secure island
+    sign_zone(ch, [ch_key])
+
+    net_key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"net")
+    net = Zone("net")
+    net.add("net", 3600, SOA("a.nic.net", "hostmaster.nic.net", 1))
+    net.add("net", 3600, NS("a.nic.net"))
+    net.add("a.nic.net", 3600, A("192.5.6.2"))
+    net.add("hoster.net", 3600, NS(NS1))
+    net.add("hoster.net", 3600, NS(NS2))
+    net.add("hoster.net", 3600, ds_from_dnskey(Name.from_text("hoster.net"), hoster_key.dnskey()))
+    net.add(NS1, 3600, A("203.0.113.1"))
+    net.add(NS2, 3600, A("203.0.113.2"))
+    sign_zone(net, [net_key])
+
+    root_key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"root")
+    root = Zone(".")
+    root.add(".", 3600, SOA("a.root-servers.net", "nstld.example", 1))
+    root.add(".", 3600, NS("a.root-servers.net"))
+    root.add("a.root-servers.net", 3600, A("198.41.0.4"))
+    for tld, key, ip in (("ch", ch_key, "192.5.6.1"), ("net", net_key, "192.5.6.2")):
+        root.add(tld, 3600, NS(f"a.nic.{tld}"))
+        root.add(tld, 3600, ds_from_dnskey(Name.from_text(tld), key.dnskey()))
+        root.add(f"a.nic.{tld}", 3600, A(ip))
+    sign_zone(root, [root_key])
+
+    # --- servers ---------------------------------------------------------------
+    root_server = AuthoritativeServer("root")
+    root_server.add_zone(root)
+    ch_server = AuthoritativeServer("nic.ch")
+    ch_server.add_zone(ch)
+    net_server = AuthoritativeServer("nic.net")
+    net_server.add_zone(net)
+    operator = AuthoritativeServer("hoster")
+    for zone in (customer, hoster, *signal_zones):
+        operator.add_zone(zone)
+
+    network.register("198.41.0.4", root_server)
+    network.register("192.5.6.1", ch_server)
+    network.register("192.5.6.2", net_server)
+    network.register("203.0.113.1", operator)
+    network.register("203.0.113.2", operator)
+    return network
+
+
+def main() -> None:
+    network = build_network()
+    scanner = Scanner(network, ["198.41.0.4"])
+    result = scanner.scan_zone(CUSTOMER)
+
+    print(f"auditing {CUSTOMER} for RFC 9615 authenticated bootstrapping\n")
+    assessment = assess_zone(result)
+    print(f"DNSSEC status:     {assessment.status.value} "
+          f"(signed zone, no DS at the .ch registry)")
+    print(f"in-zone CDS:       present={assessment.cds.present} "
+          f"consistent={assessment.cds.consistent} "
+          f"matches DNSKEY={assessment.cds.matches_dnskey} "
+          f"signatures valid={assessment.cds.sigs_valid}")
+
+    print("\nRFC 9615 acceptance conditions:")
+    signal = assessment.signal
+    print(f"  1. zone not already secured ........ {assessment.status.value != 'secure'}")
+    print(f"  2. signal under every NS ........... {signal.covered_all_ns}")
+    print(f"  3. no zone cuts in signaling names . {signal.no_zone_cuts}")
+    print(f"  4. signal zones secure + valid ..... {signal.secure_and_valid}")
+    print(f"  5. signal matches in-zone CDS ...... {signal.matches_zone_cds}")
+
+    for scan in result.signals:
+        status = validate_chain(scan.chain, scan.signal_zone_apex)
+        chain_text = " -> ".join(str(link.zone) for link in scan.chain)
+        print(f"\n  chain for {scan.ns_host}: {chain_text}")
+        print(f"    validation: {status.value}")
+
+    print(f"\nverdict: {assessment.signal_outcome.value}")
+    if assessment.signal_outcome.value == "correct":
+        print("the .ch registry could install the following DS, completing the chain:")
+        from repro.dnssec.ds import cds_to_ds
+
+        for rd in assessment.cds.cds_rrset.rdatas:
+            print(f"  {CUSTOMER}. 3600 IN DS {cds_to_ds(rd).to_text()}")
+
+
+if __name__ == "__main__":
+    main()

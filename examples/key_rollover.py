@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""CDS-driven key rollover, validated at every stage (RFC 7344 §4).
+
+Once a zone is secured — whether bootstrapped via RFC 9615 or manually —
+the same CDS machinery automates key rollovers.  This example walks the
+standard double-signature KSK rollover and shows the chain of trust
+staying valid throughout, including a cross-algorithm roll
+(Ed25519 → ECDSA-P256), the scenario Müller et al. (the paper's §5)
+found operators getting wrong in the wild.
+
+Run:  python examples/key_rollover.py
+"""
+
+from repro.dns import A, NS, RRset, RRType, SOA, Zone
+from repro.dns.name import Name
+from repro.dnssec import Algorithm, KeyPair, ds_from_dnskey, sign_zone
+from repro.provisioning import RolloverEngine
+
+ZONE = "payments.example.net"
+
+
+def build_secured_zone():
+    key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"initial-ksk")
+    zone = Zone(ZONE)
+    zone.add(ZONE, 3600, SOA(f"ns1.{ZONE}", f"hostmaster.{ZONE}", 2025070601))
+    zone.add(ZONE, 3600, NS(f"ns1.{ZONE}"))
+    zone.add(f"www.{ZONE}", 300, A("192.0.2.80"))
+    sign_zone(zone, [key])
+    parent_ds = RRset(
+        ZONE, RRType.DS, 3600, [ds_from_dnskey(Name.from_text(ZONE), key.dnskey())]
+    )
+    return zone, key, parent_ds
+
+
+def show(result):
+    marker = "OK " if result.chain_valid else "BROKEN"
+    print(f"  [{marker}] {result.stage.value:<18} "
+          f"DNSKEYs={result.dnskey_count}  DS tags={result.ds_key_tags}  {result.detail}")
+
+
+def main() -> None:
+    zone, key, parent_ds = build_secured_zone()
+    print(f"{ZONE}: secured with Ed25519 key tag {key.key_tag}\n")
+
+    print("rollover 1: Ed25519 -> Ed25519")
+    engine = RolloverEngine(zone, key, parent_ds)
+    new_key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"second-ksk")
+    for result in engine.run_full_rollover(new_key):
+        show(result)
+
+    print("\nrollover 2: Ed25519 -> ECDSA-P256 (algorithm rollover)")
+    ecdsa_key = KeyPair.generate(Algorithm.ECDSAP256SHA256, ksk=True, seed=b"ecdsa-ksk")
+    engine2 = RolloverEngine(zone, engine.active_key, engine.parent_ds)
+    for result in engine2.run_full_rollover(ecdsa_key):
+        show(result)
+
+    print("\nthe chain never went dark: every stage validated before proceeding.")
+    print("a registry processing CDS (RFC 7344) performs the DS swap step;")
+    print("RFC 9615 adds the *first* DS — after that, rollovers are routine.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+"""repro — reproduction of "Measuring the Deployment of DNSSEC
+Bootstrapping Using Authenticated Signals" (IMC 2025).
+
+The package bundles a from-scratch DNS/DNSSEC stack, a YoDNS-style
+all-nameserver scanner, the RFC 9615 authenticated-bootstrapping analysis
+pipeline that constitutes the paper's contribution, and a synthetic DNS
+ecosystem calibrated to the paper's published measurements.
+
+Typical use::
+
+    from repro import build_world, AnalysisPipeline
+
+    world = build_world(scale=1 / 100_000, seed=1)
+    scanner = world.make_scanner()
+    results = scanner.scan_many(world.scan_list)
+    report = AnalysisPipeline(world.operator_db).analyze(results)
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "Name",
+    "Message",
+    "RRType",
+    "Zone",
+    "Scanner",
+    "AnalysisPipeline",
+    "build_world",
+]
+
+_API = {
+    "Name": ("repro.dns", "Name"),
+    "Message": ("repro.dns", "Message"),
+    "RRType": ("repro.dns", "RRType"),
+    "Zone": ("repro.dns", "Zone"),
+    "Scanner": ("repro.scanner", "Scanner"),
+    "AnalysisPipeline": ("repro.core", "AnalysisPipeline"),
+    "build_world": ("repro.ecosystem", "build_world"),
+}
+
+
+def __getattr__(name):
+    """Lazily re-export the high-level API to keep import cost low."""
+    from importlib import import_module
+
+    if name in _API:
+        module, attr = _API[name]
+        return getattr(import_module(module), attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,87 @@
+"""End-to-end measurement campaigns: build → scan → analyze → re-check.
+
+This is the one-call orchestration used by the CLI, the examples, and
+the benchmark harness.  It mirrors the paper's methodology, including
+the re-check pass for zones whose signal errors might be transient
+(§4.4: "following further checks, these were transient errors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.bootstrap import INCORRECT_OUTCOMES, SignalOutcome, assess_zone
+from repro.core.pipeline import AnalysisPipeline, AnalysisReport
+from repro.ecosystem.world import World, build_world
+from repro.reports.table3 import apply_recheck
+from repro.scanner.results import ZoneScanResult
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produces."""
+
+    world: World
+    results: List[ZoneScanResult]
+    report: AnalysisReport
+    rechecked: Dict[str, SignalOutcome]
+
+    @property
+    def simulated_duration(self) -> float:
+        """Seconds of simulated wall-clock the scan consumed (rate
+        limits included) — the analogue of the paper's month-long scan."""
+        return self.world.network.clock.now()
+
+
+def run_campaign(
+    scale: float = 1 / 100_000,
+    seed: int = 1,
+    recheck: bool = True,
+    world: Optional[World] = None,
+    use_sources: bool = False,
+) -> CampaignResult:
+    """Run one full measurement campaign.
+
+    With ``recheck=True``, zones classified with incorrect signal zones
+    are scanned a second time and the report updated with the outcome —
+    transient server failures (deSEC's bogus-signature episodes) resolve
+    to CORRECT, persistent misconfigurations stay put.
+
+    With ``use_sources=True`` the scan list is *acquired* the way the
+    paper acquired it (§3: CZDS dumps, AXFR, private arrangements,
+    CT-log sampling) instead of taken from the generator's ground truth
+    — CT-log-only ccTLDs are then scanned partially.
+    """
+    if world is None:
+        world = build_world(scale=scale, seed=seed)
+    scanner = world.make_scanner()
+    if use_sources:
+        from repro.scanner.sources import compile_scan_list
+
+        scan_list = compile_scan_list(world).names
+    else:
+        scan_list = world.scan_list
+    results = scanner.scan_many(scan_list)
+    pipeline = AnalysisPipeline(world.operator_db)
+    report = pipeline.analyze(results)
+
+    rechecked: Dict[str, SignalOutcome] = {}
+    if recheck:
+        suspicious = [
+            assessment.zone
+            for assessment in report.assessments
+            if assessment.signal_outcome in INCORRECT_OUTCOMES
+        ]
+        updates: Dict[str, SignalOutcome] = {}
+        for zone in suspicious:
+            rescan = scanner.scan_zone(zone)
+            outcome = assess_zone(rescan).signal_outcome
+            updates[zone] = outcome
+        apply_recheck(report, updates)
+        rechecked = {
+            zone: outcome
+            for zone, outcome in updates.items()
+            if outcome not in INCORRECT_OUTCOMES
+        }
+    return CampaignResult(world=world, results=results, report=report, rechecked=rechecked)

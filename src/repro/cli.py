@@ -1,0 +1,248 @@
+"""Command line interface: regenerate the paper's tables and figures.
+
+Examples::
+
+    repro-dnssec report --scale 1e-5 --artifact all
+    repro-dnssec checks --scale 1e-5
+    repro-dnssec audit --scale 1e-6 --zone <name>
+    repro-dnssec list-zones --scale 1e-6 --limit 20
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.campaign import run_campaign
+from repro.ecosystem.world import build_world
+from repro.reports.compare import check_shapes
+from repro.reports.figure1 import compute_figure1, expected_figure1, render_figure1
+from repro.reports.table1 import compute_table1, expected_table1, render_table1
+from repro.reports.table2 import compute_table2, expected_table2, render_table2
+from repro.reports.table3 import compute_table3, expected_table3, render_table3
+
+ARTIFACTS = ("table1", "table2", "table3", "figure1", "tld")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1e-5,
+        help="population scale relative to the paper's 287.6M zones (default 1e-5)",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="world seed (default 1)")
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    campaign = run_campaign(scale=args.scale, seed=args.seed, recheck=not args.no_recheck)
+    report, targets = campaign.report, campaign.world.targets
+    wanted = ARTIFACTS if args.artifact == "all" else (args.artifact,)
+    sections: List[str] = []
+    if "table1" in wanted:
+        sections.append(render_table1(compute_table1(report), expected_table1(targets)))
+    if "table2" in wanted:
+        sections.append(render_table2(compute_table2(report), expected_table2(targets)))
+    if "table3" in wanted:
+        sections.append(render_table3(compute_table3(report), expected_table3(targets)))
+    if "figure1" in wanted:
+        sections.append(render_figure1(compute_figure1(report), expected_figure1(targets)))
+    if "tld" in wanted:
+        from repro.reports.tld import compute_tld_report, render_tld_report
+
+        sections.append(render_tld_report(compute_tld_report(report)))
+    print("\n\n".join(sections))
+    print(
+        f"\nScanned {report.total_scanned} zones "
+        f"({campaign.world.network.queries_sent} queries, "
+        f"{campaign.simulated_duration:.0f}s simulated scan time, "
+        f"{len(campaign.rechecked)} transient failures resolved on re-check)"
+    )
+    return 0
+
+
+def cmd_checks(args: argparse.Namespace) -> int:
+    campaign = run_campaign(scale=args.scale, seed=args.seed)
+    checks = check_shapes(
+        campaign.report, compute_table3(campaign.report), campaign.world.targets
+    )
+    for check in checks:
+        print(check)
+    failed = [c for c in checks if not c.passed]
+    print(f"\n{len(checks) - len(failed)}/{len(checks)} shape checks passed")
+    return 1 if failed else 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.core import assess_zone
+
+    world = build_world(scale=args.scale, seed=args.seed)
+    scanner = world.make_scanner()
+    zone = args.zone or world.scan_list[0].to_text()
+    result = scanner.scan_zone(zone)
+    assessment = assess_zone(result)
+    print(f"zone:            {assessment.zone}")
+    print(f"status:          {assessment.status.value}")
+    if assessment.status_detail:
+        print(f"status detail:   {assessment.status_detail.value}")
+    print(f"eligibility:     {assessment.eligibility.value}")
+    print(f"signal outcome:  {assessment.signal_outcome.value}")
+    print(f"CDS present:     {assessment.cds.present}")
+    print(f"CDS consistent:  {assessment.cds.consistent}")
+    print(f"CDS delete:      {assessment.cds.is_delete}")
+    for entry in assessment.signal.per_ns:
+        print(
+            f"signal @ {entry.ns_host}: present={entry.present} "
+            f"chain={entry.chain_status.value} sigs_valid={entry.sigs_valid} "
+            f"cut={entry.has_zone_cut}"
+        )
+    return 0
+
+
+def cmd_scan(args: argparse.Namespace) -> int:
+    """Scan a world and dump the raw results as JSON lines."""
+    from repro.scanner.serialize import dump_results
+
+    world = build_world(scale=args.scale, seed=args.seed)
+    scanner = world.make_scanner()
+    results = scanner.scan_many(world.scan_list[: args.limit] if args.limit else world.scan_list)
+    with open(args.output, "w", encoding="utf-8") as fp:
+        count = dump_results(results, fp)
+    print(
+        f"scanned {count} zones ({world.network.queries_sent} queries) -> {args.output}"
+    )
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Re-analyse stored scan results offline (no network, no world)."""
+    from repro.core import AnalysisPipeline
+    from repro.scanner.serialize import load_results
+
+    with open(args.input, encoding="utf-8") as fp:
+        results = list(load_results(fp))
+    report = AnalysisPipeline().analyze(results)
+    print(f"analysed {report.total_scanned} stored results")
+    for status, count in sorted(report.status_counts.items(), key=lambda kv: -kv[1]):
+        print(f"  {status.value:<12} {count}")
+    for outcome, count in sorted(report.outcome_counts.items(), key=lambda kv: -kv[1]):
+        if outcome.value != "no_signal":
+            print(f"  signal:{outcome.value:<28} {count}")
+    return 0
+
+
+def cmd_bootstrap(args: argparse.Namespace) -> int:
+    """Play registry: run an acceptance policy and provision DS RRsets."""
+    from collections import Counter
+
+    from repro.provisioning import (
+        AcceptAfterDelayPolicy,
+        AcceptFromInceptionPolicy,
+        AcceptWithChallengePolicy,
+        AuthenticatedBootstrapPolicy,
+        BootstrapEngine,
+    )
+
+    policies = {
+        "rfc9615": AuthenticatedBootstrapPolicy,
+        "delay": AcceptAfterDelayPolicy,
+        "challenge": AcceptWithChallengePolicy,
+        "inception": AcceptFromInceptionPolicy,
+    }
+    world = build_world(scale=args.scale, seed=args.seed)
+    engine = BootstrapEngine(world, policies[args.policy]())
+    run = engine.run()
+    print(f"policy:    {run.policy}")
+    print(f"evaluated: {run.evaluated}")
+    print(f"accepted:  {len(run.accepted)}")
+    print(f"secured:   {len(run.secured)} (verified by re-scan)")
+    print(f"deferred:  {len(run.deferred)}")
+    print(f"rejected:  {len(run.rejected)}")
+    for reason, count in Counter(run.rejected.values()).most_common(8):
+        print(f"  {count:>6}  {reason}")
+    return 0
+
+
+def cmd_list_zones(args: argparse.Namespace) -> int:
+    world = build_world(scale=args.scale, seed=args.seed)
+    for name in world.scan_list[: args.limit]:
+        spec = world.specs[name.to_text().rstrip(".")]
+        print(f"{name.to_text():<70} {spec.operator:<18} {spec.status.value}")
+    print(f"... {world.zone_count} zones total")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dnssec",
+        description="Reproduce 'Measuring the Deployment of DNSSEC Bootstrapping "
+        "Using Authenticated Signals' (IMC 2025) on a synthetic DNS ecosystem.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="regenerate tables/figures")
+    _add_common(report)
+    report.add_argument("--artifact", choices=(*ARTIFACTS, "all"), default="all")
+    report.add_argument("--no-recheck", action="store_true", help="skip the transient re-check pass")
+    report.set_defaults(func=cmd_report)
+
+    checks = sub.add_parser("checks", help="run the shape checks against the paper")
+    _add_common(checks)
+    checks.set_defaults(func=cmd_checks)
+
+    audit = sub.add_parser("audit", help="audit one zone's AB readiness")
+    _add_common(audit)
+    audit.add_argument("--zone", help="zone name (defaults to the first in the world)")
+    audit.set_defaults(func=cmd_audit)
+
+    list_zones = sub.add_parser("list-zones", help="list generated zones")
+    _add_common(list_zones)
+    list_zones.add_argument("--limit", type=int, default=25)
+    list_zones.set_defaults(func=cmd_list_zones)
+
+    scan = sub.add_parser("scan", help="scan and store raw results (JSON lines)")
+    _add_common(scan)
+    scan.add_argument("--output", default="scan-results.jsonl")
+    scan.add_argument("--limit", type=int, default=0, help="scan only the first N zones")
+    scan.set_defaults(func=cmd_scan)
+
+    analyze = sub.add_parser("analyze", help="re-analyse stored scan results offline")
+    analyze.add_argument("--input", default="scan-results.jsonl")
+    analyze.set_defaults(func=cmd_analyze)
+
+    bootstrap = sub.add_parser("bootstrap", help="run a registry acceptance policy")
+    _add_common(bootstrap)
+    bootstrap.add_argument(
+        "--policy",
+        choices=("rfc9615", "delay", "challenge", "inception"),
+        default="rfc9615",
+    )
+    bootstrap.set_defaults(func=cmd_bootstrap)
+
+    trend = sub.add_parser("trend", help="regenerate the 2017-2025 deployment trajectory")
+    trend.add_argument("--scale", type=float, default=2e-6)
+    trend.add_argument("--seed", type=int, default=1)
+    trend.set_defaults(func=cmd_trend)
+    return parser
+
+
+def cmd_trend(args: argparse.Namespace) -> int:
+    from repro.ecosystem.evolution import measure_trend
+
+    print(f"{'year':<6} {'secured %':>9} {'invalid %':>9} {'islands %':>9} {'signal':>7}")
+    for point in measure_trend(scale=args.scale, seed=args.seed):
+        print(
+            f"{point.year:<6} {point.secured_pct:>9.2f} {point.invalid_pct:>9.2f} "
+            f"{point.islands_pct:>9.2f} {point.with_signal:>7}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

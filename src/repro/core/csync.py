@@ -1,0 +1,111 @@
+"""CSYNC (RFC 7477) analysis: parent/child delegation drift and what a
+CSYNC-processing parent would synchronise.
+
+The paper's conclusion points at CSYNC as the emerging companion to
+CDS/CDNSKEY ("Future work could look into other parent/child
+synchronization mechanisms emerging from the IETF, such as CSYNC
+records").  This module provides that analysis over scan data:
+
+* does the child's NS RRset differ from the parent's delegation (the
+  drift behind the paper's Cloudflare NS-mismatch incidents)?
+* does the child publish a CSYNC record, is it signed and valid, and
+  which of the drifted RRsets would the parent actually copy?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.dns.name import Name
+from repro.dns.rdata import CSYNC
+from repro.dns.rrset import RRset
+from repro.dns.types import RRType
+from repro.dnssec.validator import DEFAULT_VALIDATION_TIME, validate_rrset
+from repro.scanner.results import RRQueryResult, ZoneScanResult
+
+
+@dataclass
+class CsyncReport:
+    """Per-zone outcome of the CSYNC analysis."""
+
+    ns_drift: bool = False  # child NS != parent delegation NS
+    child_only_ns: List[Name] = field(default_factory=list)
+    parent_only_ns: List[Name] = field(default_factory=list)
+    csync_present: bool = False
+    csync: Optional[CSYNC] = None
+    sigs_valid: Optional[bool] = None
+    serial_gate_passed: Optional[bool] = None  # soaminimum check
+    would_sync_ns: bool = False  # parent would copy the child NS set
+    actionable: bool = False  # drift exists AND a valid CSYNC covers it
+
+
+def _ns_names(rrset: Optional[RRset]) -> Set[Name]:
+    if rrset is None:
+        return set()
+    return {rd.target for rd in rrset.rdatas if hasattr(rd, "target")}
+
+
+def analyze_csync(
+    result: ZoneScanResult,
+    csync_response: Optional[RRQueryResult] = None,
+    now: int = DEFAULT_VALIDATION_TIME,
+) -> CsyncReport:
+    """Evaluate delegation drift and CSYNC processability for one zone."""
+    report = CsyncReport()
+
+    child_ns = _ns_names(result.child_ns.rrset if result.child_ns else None)
+    parent_ns = set(result.delegation_ns)
+    if child_ns and parent_ns:
+        report.child_only_ns = sorted(child_ns - parent_ns, key=lambda n: n.canonical_key())
+        report.parent_only_ns = sorted(parent_ns - child_ns, key=lambda n: n.canonical_key())
+        report.ns_drift = bool(report.child_only_ns or report.parent_only_ns)
+
+    response = csync_response if csync_response is not None else getattr(result, "csync", None)
+    if response is None or not response.has_data:
+        return report
+    csync = next((rd for rd in response.rrset.rdatas if isinstance(rd, CSYNC)), None)
+    if csync is None:
+        return report
+    report.csync_present = True
+    report.csync = csync
+
+    # RFC 7477 §3: the CSYNC RRset MUST be signed and validate.
+    if result.dnskey is not None and result.dnskey.has_data:
+        outcome = validate_rrset(
+            response.rrset, response.rrsigs, list(result.dnskey.rrset.rdatas), now
+        )
+        report.sigs_valid = bool(outcome)
+    else:
+        report.sigs_valid = False
+
+    # The soaminimum gate: only act if the child SOA serial has reached
+    # the CSYNC serial.
+    if csync.soa_minimum:
+        soa_serial = None
+        if result.soa is not None and result.soa.has_data:
+            soa_serial = result.soa.rrset.rdatas[0].serial
+        report.serial_gate_passed = soa_serial is not None and soa_serial >= csync.serial
+    else:
+        report.serial_gate_passed = True
+
+    report.would_sync_ns = (
+        report.sigs_valid is True
+        and report.serial_gate_passed is True
+        and RRType.NS in csync.types
+    )
+    report.actionable = report.would_sync_ns and report.ns_drift
+    return report
+
+
+def apply_csync_to_delegation(
+    report: CsyncReport, result: ZoneScanResult
+) -> Optional[List[Name]]:
+    """The NS set the parent would install, or ``None`` if not applicable
+    (the registry-side action for an actionable CSYNC)."""
+    if not report.would_sync_ns:
+        return None
+    child_ns = _ns_names(result.child_ns.rrset if result.child_ns else None)
+    if not child_ns:
+        return None
+    return sorted(child_ns, key=lambda n: n.canonical_key())

@@ -1,0 +1,90 @@
+"""DNSSEC deployment status classification (§4.1 of the paper).
+
+Each resolved zone falls into exactly one of four classes:
+
+* ``UNSIGNED``  — no DNSKEY published and no DS at the parent.
+* ``SECURE``    — DS at the parent matches a published DNSKEY and the
+  DNSKEY RRset (and apex data) validates.
+* ``INVALID``   — a DS exists but the chain does not validate (missing
+  DNSKEY, digest mismatch, expired/bogus signatures), or the zone's own
+  signatures are broken.
+* ``ISLAND``    — the zone is DNSSEC-signed but no DS exists at the
+  parent (a *secure island*; resolvers treat it as unsigned, RFC 4035).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional, Tuple
+
+from repro.dnssec.validator import (
+    DEFAULT_VALIDATION_TIME,
+    FailureReason,
+    validate_chain_link,
+    validate_rrset,
+)
+from repro.scanner.results import ZoneScanResult
+
+
+class DnssecStatus(enum.Enum):
+    """Figure 1 / Table 1 status classes."""
+
+    UNRESOLVED = "unresolved"
+    UNSIGNED = "unsigned"
+    SECURE = "secure"
+    INVALID = "invalid"
+    ISLAND = "island"
+
+
+def classify_status(
+    result: ZoneScanResult, now: int = DEFAULT_VALIDATION_TIME
+) -> Tuple[DnssecStatus, Optional[FailureReason]]:
+    """Classify one scanned zone; returns (status, failure detail).
+
+    The detail is the validator's failure reason for ``INVALID`` zones
+    and for islands whose self-contained validation fails (the paper's
+    distinction between islands and invalidly-signed zones with DS).
+    """
+    if not result.resolved:
+        return DnssecStatus.UNRESOLVED, None
+    has_ds = result.ds is not None and result.ds.has_data
+    has_dnskey = result.dnskey is not None and result.dnskey.has_data
+
+    if not has_dnskey:
+        if has_ds:
+            # Errant DS at the parent with no keys in the zone: resolvers
+            # expecting a secure delegation will fail validation.
+            return DnssecStatus.INVALID, FailureReason.NO_DNSKEY
+        return DnssecStatus.UNSIGNED, None
+
+    dnskeys = list(result.dnskey.rrset.rdatas)
+    selfsig = validate_rrset(result.dnskey.rrset, result.dnskey.rrsigs, dnskeys, now)
+
+    if has_ds:
+        link = validate_chain_link(
+            result.zone, result.ds.rrset, result.dnskey.rrset, result.dnskey.rrsigs, now
+        )
+        if link.ok:
+            return DnssecStatus.SECURE, None
+        return DnssecStatus.INVALID, link.reason
+
+    # Signed zone without DS: a secure island regardless of internal
+    # signature health (resolvers treat it as unsigned either way), but
+    # surface broken self-signatures as the detail.
+    if selfsig.ok:
+        return DnssecStatus.ISLAND, None
+    return DnssecStatus.ISLAND, selfsig.reason
+
+
+def island_is_internally_valid(
+    result: ZoneScanResult, now: int = DEFAULT_VALIDATION_TIME
+) -> bool:
+    """Does an island's DNSKEY RRset validate under its own keys?
+
+    Bootstrapping a zone whose own signatures are broken would only
+    produce a BOGUS delegation; RFC 8078 §3 requires acceptance checks.
+    """
+    if result.dnskey is None or not result.dnskey.has_data:
+        return False
+    dnskeys = list(result.dnskey.rrset.rdatas)
+    return bool(validate_rrset(result.dnskey.rrset, result.dnskey.rrsigs, dnskeys, now))

@@ -1,0 +1,78 @@
+"""From-scratch DNS data model and wire protocol.
+
+This package implements the subset of the DNS needed to reproduce the
+measurement study: domain names with canonical ordering (RFC 4034 §6),
+a wire codec with name compression (RFC 1035 §4.1.4), the resource
+record types relevant to DNSSEC bootstrapping, DNS messages with EDNS(0),
+and an authoritative zone container.
+
+The public surface re-exported here is what the rest of the library (and
+downstream users) should import::
+
+    from repro.dns import Name, Message, RRset, RRType, Zone
+"""
+
+from repro.dns.name import Name
+from repro.dns.types import Opcode, Rcode, RClass, RRType
+from repro.dns.rdata import (
+    A,
+    AAAA,
+    CDNSKEY,
+    CDS,
+    CNAME,
+    CSYNC,
+    DNSKEY,
+    DS,
+    MX,
+    NS,
+    NSEC,
+    NSEC3,
+    NSEC3PARAM,
+    OPT,
+    PTR,
+    RRSIG,
+    SOA,
+    TXT,
+    GenericRdata,
+    Rdata,
+)
+from repro.dns.rrset import RR, RRset
+from repro.dns.message import EDNS_VERSION, Message, Question, make_query, make_response
+from repro.dns.zone import Zone, ZoneError
+
+__all__ = [
+    "A",
+    "AAAA",
+    "CDNSKEY",
+    "CDS",
+    "CNAME",
+    "CSYNC",
+    "DNSKEY",
+    "DS",
+    "EDNS_VERSION",
+    "GenericRdata",
+    "MX",
+    "Message",
+    "NS",
+    "NSEC",
+    "NSEC3",
+    "NSEC3PARAM",
+    "Name",
+    "OPT",
+    "Opcode",
+    "PTR",
+    "Question",
+    "RClass",
+    "RR",
+    "RRSIG",
+    "RRType",
+    "RRset",
+    "Rcode",
+    "Rdata",
+    "SOA",
+    "TXT",
+    "Zone",
+    "ZoneError",
+    "make_query",
+    "make_response",
+]

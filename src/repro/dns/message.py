@@ -1,0 +1,337 @@
+"""DNS messages: header, question, sections, EDNS(0), and the wire codec.
+
+The codec is section-oriented: records are grouped back into RRsets on
+decode (same owner/class/type), which is the granularity the scanner and
+validator operate at.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.dns.name import Name
+from repro.dns.rdata import OPT, Rdata, read_rdata
+from repro.dns.rrset import RRset
+from repro.dns.types import (
+    EDNS_FLAG_DO,
+    FLAG_AA,
+    FLAG_AD,
+    FLAG_CD,
+    FLAG_QR,
+    FLAG_RA,
+    FLAG_RD,
+    FLAG_TC,
+    MAX_UDP_PAYLOAD,
+    Opcode,
+    RClass,
+    Rcode,
+    RRType,
+)
+from repro.dns.wire import WireError, WireReader, WireWriter
+
+EDNS_VERSION = 0
+
+
+class Question:
+    """The question section entry: (qname, qtype, qclass)."""
+
+    __slots__ = ("name", "rrtype", "rclass")
+
+    def __init__(self, name: Name | str, rrtype: RRType, rclass: RClass = RClass.IN):
+        self.name = name if isinstance(name, Name) else Name.from_text(name)
+        self.rrtype = RRType.make(int(rrtype))
+        self.rclass = rclass
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Question):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and int(self.rrtype) == int(other.rrtype)
+            and int(self.rclass) == int(other.rclass)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.name, int(self.rrtype), int(self.rclass)))
+
+    def __repr__(self) -> str:
+        return f"<Question {self.name} {self.rrtype.name}>"
+
+
+class Message:
+    """A DNS message with typed sections.
+
+    ``answer``, ``authority`` and ``additional`` are lists of
+    :class:`RRset`.  EDNS(0) state is carried as attributes rather than a
+    synthetic OPT RRset; the codec (de)materialises the OPT record.
+    """
+
+    def __init__(
+        self,
+        msg_id: int = 0,
+        flags: int = 0,
+        question: Optional[Question] = None,
+    ):
+        self.id = msg_id
+        self.flags = flags
+        self.opcode = Opcode.QUERY
+        self.rcode = Rcode.NOERROR
+        self.question = question
+        self.answer: List[RRset] = []
+        self.authority: List[RRset] = []
+        self.additional: List[RRset] = []
+        self.edns = False
+        self.edns_payload = MAX_UDP_PAYLOAD
+        self.edns_flags = 0
+        self.edns_version = EDNS_VERSION
+
+    # -- flag accessors ----------------------------------------------------
+
+    def _flag(self, mask: int) -> bool:
+        return bool(self.flags & mask)
+
+    def _set_flag(self, mask: int, value: bool) -> None:
+        self.flags = (self.flags | mask) if value else (self.flags & ~mask)
+
+    @property
+    def is_response(self) -> bool:
+        return self._flag(FLAG_QR)
+
+    @is_response.setter
+    def is_response(self, value: bool) -> None:
+        self._set_flag(FLAG_QR, value)
+
+    @property
+    def authoritative(self) -> bool:
+        return self._flag(FLAG_AA)
+
+    @authoritative.setter
+    def authoritative(self, value: bool) -> None:
+        self._set_flag(FLAG_AA, value)
+
+    @property
+    def truncated(self) -> bool:
+        return self._flag(FLAG_TC)
+
+    @truncated.setter
+    def truncated(self, value: bool) -> None:
+        self._set_flag(FLAG_TC, value)
+
+    @property
+    def recursion_desired(self) -> bool:
+        return self._flag(FLAG_RD)
+
+    @recursion_desired.setter
+    def recursion_desired(self, value: bool) -> None:
+        self._set_flag(FLAG_RD, value)
+
+    @property
+    def recursion_available(self) -> bool:
+        return self._flag(FLAG_RA)
+
+    @recursion_available.setter
+    def recursion_available(self, value: bool) -> None:
+        self._set_flag(FLAG_RA, value)
+
+    @property
+    def authenticated_data(self) -> bool:
+        return self._flag(FLAG_AD)
+
+    @authenticated_data.setter
+    def authenticated_data(self, value: bool) -> None:
+        self._set_flag(FLAG_AD, value)
+
+    @property
+    def checking_disabled(self) -> bool:
+        return self._flag(FLAG_CD)
+
+    @checking_disabled.setter
+    def checking_disabled(self, value: bool) -> None:
+        self._set_flag(FLAG_CD, value)
+
+    @property
+    def dnssec_ok(self) -> bool:
+        """The EDNS DO bit: the querier wants DNSSEC records."""
+        return self.edns and bool(self.edns_flags & EDNS_FLAG_DO)
+
+    @dnssec_ok.setter
+    def dnssec_ok(self, value: bool) -> None:
+        if value:
+            self.edns = True
+            self.edns_flags |= EDNS_FLAG_DO
+        else:
+            self.edns_flags &= ~EDNS_FLAG_DO
+
+    # -- section helpers -------------------------------------------------------
+
+    def find_rrsets(
+        self, section: Sequence[RRset], name: Name, rrtype: RRType
+    ) -> List[RRset]:
+        return [
+            rrset
+            for rrset in section
+            if rrset.name == name and int(rrset.rrtype) == int(rrtype)
+        ]
+
+    def get_rrset(self, section: Sequence[RRset], name: Name, rrtype: RRType) -> Optional[RRset]:
+        found = self.find_rrsets(section, name, rrtype)
+        return found[0] if found else None
+
+    # -- codec -------------------------------------------------------------------
+
+    def to_wire(self, max_size: Optional[int] = None) -> bytes:
+        """Encode; if *max_size* is given and exceeded, re-encode with the
+        answer sections dropped and TC set (UDP truncation semantics)."""
+        wire = self._encode()
+        if max_size is not None and len(wire) > max_size:
+            truncated = Message(self.id, self.flags, self.question)
+            truncated.opcode = self.opcode
+            truncated.rcode = self.rcode
+            truncated.truncated = True
+            truncated.edns = self.edns
+            truncated.edns_flags = self.edns_flags
+            truncated.edns_payload = self.edns_payload
+            wire = truncated._encode()
+        return wire
+
+    def _encode(self) -> bytes:
+        writer = WireWriter(compress=True)
+        writer.write_u16(self.id)
+        flags = self.flags & ~0x7800 & ~0x000F
+        flags |= (int(self.opcode) & 0xF) << 11
+        flags |= int(self.rcode) & 0xF
+        writer.write_u16(flags)
+        writer.write_u16(1 if self.question else 0)
+        answer_rrs = sum(len(rrset) for rrset in self.answer)
+        authority_rrs = sum(len(rrset) for rrset in self.authority)
+        additional_rrs = sum(len(rrset) for rrset in self.additional) + (1 if self.edns else 0)
+        writer.write_u16(answer_rrs)
+        writer.write_u16(authority_rrs)
+        writer.write_u16(additional_rrs)
+        if self.question:
+            writer.write_name(self.question.name)
+            writer.write_u16(int(self.question.rrtype))
+            writer.write_u16(int(self.question.rclass))
+        for section in (self.answer, self.authority, self.additional):
+            for rrset in section:
+                self._encode_rrset(writer, rrset)
+        if self.edns:
+            self._encode_opt(writer)
+        return writer.getvalue()
+
+    def _encode_rrset(self, writer: WireWriter, rrset: RRset) -> None:
+        for rdata in rrset:
+            writer.write_name(rrset.name)
+            writer.write_u16(int(rrset.rrtype))
+            writer.write_u16(int(rrset.rclass))
+            writer.write_u32(rrset.ttl)
+            len_offset = len(writer)
+            writer.write_u16(0)
+            start = len(writer)
+            rdata.write_rdata(writer)
+            writer.write_at_u16(len_offset, len(writer) - start)
+
+    def _encode_opt(self, writer: WireWriter) -> None:
+        writer.write_u8(0)  # root owner name
+        writer.write_u16(int(RRType.OPT))
+        writer.write_u16(self.edns_payload)
+        ttl = ((self.rcode >> 4) << 24) | (self.edns_version << 16) | self.edns_flags
+        writer.write_u32(ttl)
+        writer.write_u16(0)
+
+    @classmethod
+    def from_wire(cls, data: bytes) -> "Message":
+        reader = WireReader(data)
+        msg = cls()
+        msg.id = reader.read_u16()
+        flags = reader.read_u16()
+        msg.flags = flags & ~0x7800 & ~0x000F
+        msg.opcode = Opcode.make((flags >> 11) & 0xF)
+        rcode_low = flags & 0xF
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        if qdcount > 1:
+            raise WireError(f"unsupported qdcount: {qdcount}")
+        if qdcount:
+            qname = reader.read_name()
+            qtype = RRType.make(reader.read_u16())
+            qclass = RClass.make(reader.read_u16())
+            msg.question = Question(qname, qtype, qclass)
+        msg.answer = cls._read_section(reader, ancount, msg)
+        msg.authority = cls._read_section(reader, nscount, msg)
+        msg.additional = cls._read_section(reader, arcount, msg)
+        msg.rcode = Rcode.make((0 if not msg.edns else (msg._ext_rcode_high << 4)) | rcode_low)
+        return msg
+
+    _ext_rcode_high = 0
+
+    @classmethod
+    def _read_section(cls, reader: WireReader, count: int, msg: "Message") -> List[RRset]:
+        rrsets: List[RRset] = []
+        for _ in range(count):
+            name = reader.read_name()
+            rrtype = RRType.make(reader.read_u16())
+            rclass_raw = reader.read_u16()
+            ttl = reader.read_u32()
+            rdlength = reader.read_u16()
+            if int(rrtype) == int(RRType.OPT):
+                msg.edns = True
+                msg.edns_payload = rclass_raw
+                msg._ext_rcode_high = (ttl >> 24) & 0xFF
+                msg.edns_version = (ttl >> 16) & 0xFF
+                msg.edns_flags = ttl & 0xFFFF
+                reader.read_bytes(rdlength)
+                continue
+            rdata = read_rdata(rrtype, reader, rdlength)
+            rclass = RClass.make(rclass_raw)
+            for rrset in rrsets:
+                if (
+                    rrset.name == name
+                    and int(rrset.rrtype) == int(rrtype)
+                    and int(rrset.rclass) == int(rclass)
+                ):
+                    rrset.add(rdata)
+                    rrset.ttl = min(rrset.ttl, ttl)
+                    break
+            else:
+                rrsets.append(RRset(name, rrtype, ttl, [rdata], rclass))
+        return rrsets
+
+    def __repr__(self) -> str:
+        q = f" {self.question.name} {self.question.rrtype.name}" if self.question else ""
+        return (
+            f"<Message id={self.id} {'resp' if self.is_response else 'query'}"
+            f" rcode={self.rcode.name}{q} an={len(self.answer)}"
+            f" au={len(self.authority)} ad={len(self.additional)}>"
+        )
+
+
+def make_query(
+    name: Name | str,
+    rrtype: RRType,
+    msg_id: int = 0,
+    dnssec_ok: bool = True,
+    recursion_desired: bool = False,
+) -> Message:
+    """Build a standard query, EDNS-enabled with the DO bit by default
+    (the scanner always wants RRSIGs back)."""
+    msg = Message(msg_id=msg_id, question=Question(name, rrtype))
+    msg.recursion_desired = recursion_desired
+    msg.edns = True
+    msg.dnssec_ok = dnssec_ok
+    return msg
+
+
+def make_response(query: Message, rcode: Rcode = Rcode.NOERROR) -> Message:
+    """Start a response mirroring the query's id/question/EDNS state."""
+    msg = Message(msg_id=query.id, question=query.question)
+    msg.is_response = True
+    msg.opcode = query.opcode
+    msg.rcode = rcode
+    msg.recursion_desired = query.recursion_desired
+    if query.edns:
+        msg.edns = True
+        msg.edns_flags = query.edns_flags & EDNS_FLAG_DO
+    return msg

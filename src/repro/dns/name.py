@@ -1,0 +1,216 @@
+"""Domain names.
+
+``Name`` is an immutable sequence of labels, always absolute (rooted).
+Comparisons and hashing are case-insensitive per RFC 1035 §2.3.3, and
+``canonical_key`` implements the DNSSEC canonical ordering of RFC 4034 §6.1
+(needed for NSEC chains and RRset canonical form).
+"""
+
+from __future__ import annotations
+
+from functools import total_ordering
+from typing import Iterable, Iterator, Tuple
+
+MAX_LABEL_LENGTH = 63
+MAX_NAME_LENGTH = 255
+
+
+class NameError_(ValueError):
+    """Raised for malformed domain names."""
+
+
+def _validate_label(label: bytes) -> bytes:
+    if not label:
+        raise NameError_("empty label")
+    if len(label) > MAX_LABEL_LENGTH:
+        raise NameError_(f"label too long ({len(label)} > {MAX_LABEL_LENGTH}): {label!r}")
+    return label
+
+
+@total_ordering
+class Name:
+    """An absolute DNS domain name.
+
+    Instances are immutable, hashable, and compare case-insensitively.
+    The root name has zero labels.
+    """
+
+    __slots__ = ("_labels", "_folded")
+
+    def __init__(self, labels: Iterable[bytes] = ()):
+        labels = tuple(_validate_label(bytes(label)) for label in labels)
+        wire_len = sum(len(label) + 1 for label in labels) + 1
+        if wire_len > MAX_NAME_LENGTH:
+            raise NameError_(f"name too long ({wire_len} > {MAX_NAME_LENGTH} octets)")
+        object.__setattr__(self, "_labels", labels)
+        object.__setattr__(self, "_folded", tuple(label.lower() for label in labels))
+
+    def __setattr__(self, key, value):  # pragma: no cover - immutability guard
+        raise AttributeError("Name is immutable")
+
+    def __copy__(self) -> "Name":
+        return self  # immutable
+
+    def __deepcopy__(self, memo) -> "Name":
+        return self  # immutable
+
+    def __reduce__(self):
+        return (Name, (self._labels,))
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def _unchecked(cls, labels: Tuple[bytes, ...]) -> "Name":
+        """Fast construction from labels already known to be valid
+        (wire decoding validates lengths; suffix/parent operations reuse
+        labels from an existing Name)."""
+        self = object.__new__(cls)
+        object.__setattr__(self, "_labels", labels)
+        object.__setattr__(self, "_folded", tuple(label.lower() for label in labels))
+        return self
+
+    @classmethod
+    def from_text(cls, text: str) -> "Name":
+        """Parse a textual domain name.
+
+        Accepts both ``"example.com"`` and ``"example.com."``; the empty
+        string and ``"."`` denote the root.  Escapes are not supported —
+        the synthetic ecosystem never produces them.
+        """
+        text = text.strip()
+        if text in ("", "."):
+            return ROOT
+        if text.endswith("."):
+            text = text[:-1]
+        labels = [part.encode("ascii") for part in text.split(".")]
+        if any(not part for part in labels):
+            raise NameError_(f"empty label in {text!r}")
+        return cls(labels)
+
+    @classmethod
+    def root(cls) -> "Name":
+        return ROOT
+
+    # -- views -----------------------------------------------------------
+
+    @property
+    def labels(self) -> Tuple[bytes, ...]:
+        return self._labels
+
+    def to_text(self) -> str:
+        """Return the absolute textual form (always with trailing dot)."""
+        if not self._labels:
+            return "."
+        return ".".join(label.decode("ascii") for label in self._labels) + "."
+
+    def __str__(self) -> str:
+        return self.to_text()
+
+    def __repr__(self) -> str:
+        return f"Name({self.to_text()!r})"
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __iter__(self) -> Iterator[bytes]:
+        return iter(self._labels)
+
+    @property
+    def wire_length(self) -> int:
+        """Length of the uncompressed wire encoding in octets."""
+        return sum(len(label) + 1 for label in self._labels) + 1
+
+    # -- relations ---------------------------------------------------------
+
+    def is_root(self) -> bool:
+        return not self._labels
+
+    def parent(self) -> "Name":
+        """The name with the leftmost label removed."""
+        if not self._labels:
+            raise NameError_("the root has no parent")
+        return Name._unchecked(self._labels[1:])
+
+    def child(self, label: str | bytes) -> "Name":
+        """Prefix one label (textual or raw) to this name."""
+        if isinstance(label, str):
+            label = label.encode("ascii")
+        return Name((label,) + self._labels)
+
+    def concatenate(self, suffix: "Name") -> "Name":
+        """Append *suffix*'s labels after this name's labels."""
+        return Name(self._labels + suffix._labels)
+
+    def relativize(self, origin: "Name") -> Tuple[bytes, ...]:
+        """Return this name's labels with *origin* stripped from the end.
+
+        Raises :class:`NameError_` if this name is not under *origin*.
+        """
+        if not self.is_subdomain_of(origin):
+            raise NameError_(f"{self} is not a subdomain of {origin}")
+        count = len(self._labels) - len(origin._labels)
+        return self._labels[:count]
+
+    def is_subdomain_of(self, other: "Name") -> bool:
+        """True if *self* equals *other* or lies beneath it."""
+        n = len(other._folded)
+        if n > len(self._folded):
+            return False
+        return n == 0 or self._folded[-n:] == other._folded
+
+    def is_proper_subdomain_of(self, other: "Name") -> bool:
+        return self != other and self.is_subdomain_of(other)
+
+    def split(self, depth: int) -> "Name":
+        """Return the suffix of this name with *depth* labels (e.g.
+        ``Name.from_text("a.b.example.com").split(2)`` is ``example.com.``)."""
+        if depth > len(self._labels):
+            raise NameError_(f"depth {depth} exceeds {len(self._labels)} labels")
+        if depth == 0:
+            return ROOT
+        return Name._unchecked(self._labels[-depth:])
+
+    # -- ordering / hashing --------------------------------------------------
+
+    def canonical_key(self) -> Tuple[bytes, ...]:
+        """Sort key implementing RFC 4034 §6.1 canonical name order:
+        compare label-by-label starting from the rightmost (root-most)
+        label, case folded."""
+        return tuple(reversed(self._folded))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self._folded == other._folded
+
+    def __lt__(self, other: "Name") -> bool:
+        if not isinstance(other, Name):
+            return NotImplemented
+        return self.canonical_key() < other.canonical_key()
+
+    def __hash__(self) -> int:
+        return hash(self._folded)
+
+    # -- wire -----------------------------------------------------------------
+
+    def to_wire(self) -> bytes:
+        """Uncompressed wire encoding (for canonical forms and digests,
+        labels are lowercased per RFC 4034 §6.2 by :meth:`to_canonical_wire`)."""
+        out = bytearray()
+        for label in self._labels:
+            out.append(len(label))
+            out += label
+        out.append(0)
+        return bytes(out)
+
+    def to_canonical_wire(self) -> bytes:
+        """Wire encoding with labels lowercased (RFC 4034 §6.2)."""
+        out = bytearray()
+        for label in self._folded:
+            out.append(len(label))
+            out += label
+        out.append(0)
+        return bytes(out)
+
+
+ROOT = Name()

@@ -1,0 +1,155 @@
+"""Core DNS enumerations: record types, classes, opcodes, and rcodes.
+
+Values follow the IANA DNS parameter registries.  Only the subset needed
+for DNSSEC-bootstrapping measurements is named; unknown values round-trip
+through the plain integer space (RFC 3597).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """DNS resource record TYPE values (IANA "Resource Record TYPEs")."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    OPT = 41
+    DS = 43
+    RRSIG = 46
+    NSEC = 47
+    DNSKEY = 48
+    NSEC3 = 50
+    NSEC3PARAM = 51
+    CDS = 59
+    CDNSKEY = 60
+    CSYNC = 62
+    AXFR = 252
+    ANY = 255
+    CAA = 257
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRType":
+        """Parse a type mnemonic such as ``"CDS"`` or ``"TYPE65534"``."""
+        text = text.strip().upper()
+        if text.startswith("TYPE"):
+            return cls.make(int(text[4:]))
+        try:
+            return cls[text]
+        except KeyError:
+            raise ValueError(f"unknown RR type mnemonic: {text!r}") from None
+
+    @classmethod
+    def make(cls, value: int) -> "RRType":
+        """Return the enum member for *value*, or a pseudo-member for
+        unknown type codes (kept as a plain ``RRType`` via ``int``)."""
+        member = _RRTYPE_BY_VALUE.get(value)
+        if member is not None:
+            return member
+        if not 0 <= value <= 0xFFFF:
+            raise ValueError(f"RR type out of range: {value}")
+        # Create-on-demand pseudo members so unknown types survive a
+        # decode/encode round trip (RFC 3597 transparency).
+        member = int.__new__(cls, value)
+        member._name_ = f"TYPE{value}"
+        member._value_ = value
+        return member
+
+    def to_text(self) -> str:
+        return self.name
+
+
+_RRTYPE_BY_VALUE = {int(member): member for member in RRType}
+
+
+class RClass(enum.IntEnum):
+    """DNS CLASS values.  Only IN is used in practice."""
+
+    IN = 1
+    CH = 3
+    HS = 4
+    NONE = 254
+    ANY = 255
+
+    @classmethod
+    def make(cls, value: int) -> "RClass":
+        if not 0 <= value <= 0xFFFF:
+            raise ValueError(f"RR class out of range: {value}")
+        try:
+            return cls(value)
+        except ValueError:
+            member = int.__new__(cls, value)
+            member._name_ = f"CLASS{value}"
+            member._value_ = value
+            return member
+
+
+class Opcode(enum.IntEnum):
+    """DNS OPCODE values (RFC 1035 §4.1.1)."""
+
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+    @classmethod
+    def make(cls, value: int) -> "Opcode":
+        try:
+            return cls(value)
+        except ValueError:
+            member = int.__new__(cls, value)
+            member._name_ = f"OPCODE{value}"
+            member._value_ = value
+            return member
+
+
+class Rcode(enum.IntEnum):
+    """DNS RCODE values (RFC 1035 §4.1.1 and extensions)."""
+
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+    YXDOMAIN = 6
+    YXRRSET = 7
+    NXRRSET = 8
+    NOTAUTH = 9
+    NOTZONE = 10
+    BADVERS = 16
+
+    @classmethod
+    def make(cls, value: int) -> "Rcode":
+        try:
+            return cls(value)
+        except ValueError:
+            member = int.__new__(cls, value)
+            member._name_ = f"RCODE{value}"
+            member._value_ = value
+            return member
+
+
+# Header flag bit masks (RFC 1035 §4.1.1, RFC 2535 for AD/CD).
+FLAG_QR = 0x8000
+FLAG_AA = 0x0400
+FLAG_TC = 0x0200
+FLAG_RD = 0x0100
+FLAG_RA = 0x0080
+FLAG_AD = 0x0020
+FLAG_CD = 0x0010
+
+# EDNS(0) (RFC 6891): the DO bit lives in the extended flags carried in
+# the TTL field of the OPT pseudo-record.
+EDNS_FLAG_DO = 0x8000
+
+MAX_UDP_PAYLOAD = 1232  # common modern EDNS buffer size
+CLASSIC_UDP_LIMIT = 512

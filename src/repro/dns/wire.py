@@ -1,0 +1,166 @@
+"""Low-level DNS wire-format reader and writer.
+
+``WireWriter`` supports RFC 1035 §4.1.4 name compression; ``WireReader``
+follows compression pointers with loop protection.  Rdata codecs and the
+message codec are built on these primitives.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Dict, Optional, Tuple
+
+from repro.dns.name import MAX_NAME_LENGTH, Name
+
+_POINTER_MASK = 0xC0
+_MAX_POINTER_HOPS = 64
+
+
+class WireError(ValueError):
+    """Raised on malformed wire-format data."""
+
+
+class WireWriter:
+    """Accumulates wire-format octets with optional name compression."""
+
+    def __init__(self, compress: bool = True):
+        self._buf = bytearray()
+        self._compress = compress
+        # Maps a tuple of folded labels (a name suffix) to its offset.
+        self._offsets: Dict[Tuple[bytes, ...], int] = {}
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buf)
+
+    # -- primitives ------------------------------------------------------
+
+    def write_u8(self, value: int) -> None:
+        self._buf += struct.pack("!B", value)
+
+    def write_u16(self, value: int) -> None:
+        self._buf += struct.pack("!H", value)
+
+    def write_u32(self, value: int) -> None:
+        self._buf += struct.pack("!I", value)
+
+    def write_bytes(self, data: bytes) -> None:
+        self._buf += data
+
+    def write_at_u16(self, offset: int, value: int) -> None:
+        """Patch a 16-bit field written earlier (e.g. RDLENGTH)."""
+        struct.pack_into("!H", self._buf, offset, value)
+
+    # -- names --------------------------------------------------------------
+
+    def write_name(self, name: Name, compress: Optional[bool] = None) -> None:
+        """Write *name*, compressing against previously written names
+        when compression is enabled (never inside rdata of DNSSEC types —
+        callers pass ``compress=False`` there per RFC 3597 §4)."""
+        use_compression = self._compress if compress is None else compress
+        labels = name.labels
+        folded = tuple(label.lower() for label in labels)
+        for i in range(len(labels)):
+            suffix = folded[i:]
+            if use_compression and suffix in self._offsets:
+                pointer = self._offsets[suffix]
+                self.write_u16(0xC000 | pointer)
+                return
+            offset = len(self._buf)
+            # Offsets beyond 14 bits cannot be pointer targets.
+            if suffix and offset < 0x4000:
+                self._offsets.setdefault(suffix, offset)
+            label = labels[i]
+            self.write_u8(len(label))
+            self.write_bytes(label)
+        self.write_u8(0)
+
+
+class WireReader:
+    """Sequential reader over a full DNS message buffer."""
+
+    def __init__(self, data: bytes, offset: int = 0):
+        self._data = data
+        self._pos = offset
+
+    @property
+    def position(self) -> int:
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def seek(self, offset: int) -> None:
+        if not 0 <= offset <= len(self._data):
+            raise WireError(f"seek out of range: {offset}")
+        self._pos = offset
+
+    # -- primitives ----------------------------------------------------
+
+    def _take(self, count: int) -> bytes:
+        if self.remaining < count:
+            raise WireError(f"truncated data: wanted {count}, have {self.remaining}")
+        chunk = self._data[self._pos : self._pos + count]
+        self._pos += count
+        return chunk
+
+    def read_u8(self) -> int:
+        return self._take(1)[0]
+
+    def read_u16(self) -> int:
+        return struct.unpack("!H", self._take(2))[0]
+
+    def read_u32(self) -> int:
+        return struct.unpack("!I", self._take(4))[0]
+
+    def read_bytes(self, count: int) -> bytes:
+        return self._take(count)
+
+    # -- names -------------------------------------------------------------
+
+    def read_name(self) -> Name:
+        """Read a possibly-compressed name starting at the current offset.
+
+        The reader position advances past the name as it appears in the
+        stream (pointers are followed without moving the main cursor)."""
+        labels = []
+        pos = self._pos
+        jumped = False
+        hops = 0
+        total = 1
+        while True:
+            if pos >= len(self._data):
+                raise WireError("truncated name")
+            length = self._data[pos]
+            if length & _POINTER_MASK == _POINTER_MASK:
+                if pos + 1 >= len(self._data):
+                    raise WireError("truncated compression pointer")
+                target = ((length & ~_POINTER_MASK) << 8) | self._data[pos + 1]
+                if not jumped:
+                    self._pos = pos + 2
+                    jumped = True
+                if target >= pos:
+                    raise WireError("forward compression pointer")
+                hops += 1
+                if hops > _MAX_POINTER_HOPS:
+                    raise WireError("compression pointer loop")
+                pos = target
+            elif length & _POINTER_MASK:
+                raise WireError(f"unsupported label type: 0x{length:02x}")
+            elif length == 0:
+                if not jumped:
+                    self._pos = pos + 1
+                break
+            else:
+                if pos + 1 + length > len(self._data):
+                    raise WireError("truncated label")
+                total += length + 1
+                if total > MAX_NAME_LENGTH:
+                    raise WireError("name exceeds 255 octets")
+                labels.append(self._data[pos + 1 : pos + 1 + length])
+                pos += 1 + length
+        # Label and total lengths were validated during parsing.
+        return Name._unchecked(tuple(labels))

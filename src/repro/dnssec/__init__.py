@@ -1,0 +1,47 @@
+"""DNSSEC engine: keys, signing, DS digests, denial of existence, validation.
+
+Implements the parts of RFC 4033–4035, RFC 5155 (NSEC3), RFC 6840, and the
+RFC 8078 delete sentinel needed to sign the synthetic ecosystem's zones and
+to validate them from the scanner's perspective.
+"""
+
+from repro.dnssec.algorithms import (
+    Algorithm,
+    DigestType,
+    SUPPORTED_ALGORITHMS,
+    sign as algorithm_sign,
+    verify as algorithm_verify,
+)
+from repro.dnssec.keys import KeyPair
+from repro.dnssec.ds import cds_delete_rdata, cdnskey_delete_rdata, ds_from_dnskey, ds_matches_dnskey
+from repro.dnssec.signer import RRSIG_VALIDITY, sign_rrset, sign_zone
+from repro.dnssec.nsec import build_nsec_chain, build_nsec3_chain, nsec3_hash
+from repro.dnssec.validator import (
+    FailureReason,
+    ValidationResult,
+    validate_chain_link,
+    validate_rrset,
+)
+
+__all__ = [
+    "Algorithm",
+    "DigestType",
+    "FailureReason",
+    "KeyPair",
+    "RRSIG_VALIDITY",
+    "SUPPORTED_ALGORITHMS",
+    "ValidationResult",
+    "algorithm_sign",
+    "algorithm_verify",
+    "build_nsec_chain",
+    "build_nsec3_chain",
+    "cdnskey_delete_rdata",
+    "cds_delete_rdata",
+    "ds_from_dnskey",
+    "ds_matches_dnskey",
+    "nsec3_hash",
+    "sign_rrset",
+    "sign_zone",
+    "validate_chain_link",
+    "validate_rrset",
+]

@@ -1,0 +1,218 @@
+"""Authenticated denial of existence: verifying NSEC proofs (RFC 4035 §5.4).
+
+The serving side (:mod:`repro.dnssec.nsec`) builds chains; this module
+is the consuming side — given the NSEC RRsets a server attached to a
+negative answer, decide whether they actually prove the denial:
+
+* NXDOMAIN: an NSEC whose owner/next span *covers* the query name, plus
+  one covering (or matching) the source-of-synthesis wildcard;
+* NODATA: an NSEC *matching* the query name whose type bitmap lacks the
+  query type (and NSEC itself proves the name exists).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.dns.name import Name
+from repro.dns.rdata import NSEC
+from repro.dns.rrset import RRset
+from repro.dns.types import RRType
+
+
+@dataclass
+class DenialResult:
+    proven: bool
+    reason: str
+
+
+def _canonical_between(owner: Name, target: Name, next_name: Name) -> bool:
+    """Does *target* fall strictly between *owner* and *next_name* in
+    canonical order (with wrap-around at the end of the chain)?"""
+    owner_key = owner.canonical_key()
+    target_key = target.canonical_key()
+    next_key = next_name.canonical_key()
+    if owner_key < next_key:
+        return owner_key < target_key < next_key
+    # Wrap-around: the last NSEC points back to the apex.
+    return target_key > owner_key or target_key < next_key
+
+
+def nsec_covers(rrset: RRset, target: Name) -> bool:
+    """True if this NSEC's span covers (proves nonexistence of) *target*."""
+    if int(rrset.rrtype) != int(RRType.NSEC) or not rrset.rdatas:
+        return False
+    nsec: NSEC = rrset.rdatas[0]
+    if rrset.name == target:
+        return False  # matching is not covering
+    return _canonical_between(rrset.name, target, nsec.next_name)
+
+
+def nsec_matches(rrset: RRset, target: Name) -> Optional[NSEC]:
+    """The NSEC rdata if this RRset's owner is exactly *target*."""
+    if int(rrset.rrtype) != int(RRType.NSEC) or rrset.name != target:
+        return None
+    rdata = rrset.rdatas[0]
+    return rdata if isinstance(rdata, NSEC) else None
+
+
+def closest_encloser(qname: Name, apex: Name, nsec_rrsets: Iterable[RRset]) -> Name:
+    """Best-effort closest encloser: the deepest ancestor of *qname* that
+    an NSEC proves to exist (owner or apex fallback)."""
+    existing = {rrset.name for rrset in nsec_rrsets}
+    for depth in range(len(qname) - 1, len(apex) - 1, -1):
+        candidate = qname.split(depth)
+        if candidate in existing:
+            return candidate
+    return apex
+
+
+def verify_nxdomain(
+    qname: Name, apex: Name, nsec_rrsets: List[RRset]
+) -> DenialResult:
+    """Check an NXDOMAIN proof: the name and the covering wildcard must
+    both be denied (RFC 4035 §5.4)."""
+    if not any(nsec_covers(rrset, qname) for rrset in nsec_rrsets):
+        return DenialResult(False, f"no NSEC covers {qname}")
+    encloser = closest_encloser(qname, apex, nsec_rrsets)
+    wildcard = encloser.child("*")
+    if any(nsec_matches(rrset, wildcard) for rrset in nsec_rrsets):
+        return DenialResult(
+            False, f"wildcard {wildcard} exists — an answer should have been synthesised"
+        )
+    if not any(nsec_covers(rrset, wildcard) for rrset in nsec_rrsets):
+        return DenialResult(False, f"no NSEC denies the wildcard {wildcard}")
+    return DenialResult(True, "name and wildcard denied")
+
+
+def verify_nodata(
+    qname: Name, qtype: RRType, nsec_rrsets: List[RRset]
+) -> DenialResult:
+    """Check a NODATA proof: an NSEC matching *qname* whose bitmap lacks
+    *qtype* (and lacks CNAME, which would have redirected)."""
+    for rrset in nsec_rrsets:
+        nsec = nsec_matches(rrset, qname)
+        if nsec is None:
+            continue
+        present = {int(t) for t in nsec.types}
+        if int(qtype) in present:
+            return DenialResult(False, f"bitmap claims {qtype.name} exists at {qname}")
+        if int(RRType.CNAME) in present and int(qtype) != int(RRType.CNAME):
+            return DenialResult(False, f"{qname} owns a CNAME — not a NODATA case")
+        return DenialResult(True, f"{qname} exists without {qtype.name}")
+    return DenialResult(False, f"no NSEC matches {qname}")
+
+
+def verify_denial(
+    qname: Name,
+    qtype: RRType,
+    apex: Name,
+    nsec_rrsets: List[RRset],
+    nxdomain: bool,
+) -> DenialResult:
+    """Dispatch to the right proof check for a negative answer.
+
+    Chooses NSEC or NSEC3 verification based on the record types in the
+    supplied proof.
+    """
+    if any(int(rrset.rrtype) == int(RRType.NSEC3) for rrset in nsec_rrsets):
+        nsec3_sets = [r for r in nsec_rrsets if int(r.rrtype) == int(RRType.NSEC3)]
+        if nxdomain:
+            return verify_nxdomain_nsec3(qname, apex, nsec3_sets)
+        return verify_nodata_nsec3(qname, qtype, apex, nsec3_sets)
+    if nxdomain:
+        return verify_nxdomain(qname, apex, nsec_rrsets)
+    return verify_nodata(qname, qtype, nsec_rrsets)
+
+
+# -- NSEC3 (RFC 5155 §8) -----------------------------------------------------
+
+
+def _nsec3_index(
+    apex: Name, nsec3_rrsets: List[RRset]
+) -> List[Tuple[bytes, "object"]]:
+    """(owner hash, NSEC3 rdata) pairs for the supplied proof records."""
+    from repro.dnssec.nsec import nsec3_label_to_hash
+
+    out = []
+    for rrset in nsec3_rrsets:
+        if int(rrset.rrtype) != int(RRType.NSEC3) or not rrset.rdatas:
+            continue
+        try:
+            owner_hash = nsec3_label_to_hash(rrset.name.labels[0])
+        except Exception:
+            continue
+        out.append((owner_hash, rrset.rdatas[0]))
+    return out
+
+
+def _hash_of(name: Name, rdata) -> bytes:
+    from repro.dnssec.nsec import nsec3_hash
+
+    return nsec3_hash(name, rdata.salt, rdata.iterations)
+
+
+def _nsec3_matches(name: Name, index) -> Optional[object]:
+    for owner_hash, rdata in index:
+        if _hash_of(name, rdata) == owner_hash:
+            return rdata
+    return None
+
+
+def _nsec3_covers(name: Name, index) -> bool:
+    for owner_hash, rdata in index:
+        target = _hash_of(name, rdata)
+        if target == owner_hash:
+            continue
+        if owner_hash < rdata.next_hashed:
+            if owner_hash < target < rdata.next_hashed:
+                return True
+        elif target > owner_hash or target < rdata.next_hashed:
+            return True  # wrap-around span
+    return False
+
+
+def verify_nxdomain_nsec3(
+    qname: Name, apex: Name, nsec3_rrsets: List[RRset]
+) -> DenialResult:
+    """RFC 5155 §8.4: closest-encloser proof — an NSEC3 *matching* the
+    closest encloser, one *covering* the next-closer name, and one
+    covering the wildcard at the encloser."""
+    index = _nsec3_index(apex, nsec3_rrsets)
+    if not index:
+        return DenialResult(False, "no NSEC3 records in the proof")
+    encloser: Optional[Name] = None
+    for depth in range(len(qname) - 1, len(apex) - 1, -1):
+        candidate = qname.split(depth)
+        if _nsec3_matches(candidate, index) is not None:
+            encloser = candidate
+            break
+    if encloser is None:
+        return DenialResult(False, "no NSEC3 matches any encloser of the name")
+    next_closer = qname.split(len(encloser) + 1)
+    if not _nsec3_covers(next_closer, index):
+        return DenialResult(False, f"next-closer {next_closer} not covered")
+    wildcard = encloser.child("*")
+    if _nsec3_matches(wildcard, index) is not None:
+        return DenialResult(False, f"wildcard {wildcard} exists")
+    if not _nsec3_covers(wildcard, index):
+        return DenialResult(False, f"wildcard {wildcard} not covered")
+    return DenialResult(True, f"closest encloser {encloser}; next-closer and wildcard denied")
+
+
+def verify_nodata_nsec3(
+    qname: Name, qtype: RRType, apex: Name, nsec3_rrsets: List[RRset]
+) -> DenialResult:
+    """RFC 5155 §8.5: an NSEC3 matching the name whose bitmap lacks the
+    query type."""
+    index = _nsec3_index(apex, nsec3_rrsets)
+    rdata = _nsec3_matches(qname, index)
+    if rdata is None:
+        return DenialResult(False, f"no NSEC3 matches {qname}")
+    present = {int(t) for t in rdata.types}
+    if int(qtype) in present:
+        return DenialResult(False, f"bitmap claims {qtype.name} exists at {qname}")
+    if int(RRType.CNAME) in present and int(qtype) != int(RRType.CNAME):
+        return DenialResult(False, f"{qname} owns a CNAME — not a NODATA case")
+    return DenialResult(True, f"{qname} exists without {qtype.name}")

@@ -1,0 +1,87 @@
+"""Key pairs: generation, DNSKEY rendering, and signing.
+
+A :class:`KeyPair` couples a private key with the DNSKEY flags it will be
+published under.  The ecosystem generator derives keys deterministically
+from a per-zone seed so that rebuilding a world with the same seed yields
+byte-identical zones (and therefore reproducible scans).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dns.rdata import CDNSKEY, DNSKEY
+from repro.dnssec.algorithms import (
+    Algorithm,
+    generate_private_key,
+    public_key_to_wire,
+    sign as algorithm_sign,
+)
+
+PROTOCOL_DNSSEC = 3
+
+
+class KeyPair:
+    """A DNSSEC signing key with its published DNSKEY representation."""
+
+    def __init__(
+        self,
+        algorithm: Algorithm,
+        private_key,
+        flags: int = DNSKEY.FLAG_ZONE,
+    ):
+        self.algorithm = Algorithm(algorithm)
+        self.private_key = private_key
+        self.flags = flags
+        self._public_wire = public_key_to_wire(self.algorithm, private_key)
+        self._dnskey = DNSKEY(self.flags, PROTOCOL_DNSSEC, int(self.algorithm), self._public_wire)
+        self._key_tag = self._dnskey.key_tag()
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def generate(
+        cls,
+        algorithm: Algorithm = Algorithm.ED25519,
+        ksk: bool = False,
+        seed: Optional[bytes] = None,
+    ) -> "KeyPair":
+        """Generate a key pair; *seed* makes it deterministic (Ed25519 and
+        ECDSA only — see :func:`repro.dnssec.algorithms.generate_private_key`).
+
+        ``ksk=True`` sets the SEP flag, marking a key-signing key.
+        """
+        flags = DNSKEY.FLAG_ZONE | (DNSKEY.FLAG_SEP if ksk else 0)
+        private_key = generate_private_key(Algorithm(algorithm), seed)
+        return cls(algorithm, private_key, flags)
+
+    # -- views --------------------------------------------------------------------
+
+    @property
+    def is_ksk(self) -> bool:
+        return bool(self.flags & DNSKEY.FLAG_SEP)
+
+    @property
+    def key_tag(self) -> int:
+        return self._key_tag
+
+    @property
+    def public_key_wire(self) -> bytes:
+        return self._public_wire
+
+    def dnskey(self) -> DNSKEY:
+        """The DNSKEY rdata publishing this key."""
+        return self._dnskey
+
+    def cdnskey(self) -> CDNSKEY:
+        """The CDNSKEY rdata advertising this key to the parent (RFC 7344)."""
+        return CDNSKEY(self.flags, PROTOCOL_DNSSEC, int(self.algorithm), self._public_wire)
+
+    # -- operations ------------------------------------------------------------------
+
+    def sign(self, data: bytes) -> bytes:
+        return algorithm_sign(self.algorithm, self.private_key, data)
+
+    def __repr__(self) -> str:
+        kind = "KSK" if self.is_ksk else "ZSK"
+        return f"<KeyPair {self.algorithm.name} {kind} tag={self.key_tag}>"

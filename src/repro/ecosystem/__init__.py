@@ -1,0 +1,28 @@
+"""Synthetic DNS ecosystem calibrated to the paper's measurements.
+
+``build_world`` materialises a miniature Internet: a signed root, signed
+TLD registries, operator nameserver fleets (including anycast pools and
+RFC 9615 signaling zones), and a population of customer zones whose
+DNSSEC/CDS/signal configurations are drawn — cell by cell — from the
+distribution published in the paper (Tables 1–3, Figure 1, and the §4
+in-text counts), scaled by a configurable factor.
+"""
+
+from repro.ecosystem.allocator import scale_cells
+from repro.ecosystem.paper_targets import PAPER, PaperTargets, build_cells
+from repro.ecosystem.spec import Cell, CdsScenario, SignalScenario, StatusScenario, ZoneSpec
+from repro.ecosystem.world import World, build_world
+
+__all__ = [
+    "Cell",
+    "CdsScenario",
+    "PAPER",
+    "PaperTargets",
+    "SignalScenario",
+    "StatusScenario",
+    "World",
+    "ZoneSpec",
+    "build_cells",
+    "build_world",
+    "scale_cells",
+]

@@ -1,0 +1,519 @@
+"""World generation: from population cells to a servable Internet.
+
+Builds the signed root and registry zones, every operator's nameserver
+fleet (with anycast pools, legacy quirks, and RFC 9615 signaling zones),
+delegates each customer zone with the right parent-side DS state, and
+installs lazy zone providers so even large worlds stay cheap: a customer
+zone is only signed when a scanner query first touches it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, AAAA, CDNSKEY, CDS, NS, SOA, TXT
+from repro.dns.rrset import RRset
+from repro.dns.types import Rcode, RRType
+from repro.dns.zone import Zone
+from repro.dnssec import Algorithm, KeyPair, ds_from_dnskey, sign_zone
+from repro.dnssec.ds import cds_delete_rdata, cdnskey_delete_rdata, cds_from_dnskey
+from repro.dnssec.signer import DEFAULT_INCEPTION, corrupt_signature, sign_rrset
+from repro.ecosystem import psl
+from repro.ecosystem.profiles import OperatorProfile
+from repro.ecosystem.spec import CdsScenario, SignalScenario, StatusScenario, ZoneSpec
+from repro.server.behaviors import (
+    CorruptSignaturesBehavior,
+    LegacyUnknownTypeBehavior,
+    SyntheticCutBehavior,
+)
+from repro.server.nameserver import AuthoritativeServer
+from repro.server.network import SimulatedNetwork
+
+ROOT_IP = "198.41.0.4"
+REGISTRY_IPS = ("192.5.6.30", "2001:503:a83e::2:30")
+
+_ZONE_TTL = 3600
+
+
+class _LruZoneCache:
+    """Bounded cache of materialised zones (per server)."""
+
+    def __init__(self, maxsize: int = 512):
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Name, Zone]" = OrderedDict()
+
+    def get(self, key: Name) -> Optional[Zone]:
+        zone = self._data.get(key)
+        if zone is not None:
+            self._data.move_to_end(key)
+        return zone
+
+    def put(self, key: Name, zone: Zone) -> None:
+        self._data[key] = zone
+        self._data.move_to_end(key)
+        if len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+
+class _IpAllocator:
+    def __init__(self):
+        self._v4 = 0
+        self._v6 = 0
+
+    def v4(self) -> str:
+        self._v4 += 1
+        n = self._v4
+        return f"10.{(n >> 16) & 255}.{(n >> 8) & 255}.{n & 255}"
+
+    def v6(self) -> str:
+        self._v6 += 1
+        return f"fd00::{self._v6:x}"
+
+
+def zone_keys(spec: ZoneSpec) -> KeyPair:
+    """The (deterministic) KSK a signed variant of *spec* uses."""
+    return KeyPair.generate(Algorithm.ED25519, ksk=True, seed=spec.seed("ksk"))
+
+
+def ghost_keys(spec: ZoneSpec) -> KeyPair:
+    """A key that is *not* in the zone — for mismatching CDS / errant DS."""
+    return KeyPair.generate(Algorithm.ED25519, ksk=True, seed=spec.seed("ghost"))
+
+
+def secondary_keys(spec: ZoneSpec) -> KeyPair:
+    """The second operator's key in an RFC 8901 multi-signer setup."""
+    return KeyPair.generate(Algorithm.ED25519, ksk=True, seed=spec.seed("ksk2"))
+
+
+def signal_zone_key(host: str) -> KeyPair:
+    return KeyPair.generate(Algorithm.ED25519, ksk=True, seed=f"signal:{host}".encode())
+
+
+def registry_key(suffix: str) -> KeyPair:
+    return KeyPair.generate(Algorithm.ED25519, ksk=True, seed=f"registry:{suffix}".encode())
+
+
+def operator_zone_key(zone: str) -> KeyPair:
+    return KeyPair.generate(Algorithm.ED25519, ksk=True, seed=f"opzone:{zone}".encode())
+
+
+def _cds_pair(spec: ZoneSpec, key: KeyPair) -> Tuple[List[CDS], List[CDNSKEY]]:
+    owner = Name.from_text(spec.name)
+    return [cds_from_dnskey(owner, key.dnskey())], [key.cdnskey()]
+
+
+def customer_cds_rdatas(spec: ZoneSpec, variant: int) -> Tuple[List[CDS], List[CDNSKEY]]:
+    """What CDS/CDNSKEY the zone publishes, per scenario and NS variant."""
+    if spec.cds == CdsScenario.NONE:
+        return [], []
+    if spec.cds == CdsScenario.DELETE:
+        return [cds_delete_rdata()], [cdnskey_delete_rdata()]
+    if spec.cds == CdsScenario.MISMATCH or spec.cds == CdsScenario.UNSIGNED_CDS:
+        return _cds_pair(spec, ghost_keys(spec))
+    if spec.cds == CdsScenario.INCONSISTENT and variant != 0:
+        return _cds_pair(spec, ghost_keys(spec))
+    if spec.cds == CdsScenario.MULTISIGNER:
+        # RFC 8901: every operator serves the *union* of both CDS sets.
+        owner = Name.from_text(spec.name)
+        cds = [
+            cds_from_dnskey(owner, zone_keys(spec).dnskey()),
+            cds_from_dnskey(owner, secondary_keys(spec).dnskey()),
+        ]
+        return cds, [zone_keys(spec).cdnskey(), secondary_keys(spec).cdnskey()]
+    return _cds_pair(spec, zone_keys(spec))
+
+
+def signal_cds_rdatas(spec: ZoneSpec) -> Tuple[List[CDS], List[CDNSKEY]]:
+    """What the operator publishes for *spec* in its signaling zones
+    (the primary operator's view: variant 0).
+
+    A zone whose own CDS scenario is NONE can still signal (the paper's
+    43 unsigned zones with signal RRs): the operator synthesizes CDS for
+    the key it intends to use.
+    """
+    if spec.cds == CdsScenario.NONE:
+        return _cds_pair(spec, zone_keys(spec))
+    return customer_cds_rdatas(spec, variant=0)
+
+
+def materialize_customer_zone(spec: ZoneSpec, host: Optional[str]) -> Zone:
+    """Build (and sign) the zone for *spec* as served by *host*."""
+    origin = Name.from_text(spec.name)
+    zone = Zone(origin)
+    zone.add(origin, _ZONE_TTL, SOA(spec.ns_hosts[0], f"hostmaster.{spec.name}", spec.serial))
+    for ns_host in spec.ns_hosts:
+        zone.add(origin, _ZONE_TTL, NS(ns_host))
+    octet = (hash(spec.name) & 0xFF) or 1
+    zone.add(origin.child("www"), 300, A(f"192.0.2.{octet}"))
+    zone.add(origin, _ZONE_TTL, TXT([f"synthetic zone {spec.name}"]))
+
+    variant = 0
+    if host is not None and host in spec.ns_hosts:
+        variant = spec.ns_hosts.index(host)
+    cds_rdatas, cdnskey_rdatas = customer_cds_rdatas(spec, variant)
+    if cds_rdatas:
+        zone.add_rrset(RRset(origin, RRType.CDS, _ZONE_TTL, cds_rdatas))
+    if cdnskey_rdatas:
+        zone.add_rrset(RRset(origin, RRType.CDNSKEY, _ZONE_TTL, cdnskey_rdatas))
+
+    if spec.is_signed:
+        if spec.cds == CdsScenario.MULTISIGNER:
+            # Both operators' DNSKEYs are published everywhere; each
+            # operator's servers sign with their *own* key (RFC 8901
+            # model 2: common DNSKEY RRset, distinct signers).
+            keys = [zone_keys(spec), secondary_keys(spec)]
+            dnskey_rrset = RRset(origin, RRType.DNSKEY, _ZONE_TTL, [k.dnskey() for k in keys])
+            zone.add_rrset(dnskey_rrset)
+            sign_zone(zone, [keys[min(variant, len(keys) - 1)]])
+        else:
+            sign_zone(zone, [zone_keys(spec)], denial=spec.denial_mode)
+        if spec.status in (StatusScenario.INVALID_BADSIG, StatusScenario.ISLAND_BADSIG):
+            _corrupt_all_signatures(zone)
+        elif spec.cds == CdsScenario.BADSIG:
+            _corrupt_cds_signature(zone, origin)
+    return zone
+
+
+def _corrupt_all_signatures(zone: Zone) -> None:
+    for name in list(zone.names()):
+        sig_rrset = zone.get_rrset(name, RRType.RRSIG)
+        if sig_rrset is None:
+            continue
+        corrupted = RRset(
+            name,
+            RRType.RRSIG,
+            sig_rrset.ttl,
+            [corrupt_signature(sig) for sig in sig_rrset.rdatas],
+        )
+        zone.remove_rrset(name, RRType.RRSIG)
+        zone.add_rrset(corrupted)
+
+
+def _corrupt_cds_signature(zone: Zone, origin: Name) -> None:
+    sig_rrset = zone.get_rrset(origin, RRType.RRSIG)
+    if sig_rrset is None:
+        return
+    rewritten = []
+    for sig in sig_rrset.rdatas:
+        if int(sig.type_covered) in (int(RRType.CDS), int(RRType.CDNSKEY)):
+            rewritten.append(corrupt_signature(sig))
+        else:
+            rewritten.append(sig)
+    zone.remove_rrset(origin, RRType.RRSIG)
+    zone.add_rrset(RRset(origin, RRType.RRSIG, sig_rrset.ttl, rewritten))
+
+
+def materialize_signal_zone(
+    host: str,
+    profile: OperatorProfile,
+    entries: List[ZoneSpec],
+) -> Zone:
+    """Build the ``_signal.<host>`` zone with one ``_dsboot`` node per
+    customer zone signaling under this host."""
+    origin = Name.from_text(f"_signal.{host}")
+    key = signal_zone_key(host)
+    zone = Zone(origin)
+    zone.add(origin, _ZONE_TTL, SOA(profile.hosts[0], f"hostmaster.{host}", 1))
+    for ns_host in profile.hosts[:2]:
+        zone.add(origin, _ZONE_TTL, NS(ns_host))
+    expired: List[Name] = []
+    for spec in entries:
+        boot = Name.from_text(f"_dsboot.{spec.name}").concatenate(origin)
+        cds_rdatas, cdnskey_rdatas = signal_cds_rdatas(spec)
+        if not cds_rdatas and not cdnskey_rdatas:
+            continue
+        if cds_rdatas:
+            zone.add_rrset(RRset(boot, RRType.CDS, _ZONE_TTL, cds_rdatas))
+        if cdnskey_rdatas:
+            zone.add_rrset(RRset(boot, RRType.CDNSKEY, _ZONE_TTL, cdnskey_rdatas))
+        if spec.signal == SignalScenario.SIG_EXPIRED:
+            expired.append(boot)
+    sign_zone(zone, [key])
+    for boot in expired:
+        _expire_signatures(zone, boot, key)
+    return zone
+
+
+def _expire_signatures(zone: Zone, name: Name, key: KeyPair) -> None:
+    """Replace the RRSIGs at *name* with long-expired ones (the paper's
+    forgotten personal test zone, §4.4)."""
+    sig_rrset = zone.get_rrset(name, RRType.RRSIG)
+    if sig_rrset is None:
+        return
+    zone.remove_rrset(name, RRType.RRSIG)
+    fresh = RRset(name, RRType.RRSIG, sig_rrset.ttl)
+    for rrtype in (RRType.CDS, RRType.CDNSKEY):
+        covered = zone.get_rrset(name, rrtype)
+        if covered is None:
+            continue
+        fresh.add(
+            sign_rrset(
+                covered,
+                key,
+                zone.origin,
+                inception=DEFAULT_INCEPTION - 90 * 86_400,
+                expiration=DEFAULT_INCEPTION - 30 * 86_400,
+            )
+        )
+    if len(fresh):
+        zone.add_rrset(fresh)
+
+
+@dataclass
+class OperatorRuntime:
+    """A built operator: its servers and bookkeeping."""
+
+    profile: OperatorProfile
+    servers: Dict[Optional[str], AuthoritativeServer] = field(default_factory=dict)
+    host_ips: Dict[str, List[str]] = field(default_factory=dict)
+
+    def server_for(self, host: str) -> AuthoritativeServer:
+        if self.profile.anycast:
+            return self.servers[None]
+        return self.servers[host]
+
+    def all_servers(self) -> List[AuthoritativeServer]:
+        return list(dict.fromkeys(self.servers.values()))
+
+
+class InfrastructureBuilder:
+    """Builds servers, registries, and operator fleets for a world."""
+
+    def __init__(self, network: SimulatedNetwork, profiles: Dict[str, OperatorProfile]):
+        self.network = network
+        self.profiles = profiles
+        self.ips = _IpAllocator()
+        self.registry_zones: Dict[str, Zone] = {}
+        self.root_zone = Zone(".")
+        self.root_server = AuthoritativeServer("root")
+        self.registry_server = AuthoritativeServer("registries")
+        self.operators: Dict[str, OperatorRuntime] = {}
+        self.host_owner: Dict[str, str] = {}
+
+    # -- registries ----------------------------------------------------------
+
+    def build_registries(self) -> None:
+        for name in psl.registry_zone_names():
+            zone = Zone(name)
+            zone.add(name, _ZONE_TTL, SOA(f"a.nic.{name}", f"hostmaster.nic.{name}", 1))
+            for prefix in ("a", "b"):
+                ns_host = f"{prefix}.nic.{name}"
+                zone.add(name, _ZONE_TTL, NS(ns_host))
+                zone.add(ns_host, _ZONE_TTL, A(REGISTRY_IPS[0]))
+                zone.add(ns_host, _ZONE_TTL, AAAA(REGISTRY_IPS[1]))
+            self.registry_zones[name] = zone
+        # Delegate multi-label suffixes from their parents (co.uk ← uk).
+        for name, zone in self.registry_zones.items():
+            parts = name.split(".")
+            if len(parts) == 1:
+                continue
+            parent = self.registry_zones[".".join(parts[1:])]
+            for prefix in ("a", "b"):
+                parent.add(name, _ZONE_TTL, NS(f"{prefix}.nic.{name}"))
+            parent.add(
+                name,
+                _ZONE_TTL,
+                ds_from_dnskey(Name.from_text(name), registry_key(name).dnskey()),
+            )
+        # Root: SOA, NS, and delegations for the top-level registries.
+        self.root_zone.add(".", _ZONE_TTL, SOA("a.root-servers.net", "nstld.example", 1))
+        self.root_zone.add(".", _ZONE_TTL, NS("a.root-servers.net"))
+        self.root_zone.add("a.root-servers.net", _ZONE_TTL, A(ROOT_IP))
+        for name in self.registry_zones:
+            if "." in name:
+                continue
+            for prefix in ("a", "b"):
+                self.root_zone.add(name, _ZONE_TTL, NS(f"{prefix}.nic.{name}"))
+                self.root_zone.add(f"{prefix}.nic.{name}", _ZONE_TTL, A(REGISTRY_IPS[0]))
+            self.root_zone.add(
+                name,
+                _ZONE_TTL,
+                ds_from_dnskey(Name.from_text(name), registry_key(name).dnskey()),
+            )
+        self.network.register(ROOT_IP, self.root_server)
+        for ip in REGISTRY_IPS:
+            self.network.register(ip, self.registry_server)
+
+    def registry_for(self, suffix: str) -> Zone:
+        return self.registry_zones[suffix]
+
+    def finalize_registries(self, nsec_limit: int = 20_000) -> None:
+        """Sign the registry zones and attach them to their servers
+        (done last, after all delegations are in)."""
+        from repro.scanner.sources import AXFR_SUFFIXES
+
+        for name, zone in self.registry_zones.items():
+            sign_zone(zone, [registry_key(name)], with_nsec=len(zone) < nsec_limit)
+            self.registry_server.add_zone(zone)
+            if name in AXFR_SUFFIXES:
+                # The ccTLDs the paper fetched via open AXFR (§3 iii).
+                self.registry_server.allow_axfr.add(zone.origin)
+        sign_zone(self.root_zone, [registry_key("root")], with_nsec=True)
+        self.root_server.add_zone(self.root_zone)
+
+    # -- operators ----------------------------------------------------------------
+
+    def build_operator(self, name: str, dark: bool = False) -> OperatorRuntime:
+        profile = self.profiles[name]
+        runtime = OperatorRuntime(profile=profile)
+        self.operators[name] = runtime
+        if profile.anycast:
+            runtime.servers[None] = AuthoritativeServer(f"{name}-anycast")
+        for host in profile.hosts:
+            self.host_owner[host] = name
+            if not profile.anycast:
+                runtime.servers[host] = AuthoritativeServer(f"{name}:{host}")
+            server = runtime.server_for(host)
+            ips = [self.ips.v4() for _ in range(profile.v4_per_host)]
+            ips += [self.ips.v6() for _ in range(profile.v6_per_host)]
+            runtime.host_ips[host] = ips
+            for ip in ips:
+                if dark:
+                    self.network.register_dark(ip)
+                else:
+                    self.network.register(ip, server)
+        if profile.legacy:
+            for server in runtime.all_servers():
+                server.add_behavior(LegacyUnknownTypeBehavior(Rcode.SERVFAIL))
+        self._build_operator_zones(runtime)
+        return runtime
+
+    def _build_operator_zones(self, runtime: OperatorRuntime) -> None:
+        profile = runtime.profile
+        for zone_name in profile.ns_zones:
+            zone = Zone(zone_name)
+            origin = Name.from_text(zone_name)
+            in_zone_hosts = [
+                host for host in profile.hosts if Name.from_text(host).is_subdomain_of(origin)
+            ]
+            zone.add(origin, _ZONE_TTL, SOA(profile.hosts[0], f"hostmaster.{zone_name}", 1))
+            for ns_host in profile.hosts[:2]:
+                zone.add(origin, _ZONE_TTL, NS(ns_host))
+            for host in in_zone_hosts:
+                for ip in runtime.host_ips[host]:
+                    rdata = AAAA(ip) if ":" in ip else A(ip)
+                    zone.add(host, _ZONE_TTL, rdata)
+            if profile.publishes_signal:
+                for host in in_zone_hosts:
+                    signal_origin = Name.from_text(f"_signal.{host}")
+                    for ns_host in profile.hosts[:2]:
+                        zone.add(signal_origin, _ZONE_TTL, NS(ns_host))
+                    zone.add(
+                        signal_origin,
+                        _ZONE_TTL,
+                        ds_from_dnskey(signal_origin, signal_zone_key(host).dnskey()),
+                    )
+            key = operator_zone_key(zone_name)
+            sign_zone(zone, [key])
+            for server in runtime.all_servers():
+                server.add_zone(zone)
+            self._delegate_operator_zone(zone_name, profile, runtime, key)
+
+    def _delegate_operator_zone(
+        self,
+        zone_name: str,
+        profile: OperatorProfile,
+        runtime: OperatorRuntime,
+        key: KeyPair,
+    ) -> None:
+        _, suffix = psl.registrable_part(Name.from_text(zone_name))
+        registry = self.registry_for(suffix)
+        origin = Name.from_text(zone_name)
+        for ns_host in profile.hosts[:2]:
+            registry.add(zone_name, _ZONE_TTL, NS(ns_host))
+        registry.add(zone_name, _ZONE_TTL, ds_from_dnskey(origin, key.dnskey()))
+        # Glue for in-bailiwick hosts.
+        for host in profile.hosts:
+            if not Name.from_text(host).is_subdomain_of(origin):
+                continue
+            for ip in runtime.host_ips[host]:
+                rdata = AAAA(ip) if ":" in ip else A(ip)
+                registry.add(host, _ZONE_TTL, rdata)
+
+    # -- customer zones --------------------------------------------------------------
+
+    def delegate_customer(self, spec: ZoneSpec) -> None:
+        registry = self.registry_for(spec.suffix)
+        origin = Name.from_text(spec.name)
+        for ns_host in spec.ns_hosts:
+            registry.add(spec.name, _ZONE_TTL, NS(ns_host))
+        if spec.wants_parent_ds:
+            key = (
+                ghost_keys(spec)
+                if spec.status == StatusScenario.INVALID_ERRANT_DS
+                else zone_keys(spec)
+            )
+            registry.add(spec.name, _ZONE_TTL, ds_from_dnskey(origin, key.dnskey()))
+
+    def install_customer_provider(
+        self, specs_by_host: Dict[str, Dict[Name, ZoneSpec]]
+    ) -> None:
+        """Attach a lazy provider for customer zones to every host server."""
+        for host, spec_map in specs_by_host.items():
+            owner = self.host_owner.get(host)
+            if owner is None:
+                continue
+            runtime = self.operators[owner]
+            server = runtime.server_for(host)
+            cache = _LruZoneCache()
+            provider = self._make_customer_provider(spec_map, host, cache)
+            server.add_zone_provider(spec_map.keys(), provider)
+
+    @staticmethod
+    def _make_customer_provider(
+        spec_map: Dict[Name, ZoneSpec], host: str, cache: _LruZoneCache
+    ) -> Callable[[Name], Optional[Zone]]:
+        def provider(apex: Name) -> Optional[Zone]:
+            spec = spec_map.get(apex)
+            if spec is None:
+                return None
+            zone = cache.get(apex)
+            if zone is None:
+                zone = materialize_customer_zone(spec, host)
+                cache.put(apex, zone)
+            return zone
+
+        return provider
+
+    def install_signal_providers(self, signal_index: Dict[str, List[ZoneSpec]]) -> None:
+        """Attach signaling-zone providers to every AB operator server."""
+        for name, runtime in self.operators.items():
+            profile = runtime.profile
+            if not profile.publishes_signal:
+                continue
+            apexes = [Name.from_text(f"_signal.{host}") for host in profile.hosts]
+            cache: Dict[Name, Zone] = {}
+
+            def provider(
+                apex: Name,
+                _profile: OperatorProfile = profile,
+                _cache: Dict[Name, Zone] = cache,
+            ) -> Optional[Zone]:
+                zone = _cache.get(apex)
+                if zone is None:
+                    host = apex.parent().to_text().rstrip(".")
+                    if apex.labels[0] != b"_signal" or host not in _profile.hosts:
+                        return None
+                    entries = signal_index.get(host, [])
+                    zone = materialize_signal_zone(host, _profile, entries)
+                    _cache[apex] = zone
+                return zone
+
+            for server in runtime.all_servers():
+                server.add_zone_provider(apexes, provider)
+
+    def install_quirks(
+        self,
+        transient_names: Dict[str, List[Name]],
+        cut_names: Dict[str, List[Name]],
+    ) -> None:
+        """Attach transient-signature and synthetic-cut behaviours."""
+        for operator, names in transient_names.items():
+            for server in self.operators[operator].all_servers():
+                server.add_behavior(CorruptSignaturesBehavior(names, failures=2))
+        for operator, names in cut_names.items():
+            for server in self.operators[operator].all_servers():
+                server.add_behavior(SyntheticCutBehavior(names))

@@ -1,0 +1,119 @@
+"""Zone population specifications.
+
+A :class:`Cell` is one row of the calibrated population table: a unique
+combination of operator and scenario with a paper-scale count.  After
+scaling, each cell expands into that many :class:`ZoneSpec` instances —
+the compact recipe from which a full signed zone is materialised on
+demand.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+class StatusScenario(enum.Enum):
+    """Intended DNSSEC state of a generated zone."""
+
+    UNSIGNED = "unsigned"
+    SECURE = "secure"
+    INVALID_ERRANT_DS = "invalid_errant_ds"  # DS at parent, no DNSKEY in zone
+    INVALID_BADSIG = "invalid_badsig"  # DS + DNSKEY but corrupted signatures
+    ISLAND = "island"  # signed, no DS at parent
+    ISLAND_BADSIG = "island_badsig"  # island whose own signatures are broken
+    UNRESOLVED = "unresolved"  # delegation points at dark addresses
+
+
+class CdsScenario(enum.Enum):
+    """What the zone publishes in CDS/CDNSKEY."""
+
+    NONE = "none"
+    OK = "ok"  # CDS matching the zone's KSK, signed
+    DELETE = "delete"  # RFC 8078 delete sentinel
+    MISMATCH = "mismatch"  # CDS matching no DNSKEY in the zone
+    BADSIG = "badsig"  # correct CDS, corrupted RRSIG
+    INCONSISTENT = "inconsistent"  # different CDS on different NSes
+    UNSIGNED_CDS = "unsigned_cds"  # CDS published in an unsigned zone
+    MULTISIGNER = "multisigner"  # RFC 8901 model-2: two operators, each
+    # signing with its own key, publishing the combined DNSKEY/CDS sets
+    # — the *coordinated* counterpart of INCONSISTENT
+
+
+class SignalScenario(enum.Enum):
+    """What the operator publishes in the RFC 9615 signaling zones."""
+
+    NONE = "none"
+    OK = "ok"  # correct signal under every NS
+    NS_COVERAGE = "ns_coverage"  # signal missing under one NS
+    ZONE_CUT = "zone_cut"  # spurious NS RRset inside the signaling zone
+    SIG_EXPIRED = "sig_expired"  # signal CDS RRSIGs are expired
+    SIG_TRANSIENT = "sig_transient"  # first query returns bogus, rescan fine
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One population cell: (operator, scenario) → count at paper scale."""
+
+    operator: str
+    status: StatusScenario
+    cds: CdsScenario
+    signal: SignalScenario
+    count: int
+    # Taxonomy-critical cells survive down-scaling with at least 1 zone.
+    preserve: bool = False
+    # Second operator for multi-operator setups (None = single operator).
+    secondary_operator: Optional[str] = None
+    # NSes answer CDS queries with an error (pre-RFC 3597 servers).
+    legacy_ns: bool = False
+
+    def slug(self) -> str:
+        parts = [
+            self.operator.lower().replace(" ", "").replace(".", "").replace("(", "").replace(")", ""),
+            self.status.value.replace("_", ""),
+            self.cds.value.replace("_", ""),
+            self.signal.value.replace("_", ""),
+        ]
+        if self.secondary_operator:
+            parts.append("multi")
+        if self.legacy_ns:
+            parts.append("legacy")
+        return "-".join(parts)
+
+
+@dataclass(frozen=True)
+class ZoneSpec:
+    """Deterministic recipe for one customer zone."""
+
+    name: str  # registrable domain, textual, no trailing dot
+    suffix: str  # public suffix it sits under ("com", "co.uk", ...)
+    operator: str
+    status: StatusScenario
+    cds: CdsScenario
+    signal: SignalScenario
+    ns_hosts: Tuple[str, ...]  # assigned nameserver hostnames
+    secondary_operator: Optional[str] = None
+    legacy_ns: bool = False
+    serial: int = 1
+    denial_mode: str = "nsec"  # "nsec" or "nsec3", per operator practice
+
+    @property
+    def is_signed(self) -> bool:
+        return self.status in (
+            StatusScenario.SECURE,
+            StatusScenario.INVALID_BADSIG,
+            StatusScenario.ISLAND,
+            StatusScenario.ISLAND_BADSIG,
+        )
+
+    @property
+    def wants_parent_ds(self) -> bool:
+        return self.status in (
+            StatusScenario.SECURE,
+            StatusScenario.INVALID_ERRANT_DS,
+            StatusScenario.INVALID_BADSIG,
+        )
+
+    def seed(self, purpose: str = "") -> bytes:
+        return f"{self.name}|{purpose}".encode()

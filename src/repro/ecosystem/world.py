@@ -1,0 +1,263 @@
+"""World assembly and the ``build_world`` entry point."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bootstrap import BootstrapEligibility, SignalOutcome
+from repro.core.operators import OperatorDB
+from repro.core.status import DnssecStatus
+from repro.dns.name import Name
+from repro.ecosystem import psl
+from repro.ecosystem.allocator import scale_cells
+from repro.ecosystem import generator as generator_module
+from repro.ecosystem.generator import InfrastructureBuilder
+from repro.ecosystem.paper_targets import PaperTargets, build_cells
+from repro.ecosystem.profiles import build_profiles, operator_db_config
+from repro.ecosystem.spec import Cell, CdsScenario, SignalScenario, StatusScenario, ZoneSpec
+from repro.server.network import SimulatedNetwork
+
+# Zones in the input list that never resolved (the paper excludes them
+# before computing percentages); our documented assumption at paper scale.
+UNRESOLVED_PAPER_COUNT = 2_000_000
+
+AB_PUBLISHING_OPERATORS = ("Cloudflare", "deSEC", "Glauca", "indie")
+
+
+@dataclass
+class World:
+    """A fully built synthetic DNS ecosystem."""
+
+    scale: float
+    seed: int
+    network: SimulatedNetwork
+    root_ips: List[str]
+    specs: Dict[str, ZoneSpec]
+    scan_list: List[Name]
+    operator_db: OperatorDB
+    anycast_ns_suffixes: List[Name]
+    targets: PaperTargets
+    profiles: Dict[str, object] = field(default_factory=dict)
+    # suffix → registry Zone (live objects: provisioning installs DS here).
+    registry_zones: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def zone_count(self) -> int:
+        return len(self.scan_list)
+
+    def scanner_config(self):
+        """A ScannerConfig wired for this world's anycast pools."""
+        from repro.scanner.yodns import ScannerConfig
+
+        return ScannerConfig(anycast_ns_suffixes=list(self.anycast_ns_suffixes))
+
+    def make_scanner(self):
+        from repro.scanner.yodns import Scanner
+
+        return Scanner(self.network, self.root_ips, self.scanner_config())
+
+
+# Operators whose NS hostnames are not in the operator database (the
+# pipeline attributes their zones to "unknown", or to the known partner
+# in a multi-operator setup).
+UNKNOWN_PROFILE_OPERATORS = frozenset({"indie", "DarkHost"})
+
+
+def attributed_operator(cell: Cell) -> str:
+    """The operator name the pipeline will attribute a cell's zones to
+    for the portfolio statistics (Tables 1 and 2).
+
+    Multi-operator setups are ambiguous and tagged unknown, mirroring
+    the paper's §3.1 methodology; so are zones whose NS hostnames match
+    no suffix rule.
+    """
+    if cell.secondary_operator is not None:
+        return "unknown"
+    if cell.operator in UNKNOWN_PROFILE_OPERATORS:
+        return "unknown"
+    return cell.operator
+
+
+def expected_classification(
+    cell: Cell, after_recheck: bool = False
+) -> Tuple[DnssecStatus, BootstrapEligibility, SignalOutcome]:
+    """The classification the pipeline *should* produce for a cell's
+    zones — the generator's ground truth, used by tests and reports."""
+    status_map = {
+        StatusScenario.UNSIGNED: DnssecStatus.UNSIGNED,
+        StatusScenario.SECURE: DnssecStatus.SECURE,
+        StatusScenario.INVALID_ERRANT_DS: DnssecStatus.INVALID,
+        StatusScenario.INVALID_BADSIG: DnssecStatus.INVALID,
+        StatusScenario.ISLAND: DnssecStatus.ISLAND,
+        StatusScenario.ISLAND_BADSIG: DnssecStatus.ISLAND,
+        StatusScenario.UNRESOLVED: DnssecStatus.UNRESOLVED,
+    }
+    status = status_map[cell.status]
+
+    if status == DnssecStatus.UNRESOLVED:
+        return status, BootstrapEligibility.UNRESOLVED, SignalOutcome.NO_SIGNAL
+    if status == DnssecStatus.UNSIGNED:
+        eligibility = BootstrapEligibility.UNSIGNED
+    elif status == DnssecStatus.SECURE:
+        eligibility = BootstrapEligibility.ALREADY_SECURED
+    elif status == DnssecStatus.INVALID:
+        eligibility = BootstrapEligibility.INVALID_DNSSEC
+    elif cell.status == StatusScenario.ISLAND_BADSIG:
+        eligibility = BootstrapEligibility.ISLAND_CDS_INVALID
+    elif cell.cds == CdsScenario.NONE:
+        eligibility = BootstrapEligibility.ISLAND_NO_CDS
+    elif cell.cds == CdsScenario.DELETE:
+        eligibility = BootstrapEligibility.ISLAND_CDS_DELETE
+    elif cell.cds in (CdsScenario.MISMATCH, CdsScenario.BADSIG, CdsScenario.INCONSISTENT):
+        eligibility = BootstrapEligibility.ISLAND_CDS_INVALID
+    else:
+        eligibility = BootstrapEligibility.BOOTSTRAPPABLE
+
+    if cell.signal == SignalScenario.NONE:
+        return status, eligibility, SignalOutcome.NO_SIGNAL
+    if status == DnssecStatus.SECURE:
+        outcome = SignalOutcome.ALREADY_SECURED
+    elif cell.cds == CdsScenario.DELETE:
+        outcome = SignalOutcome.CANNOT_DELETE_REQUEST
+    elif status == DnssecStatus.UNSIGNED:
+        outcome = SignalOutcome.CANNOT_ZONE_UNSIGNED
+    elif cell.status == StatusScenario.ISLAND_BADSIG:
+        outcome = SignalOutcome.CANNOT_ZONE_INVALID
+    elif cell.cds == CdsScenario.INCONSISTENT:
+        outcome = SignalOutcome.CANNOT_CDS_INCONSISTENT
+    elif cell.cds in (CdsScenario.BADSIG, CdsScenario.MISMATCH):
+        outcome = SignalOutcome.CANNOT_CDS_SIG_INVALID
+    elif cell.signal == SignalScenario.ZONE_CUT:
+        outcome = SignalOutcome.INCORRECT_ZONE_CUT
+    elif cell.signal == SignalScenario.NS_COVERAGE:
+        outcome = SignalOutcome.INCORRECT_NS_COVERAGE
+    elif cell.signal == SignalScenario.SIG_EXPIRED:
+        outcome = SignalOutcome.INCORRECT_SIGNAL_DNSSEC
+    elif cell.signal == SignalScenario.SIG_TRANSIENT:
+        outcome = (
+            SignalOutcome.CORRECT if after_recheck else SignalOutcome.INCORRECT_SIGNAL_DNSSEC
+        )
+    else:
+        outcome = SignalOutcome.CORRECT
+    return status, eligibility, outcome
+
+
+def build_world(
+    scale: float = 1 / 10_000,
+    seed: int = 1,
+    with_unresolved: bool = True,
+    tld_nsec_limit: int = 20_000,
+    cells_override: Optional[List[Cell]] = None,
+) -> World:
+    """Build a complete synthetic DNS ecosystem at *scale*.
+
+    ``scale=1/10_000`` yields 28 760 customer zones — enough to
+    reproduce every percentage in the paper to quota-rounding accuracy
+    while remaining scannable in well under a minute of CPU.
+    *cells_override* substitutes a different paper-scale population
+    (used by the longitudinal snapshots in
+    :mod:`repro.ecosystem.evolution`).
+    """
+    cells = scale_cells(cells_override if cells_override is not None else build_cells(), scale)
+    if with_unresolved:
+        dark = max(2, round(UNRESOLVED_PAPER_COUNT * scale))
+        cells = cells + [
+            Cell(
+                operator="DarkHost",
+                status=StatusScenario.UNRESOLVED,
+                cds=CdsScenario.NONE,
+                signal=SignalScenario.NONE,
+                count=dark,
+            )
+        ]
+
+    profiles = build_profiles()
+    network = SimulatedNetwork()
+    builder = InfrastructureBuilder(network, profiles)
+    builder.build_registries()
+    for name, profile in profiles.items():
+        builder.build_operator(name, dark=(name == "DarkHost"))
+
+    # ---- expand cells into zone specs ------------------------------------
+    specs: Dict[str, ZoneSpec] = {}
+    specs_by_host: Dict[str, Dict[Name, ZoneSpec]] = {}
+    signal_index: Dict[str, List[ZoneSpec]] = {}
+    transient_names: Dict[str, List[Name]] = {}
+    cut_names: Dict[str, List[Name]] = {}
+    index = seed * 1_000_003  # offsets suffix/host assignment per seed
+
+    for cell in cells:
+        primary = profiles[cell.operator]
+        secondary = profiles.get(cell.secondary_operator) if cell.secondary_operator else None
+        for _ in range(cell.count):
+            index += 1
+            suffix = psl.suffix_for_index(index)
+            if primary.preferred_suffixes:
+                # §6: operators with TLD-bound incentives (Swiss hosters)
+                # register most customer zones under those suffixes.
+                if (index * 2654435761) % 100 < primary.preferred_share * 100:
+                    preferred = primary.preferred_suffixes
+                    suffix = preferred[index % len(preferred)]
+            label = f"{cell.slug()}-{index % 10_000_000:07d}"
+            name = f"{label}.{suffix}"
+            if secondary is not None:
+                hosts = (primary.host_pair(index)[0], secondary.host_pair(index)[0])
+            else:
+                hosts = primary.host_pair(index)
+            spec = ZoneSpec(
+                name=name,
+                suffix=suffix,
+                operator=cell.operator,
+                status=cell.status,
+                cds=cell.cds,
+                signal=cell.signal,
+                ns_hosts=hosts,
+                secondary_operator=cell.secondary_operator,
+                legacy_ns=cell.legacy_ns,
+                denial_mode=primary.denial_mode,
+            )
+            specs[name] = spec
+            builder.delegate_customer(spec)
+            apex = Name.from_text(name)
+            for host in dict.fromkeys(hosts):
+                specs_by_host.setdefault(host, {})[apex] = spec
+            if spec.signal != SignalScenario.NONE and primary.publishes_signal:
+                publish_hosts = list(dict.fromkeys(hosts))
+                if spec.signal == SignalScenario.NS_COVERAGE and len(publish_hosts) > 1:
+                    publish_hosts = publish_hosts[:1]
+                for host in publish_hosts:
+                    if builder.host_owner.get(host) != cell.operator:
+                        continue  # the other operator does not publish
+                    signal_index.setdefault(host, []).append(spec)
+                    boot = Name.from_text(f"_dsboot.{name}._signal.{host}")
+                    if spec.signal == SignalScenario.SIG_TRANSIENT:
+                        transient_names.setdefault(cell.operator, []).append(boot)
+                    if spec.signal == SignalScenario.ZONE_CUT:
+                        cut_names.setdefault(cell.operator, []).append(boot.parent())
+
+    builder.finalize_registries(nsec_limit=tld_nsec_limit)
+    builder.install_customer_provider(specs_by_host)
+    builder.install_signal_providers(signal_index)
+    builder.install_quirks(transient_names, cut_names)
+
+    suffix_map, anycast = operator_db_config(profiles)
+    operator_db = OperatorDB(suffixes=suffix_map)
+
+    scan_list = sorted(
+        (Name.from_text(name) for name in specs), key=lambda n: n.canonical_key()
+    )
+    targets = PaperTargets(scale=scale, cells=list(cells))
+    return World(
+        scale=scale,
+        seed=seed,
+        network=network,
+        root_ips=[generator_module.ROOT_IP],
+        specs=specs,
+        scan_list=scan_list,
+        operator_db=operator_db,
+        anycast_ns_suffixes=[Name.from_text(s) for s in anycast],
+        targets=targets,
+        profiles=profiles,
+        registry_zones=builder.registry_zones,
+    )

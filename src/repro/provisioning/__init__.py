@@ -1,0 +1,46 @@
+"""Registry-side provisioning: the *other* half of bootstrapping.
+
+The paper measures the child/operator side of RFC 9615; this package
+implements what a registry (or registrar with DS-update authority) does
+with those signals:
+
+* :mod:`repro.provisioning.policies` — the RFC 8078 Appendix-C
+  acceptance policies the IETF debated (accept-after-delay,
+  accept-with-challenge, ...) plus full RFC 9615 authenticated
+  acceptance, each as an executable policy object;
+* :mod:`repro.provisioning.engine` — a bootstrap engine that scans a
+  TLD's unsecured delegations, runs a policy, installs the accepted DS
+  RRsets into the registry zone, and re-scans to confirm the chain;
+* :mod:`repro.provisioning.rollover` — CDS-driven key rollovers for
+  already-secured zones (RFC 7344 §4), the maintenance half of the
+  automation story.
+
+Together these make the App.-D feasibility discussion executable: how
+many zones would each policy secure, and at what query cost?
+"""
+
+from repro.provisioning.policies import (
+    AcceptAfterDelayPolicy,
+    AcceptFromInceptionPolicy,
+    AcceptWithChallengePolicy,
+    AuthenticatedBootstrapPolicy,
+    BootstrapDecision,
+    BootstrapPolicy,
+    Decision,
+)
+from repro.provisioning.engine import BootstrapEngine, BootstrapRun
+from repro.provisioning.rollover import RolloverEngine, RolloverResult
+
+__all__ = [
+    "AcceptAfterDelayPolicy",
+    "AcceptFromInceptionPolicy",
+    "AcceptWithChallengePolicy",
+    "AuthenticatedBootstrapPolicy",
+    "BootstrapDecision",
+    "BootstrapEngine",
+    "BootstrapPolicy",
+    "BootstrapRun",
+    "Decision",
+    "RolloverEngine",
+    "RolloverResult",
+]

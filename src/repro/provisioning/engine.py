@@ -1,0 +1,216 @@
+"""The registry-side bootstrap engine.
+
+Runs one acceptance policy over a world's scan data, installs the
+accepted CDS as signed DS RRsets in the live registry zones, and
+re-scans to confirm the delegation chain now validates — turning the
+paper's App.-D feasibility discussion ("only 1.2 M of 287.6 M domains
+need to be scanned to this depth") into an executable experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.bootstrap import BootstrapAssessment, assess_zone
+from repro.core.status import DnssecStatus, classify_status
+from repro.dns.name import Name
+from repro.dns.rdata import CDS
+from repro.dns.rrset import RRset
+from repro.dns.types import RRType
+from repro.dns.zone import Zone
+from repro.dnssec.ds import cds_to_ds
+from repro.dnssec.signer import sign_rrset
+from repro.ecosystem.generator import registry_key
+from repro.ecosystem.world import World
+from repro.provisioning.policies import BootstrapDecision, BootstrapPolicy, Decision
+from repro.scanner.results import ZoneScanResult
+
+
+@dataclass
+class DeleteRun:
+    """Outcome of processing RFC 8078 §4 delete requests (the "unAB"
+    direction: the one registrar implementation the paper mentions)."""
+
+    evaluated: int = 0
+    deleted: List[str] = field(default_factory=list)  # DS removed
+    refused: Dict[str, str] = field(default_factory=dict)  # zone → reason
+
+
+@dataclass
+class BootstrapRun:
+    """Outcome of one engine pass."""
+
+    policy: str
+    evaluated: int = 0
+    accepted: List[str] = field(default_factory=list)
+    deferred: List[str] = field(default_factory=list)
+    rejected: Dict[str, str] = field(default_factory=dict)  # zone → reason
+    secured: List[str] = field(default_factory=list)  # verified post-install
+    failed_verification: List[str] = field(default_factory=list)
+    queries_used: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return len(self.accepted) / self.evaluated if self.evaluated else 0.0
+
+
+def install_ds(world: World, zone_name: str, cds_rrset: RRset) -> None:
+    """Install DS records derived from *cds_rrset* into the registry zone
+    for *zone_name*'s suffix, with a fresh registry signature."""
+    from repro.ecosystem import psl
+
+    _, suffix = psl.registrable_part(Name.from_text(zone_name))
+    registry: Zone = world.registry_zones[suffix]
+    owner = Name.from_text(zone_name)
+    ds_rdatas = [
+        cds_to_ds(rd) for rd in cds_rrset.rdatas if isinstance(rd, CDS) and not rd.is_delete
+    ]
+    if not ds_rdatas:
+        raise ValueError(f"no installable CDS for {zone_name}")
+    registry.remove_rrset(owner, RRType.DS)
+    ds_rrset = RRset(owner, RRType.DS, 3600, ds_rdatas)
+    registry.add_rrset(ds_rrset)
+    # Replace the RRSIG covering DS at this owner (keep others).
+    sig_rrset = registry.get_rrset(owner, RRType.RRSIG)
+    retained = []
+    ttl = 3600
+    if sig_rrset is not None:
+        ttl = sig_rrset.ttl
+        retained = [
+            sig for sig in sig_rrset.rdatas if int(sig.type_covered) != int(RRType.DS)
+        ]
+        registry.remove_rrset(owner, RRType.RRSIG)
+    key = registry_key(suffix)
+    new_sig = sign_rrset(ds_rrset, key, registry.origin)
+    registry.add_rrset(RRset(owner, RRType.RRSIG, ttl, [*retained, new_sig]))
+
+
+def remove_ds(world: World, zone_name: str) -> None:
+    """Process an RFC 8078 delete request: drop the DS at the parent."""
+    from repro.ecosystem import psl
+
+    _, suffix = psl.registrable_part(Name.from_text(zone_name))
+    registry: Zone = world.registry_zones[suffix]
+    owner = Name.from_text(zone_name)
+    registry.remove_rrset(owner, RRType.DS)
+    sig_rrset = registry.get_rrset(owner, RRType.RRSIG)
+    if sig_rrset is not None:
+        retained = [
+            sig for sig in sig_rrset.rdatas if int(sig.type_covered) != int(RRType.DS)
+        ]
+        registry.remove_rrset(owner, RRType.RRSIG)
+        if retained:
+            registry.add_rrset(RRset(owner, RRType.RRSIG, sig_rrset.ttl, retained))
+
+
+class BootstrapEngine:
+    """Evaluate a policy over scan results and provision the registry."""
+
+    def __init__(self, world: World, policy: BootstrapPolicy):
+        self.world = world
+        self.policy = policy
+        self.scanner = world.make_scanner()
+
+    def candidates(self, results: Iterable[ZoneScanResult]) -> List[ZoneScanResult]:
+        """Registry short-circuit (App. D): skip zones that already have
+        a DS — everything else is a candidate."""
+        return [
+            result
+            for result in results
+            if result.resolved and not (result.ds is not None and result.ds.has_data)
+        ]
+
+    def run(
+        self,
+        results: Optional[Iterable[ZoneScanResult]] = None,
+        verify: bool = True,
+        provision: bool = True,
+    ) -> BootstrapRun:
+        """Evaluate, provision, and (optionally) verify by re-scan.
+
+        ``provision=False`` is a dry run: decisions are computed but the
+        registry zones are left untouched (policy comparisons).
+        """
+        queries_before = self.world.network.queries_sent
+        if results is None:
+            results = self.scanner.scan_many(self.world.scan_list)
+        run = BootstrapRun(policy=self.policy.name)
+        for result in self.candidates(results):
+            assessment = assess_zone(result)
+            decision = self.policy.evaluate(assessment)
+            run.evaluated += 1
+            if decision.decision == Decision.ACCEPT:
+                self._provision(run, assessment, verify=verify, provision=provision)
+            elif decision.decision == Decision.DEFER:
+                run.deferred.append(decision.zone)
+            else:
+                run.rejected[decision.zone] = decision.reason
+        run.queries_used = self.world.network.queries_sent - queries_before
+        return run
+
+    def _provision(
+        self,
+        run: BootstrapRun,
+        assessment: BootstrapAssessment,
+        verify: bool,
+        provision: bool = True,
+    ) -> None:
+        zone = assessment.zone.rstrip(".")
+        cds_rrset = assessment.cds.cds_rrset
+        if cds_rrset is None:
+            run.rejected[assessment.zone] = "accepted but no CDS RRset captured"
+            return
+        if not provision:
+            run.accepted.append(assessment.zone)
+            return
+        install_ds(self.world, zone, cds_rrset)
+        run.accepted.append(assessment.zone)
+        if not verify:
+            return
+        rescan = self.scanner.scan_zone(zone)
+        status, _ = classify_status(rescan)
+        if status == DnssecStatus.SECURE:
+            run.secured.append(assessment.zone)
+        else:
+            # RFC 8078 §3: never leave a broken delegation behind.
+            remove_ds(self.world, zone)
+            run.failed_verification.append(assessment.zone)
+
+    # -- delete processing (RFC 8078 §4, the "unAB" side) ------------------
+
+    def process_delete_requests(
+        self, results: Iterable[ZoneScanResult], provision: bool = True
+    ) -> DeleteRun:
+        """Honour CDS delete sentinels on secured zones: remove the DS.
+
+        The paper found 3 289 signed zones whose delete requests the
+        registrar ignored; processing them turns each into exactly the
+        Cloudflare-style secure island with a delete-request CDS.
+        Requirements: the zone is currently SECURE, the delete CDS is
+        consistent across every NS, and its signatures validate under
+        the (still anchored) chain.
+        """
+        run = DeleteRun()
+        for result in results:
+            if result.ds is None or not result.ds.has_data:
+                continue  # nothing to delete
+            assessment = assess_zone(result)
+            cds = assessment.cds
+            if not (cds.present and cds.is_delete):
+                continue
+            run.evaluated += 1
+            zone = assessment.zone
+            if assessment.status != DnssecStatus.SECURE:
+                run.refused[zone] = "zone is not validly secured"
+                continue
+            if not cds.consistent:
+                run.refused[zone] = "delete request inconsistent between NSes"
+                continue
+            if cds.sigs_valid is False:
+                run.refused[zone] = "delete request not validly signed"
+                continue
+            if provision:
+                remove_ds(self.world, zone.rstrip("."))
+            run.deleted.append(zone)
+        return run

@@ -1,0 +1,229 @@
+"""Bootstrap acceptance policies (RFC 8078 §3, Appendix C of the paper,
+and RFC 9615).
+
+Each policy answers one question: *given what we can observe about a
+child zone, may the parent install its CDS as DS?*  The paper's
+Appendix C lists the pre-RFC 9615 proposals and their operational
+problems; implementing them side by side makes the trade-offs
+measurable (see ``benchmarks/bench_policies.py``).
+
+All policies first require the RFC 8078 §3 baseline: CDS present,
+consistent across every authoritative nameserver, not a delete
+sentinel, matching a DNSKEY actually in the zone, and the zone
+validating under the would-be DS ("implementers ... must verify that
+the zone will validate with the new DS RRs before installing them").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bootstrap import BootstrapAssessment
+from repro.core.status import DnssecStatus
+
+
+class Decision(enum.Enum):
+    """Outcome of evaluating one zone under one policy."""
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+    DEFER = "defer"  # acceptable so far, but the policy needs more time/input
+
+
+@dataclass
+class BootstrapDecision:
+    """A policy's verdict for one zone."""
+
+    zone: str
+    decision: Decision
+    reason: str
+    policy: str
+
+    @property
+    def accepted(self) -> bool:
+        return self.decision == Decision.ACCEPT
+
+
+class BootstrapPolicy:
+    """Base class: the RFC 8078 §3 baseline checks every policy shares."""
+
+    name = "baseline"
+
+    def baseline(self, assessment: BootstrapAssessment) -> Optional[str]:
+        """Return a rejection reason, or ``None`` if the baseline holds."""
+        if assessment.status == DnssecStatus.SECURE:
+            return "already secured"
+        if assessment.status == DnssecStatus.UNSIGNED:
+            return "zone is not DNSSEC signed"
+        if assessment.status == DnssecStatus.INVALID:
+            return "zone has broken DNSSEC"
+        if assessment.status == DnssecStatus.UNRESOLVED:
+            return "zone did not resolve"
+        cds = assessment.cds
+        if not cds.present:
+            return "no CDS/CDNSKEY published"
+        if cds.is_delete:
+            return "CDS is a delete request"
+        if not cds.consistent:
+            return "CDS inconsistent between nameservers"
+        if cds.matches_dnskey is False:
+            return "CDS does not match any DNSKEY in the zone"
+        if cds.sigs_valid is False:
+            return "CDS signatures do not validate"
+        if assessment.status_detail is not None:
+            return f"zone signatures unhealthy: {assessment.status_detail.value}"
+        return None
+
+    def evaluate(self, assessment: BootstrapAssessment) -> BootstrapDecision:
+        raise NotImplementedError
+
+    def _verdict(self, assessment, decision: Decision, reason: str) -> BootstrapDecision:
+        return BootstrapDecision(
+            zone=assessment.zone, decision=decision, reason=reason, policy=self.name
+        )
+
+
+class AuthenticatedBootstrapPolicy(BootstrapPolicy):
+    """RFC 9615: accept iff the signaling-zone evidence authenticates the
+    CDS — the only fully automated *and* authenticated policy."""
+
+    name = "rfc9615-authenticated"
+
+    def evaluate(self, assessment: BootstrapAssessment) -> BootstrapDecision:
+        reason = self.baseline(assessment)
+        if reason is not None:
+            return self._verdict(assessment, Decision.REJECT, reason)
+        signal = assessment.signal
+        if not signal.any_signal:
+            return self._verdict(assessment, Decision.REJECT, "no signaling records")
+        if not signal.covered_all_ns:
+            return self._verdict(
+                assessment, Decision.REJECT, "signal missing under some nameserver"
+            )
+        if not signal.no_zone_cuts:
+            return self._verdict(
+                assessment, Decision.REJECT, "zone cut inside signaling name"
+            )
+        if not signal.consistent:
+            return self._verdict(assessment, Decision.REJECT, "signal inconsistent")
+        if not signal.secure_and_valid:
+            return self._verdict(
+                assessment, Decision.REJECT, "signaling zone not DNSSEC-valid"
+            )
+        if signal.matches_zone_cds is False:
+            return self._verdict(
+                assessment, Decision.REJECT, "signal does not match in-zone CDS"
+            )
+        return self._verdict(assessment, Decision.ACCEPT, "authenticated via RFC 9615 signal")
+
+
+class AcceptAfterDelayPolicy(BootstrapPolicy):
+    """Appendix C "Accept after Delay": install the DS once the CDS has
+    been observed unchanged for *hold_days* from multiple vantage points.
+
+    Unauthenticated: an attacker controlling the path long enough wins —
+    but no operator/owner interaction is needed.
+    """
+
+    name = "accept-after-delay"
+
+    def __init__(self, hold_days: int = 3):
+        self.hold_days = hold_days
+        # zone → (first_seen_day, canonical CDS fingerprint)
+        self._observations: dict[str, tuple[int, bytes]] = {}
+        self._today = 0
+
+    def advance_days(self, days: int = 1) -> None:
+        self._today += days
+
+    def _fingerprint(self, assessment: BootstrapAssessment) -> bytes:
+        rrset = assessment.cds.cds_rrset or assessment.cds.cdnskey_rrset
+        return rrset.canonical_wire() if rrset is not None else b""
+
+    def evaluate(self, assessment: BootstrapAssessment) -> BootstrapDecision:
+        reason = self.baseline(assessment)
+        if reason is not None:
+            self._observations.pop(assessment.zone, None)
+            return self._verdict(assessment, Decision.REJECT, reason)
+        fingerprint = self._fingerprint(assessment)
+        seen = self._observations.get(assessment.zone)
+        if seen is None or seen[1] != fingerprint:
+            self._observations[assessment.zone] = (self._today, fingerprint)
+            return self._verdict(
+                assessment, Decision.DEFER, f"observing for {self.hold_days} days"
+            )
+        first_seen, _ = seen
+        if self._today - first_seen >= self.hold_days:
+            return self._verdict(
+                assessment, Decision.ACCEPT, f"stable for {self._today - first_seen} days"
+            )
+        return self._verdict(
+            assessment,
+            Decision.DEFER,
+            f"stable for {self._today - first_seen}/{self.hold_days} days",
+        )
+
+
+class AcceptWithChallengePolicy(BootstrapPolicy):
+    """Appendix C "Accept with Challenge": the registrar hands the
+    customer a token to publish in the zone; acceptance requires it.
+
+    Models the paper's objection — most customers never act on the
+    token — with a *response rate*: only that fraction of zones ever
+    publish the challenge.
+    """
+
+    name = "accept-with-challenge"
+
+    def __init__(self, response_rate: float = 0.1):
+        self.response_rate = response_rate
+
+    def customer_responds(self, zone: str) -> bool:
+        """Deterministic per-zone stand-in for 'did the customer publish
+        the token?' — a hash bucket of the zone name."""
+        import hashlib
+
+        digest = hashlib.sha256(b"challenge" + zone.encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64 < self.response_rate
+
+    def evaluate(self, assessment: BootstrapAssessment) -> BootstrapDecision:
+        reason = self.baseline(assessment)
+        if reason is not None:
+            return self._verdict(assessment, Decision.REJECT, reason)
+        if self.customer_responds(assessment.zone):
+            return self._verdict(assessment, Decision.ACCEPT, "challenge token published")
+        return self._verdict(
+            assessment, Decision.DEFER, "waiting for customer to publish the token"
+        )
+
+
+class AcceptFromInceptionPolicy(BootstrapPolicy):
+    """Appendix C "Accept from Inception": check CDS at registration
+    time only.  Requires the operator to have configured the zone before
+    registration, "which is often not the case" — modelled by a
+    *preconfigured rate*."""
+
+    name = "accept-from-inception"
+
+    def __init__(self, preconfigured_rate: float = 0.05):
+        self.preconfigured_rate = preconfigured_rate
+
+    def preconfigured(self, zone: str) -> bool:
+        import hashlib
+
+        digest = hashlib.sha256(b"inception" + zone.encode()).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64 < self.preconfigured_rate
+
+    def evaluate(self, assessment: BootstrapAssessment) -> BootstrapDecision:
+        reason = self.baseline(assessment)
+        if reason is not None:
+            return self._verdict(assessment, Decision.REJECT, reason)
+        if self.preconfigured(assessment.zone):
+            return self._verdict(
+                assessment, Decision.ACCEPT, "CDS served at registration time"
+            )
+        return self._verdict(
+            assessment, Decision.REJECT, "zone was not configured before registration"
+        )

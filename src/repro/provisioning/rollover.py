@@ -1,0 +1,170 @@
+"""CDS-driven key rollovers (RFC 7344 §4) for already-secured zones.
+
+The original motivation for CDS/CDNSKEY: once a zone is secured, the
+operator can roll its keys without anyone touching the registrar.  The
+engine walks the standard double-signature KSK rollover and validates
+the chain of trust after every step, so a regression in any stage
+(pre-publish, DS swap, retirement) is caught immediately — the paper's
+related work (§5, Müller et al.) shows how often operators get this
+wrong in the wild.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+from repro.dns.types import RRType
+from repro.dns.zone import Zone
+from repro.dnssec.ds import cds_from_dnskey
+from repro.dnssec.keys import KeyPair
+from repro.dnssec.signer import sign_zone
+from repro.dnssec.validator import (
+    DEFAULT_VALIDATION_TIME,
+    extract_rrsigs,
+    validate_chain_link,
+)
+
+
+class RolloverStage(enum.Enum):
+    INITIAL = "initial"
+    NEW_KEY_PUBLISHED = "new_key_published"  # both DNSKEYs + CDS for the new key
+    DS_SWAPPED = "ds_swapped"  # parent installed the new DS
+    OLD_KEY_RETIRED = "old_key_retired"  # old DNSKEY and CDS withdrawn
+
+
+@dataclass
+class RolloverResult:
+    """Chain state after each stage."""
+
+    stage: RolloverStage
+    chain_valid: bool
+    dnskey_count: int
+    ds_key_tags: List[int] = field(default_factory=list)
+    detail: str = ""
+
+
+class RolloverEngine:
+    """Drives a KSK rollover on a live Zone + parent DS RRset pair."""
+
+    def __init__(
+        self,
+        zone: Zone,
+        active_key: KeyPair,
+        parent_ds: RRset,
+        now: int = DEFAULT_VALIDATION_TIME,
+    ):
+        self.zone = zone
+        self.active_key = active_key
+        self.parent_ds = parent_ds
+        self.now = now
+        self.new_key: Optional[KeyPair] = None
+        self.stage = RolloverStage.INITIAL
+        self.history: List[RolloverResult] = []
+        self._record("initial state")
+
+    # -- helpers --------------------------------------------------------------
+
+    def _resign(self, keys: List[KeyPair]) -> None:
+        """Strip all DNSSEC metadata and re-sign with *keys*."""
+        origin = self.zone.origin
+        for name in list(self.zone.names()):
+            for rrtype in (RRType.RRSIG, RRType.NSEC):
+                self.zone.remove_rrset(name, rrtype)
+        self.zone.remove_rrset(origin, RRType.DNSKEY)
+        sign_zone(self.zone, keys)
+
+    def _set_cds(self, key: Optional[KeyPair]) -> None:
+        origin = self.zone.origin
+        self.zone.remove_rrset(origin, RRType.CDS)
+        self.zone.remove_rrset(origin, RRType.CDNSKEY)
+        if key is not None:
+            self.zone.add_rrset(
+                RRset(origin, RRType.CDS, 3600, [cds_from_dnskey(origin, key.dnskey())])
+            )
+            self.zone.add_rrset(RRset(origin, RRType.CDNSKEY, 3600, [key.cdnskey()]))
+
+    def _record(self, detail: str) -> RolloverResult:
+        origin = self.zone.origin
+        dnskeys = self.zone.get_rrset(origin, RRType.DNSKEY)
+        sigs = extract_rrsigs(self.zone.get_rrset(origin, RRType.RRSIG))
+        outcome = validate_chain_link(origin, self.parent_ds, dnskeys, sigs, self.now)
+        result = RolloverResult(
+            stage=self.stage,
+            chain_valid=bool(outcome),
+            dnskey_count=len(dnskeys) if dnskeys else 0,
+            ds_key_tags=[rd.key_tag for rd in self.parent_ds.rdatas],
+            detail=detail,
+        )
+        self.history.append(result)
+        return result
+
+    # -- the rollover steps -------------------------------------------------------
+
+    def publish_new_key(self, new_key: Optional[KeyPair] = None) -> RolloverResult:
+        """Step 1 (operator): pre-publish the new KSK alongside the old
+        one, sign the DNSKEY RRset with both, and advertise the new key
+        via CDS."""
+        if self.stage != RolloverStage.INITIAL:
+            raise RuntimeError(f"cannot publish a new key from stage {self.stage}")
+        self.new_key = new_key or KeyPair.generate(self.active_key.algorithm, ksk=True)
+        self._set_cds(None)
+        self._resign([self.active_key, self.new_key])
+        self._set_cds(self.new_key)
+        # The CDS must be signed too: re-sign (cheap for small zones).
+        self._resign([self.active_key, self.new_key])
+        self._set_cds(self.new_key)
+        from repro.dnssec.signer import sign_rrset
+
+        for rrtype in (RRType.CDS, RRType.CDNSKEY):
+            rrset = self.zone.get_rrset(self.zone.origin, rrtype)
+            sig = sign_rrset(rrset, self.active_key, self.zone.origin)
+            sig_rrset = self.zone.get_rrset(self.zone.origin, RRType.RRSIG)
+            sig_rrset.add(sig)
+        self.stage = RolloverStage.NEW_KEY_PUBLISHED
+        return self._record(f"new key {self.new_key.key_tag} pre-published")
+
+    def parent_swaps_ds(self) -> RolloverResult:
+        """Step 2 (registry): having validated the CDS under the *old*
+        chain, replace the DS with one for the new key."""
+        if self.stage != RolloverStage.NEW_KEY_PUBLISHED:
+            raise RuntimeError(f"cannot swap DS from stage {self.stage}")
+        assert self.new_key is not None
+        origin = self.zone.origin
+        cds = self.zone.get_rrset(origin, RRType.CDS)
+        sigs = extract_rrsigs(self.zone.get_rrset(origin, RRType.RRSIG))
+        from repro.dnssec.validator import validate_rrset
+
+        dnskeys = list(self.zone.get_rrset(origin, RRType.DNSKEY).rdatas)
+        check = validate_rrset(cds, sigs, dnskeys, self.now)
+        if not check.ok:
+            raise RuntimeError(f"registry refused CDS: {check.reason.value}")
+        from repro.dnssec.ds import cds_to_ds
+
+        self.parent_ds = RRset(origin, RRType.DS, 3600, [cds_to_ds(rd) for rd in cds.rdatas])
+        self.stage = RolloverStage.DS_SWAPPED
+        return self._record(f"parent DS now references key {self.new_key.key_tag}")
+
+    def retire_old_key(self) -> RolloverResult:
+        """Step 3 (operator): withdraw the old key and the CDS (RFC 7344
+        recommends removing CDS once the parent has acted)."""
+        if self.stage != RolloverStage.DS_SWAPPED:
+            raise RuntimeError(f"cannot retire from stage {self.stage}")
+        assert self.new_key is not None
+        self._set_cds(None)
+        self._resign([self.new_key])
+        self.active_key = self.new_key
+        self.new_key = None
+        self.stage = RolloverStage.OLD_KEY_RETIRED
+        return self._record("old key retired, zone signed by the new key only")
+
+    def run_full_rollover(self, new_key: Optional[KeyPair] = None) -> List[RolloverResult]:
+        """All three steps; raises if the chain would ever go dark."""
+        results = [self.publish_new_key(new_key), self.parent_swaps_ds(), self.retire_old_key()]
+        broken = [r for r in results if not r.chain_valid]
+        if broken:
+            raise RuntimeError(f"rollover broke the chain at {broken[0].stage.value}")
+        return results

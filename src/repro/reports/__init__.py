@@ -1,0 +1,29 @@
+"""Report generation: regenerate the paper's Tables 1–3 and Figure 1
+from an :class:`~repro.core.pipeline.AnalysisReport`, side by side with
+the scaled paper expectations, plus shape checks."""
+
+from repro.reports.render import format_count, format_pct, render_table
+from repro.reports.table1 import compute_table1, render_table1
+from repro.reports.table2 import compute_table2, render_table2
+from repro.reports.table3 import compute_table3, render_table3
+from repro.reports.figure1 import compute_figure1, render_figure1
+from repro.reports.tld import compute_tld_report, render_tld_report
+from repro.reports.compare import ShapeCheck, check_shapes
+
+__all__ = [
+    "ShapeCheck",
+    "check_shapes",
+    "compute_figure1",
+    "compute_table1",
+    "compute_table2",
+    "compute_table3",
+    "compute_tld_report",
+    "render_tld_report",
+    "format_count",
+    "format_pct",
+    "render_figure1",
+    "render_table",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+]

@@ -1,0 +1,53 @@
+"""Plain-text table rendering helpers."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_count(value: int) -> str:
+    """Thousands-separated integers, paper style (space separator)."""
+    return f"{value:,}".replace(",", " ")
+
+
+def format_pct(numerator: int, denominator: int) -> str:
+    if denominator == 0:
+        return "-"
+    pct = 100.0 * numerator / denominator
+    if pct >= 10:
+        return f"{pct:.1f}"
+    if pct >= 0.1:
+        return f"{pct:.2f}".rstrip("0").rstrip(".")
+    return f"{pct:.3f}".rstrip("0").rstrip(".") if pct else "0"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+    align_left: Sequence[int] = (0,),
+) -> str:
+    """Render an ASCII table; column 0 (and *align_left*) left-aligned,
+    the rest right-aligned."""
+    text_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt(row: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(row):
+            if i in align_left:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return "  ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append("  ".join("-" * w for w in widths))
+    lines.extend(fmt(row) for row in text_rows)
+    return "\n".join(lines)

@@ -1,0 +1,76 @@
+"""Table 2: the top-20 DNS operators publishing CDS RRs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.pipeline import AnalysisReport
+from repro.ecosystem.spec import CdsScenario
+from repro.reports.render import format_count, format_pct, render_table
+
+
+@dataclass
+class Table2Row:
+    operator: str
+    with_cds: int
+    domains: int
+
+    @property
+    def pct(self) -> float:
+        return 100.0 * self.with_cds / self.domains if self.domains else 0.0
+
+
+def compute_table2(report: AnalysisReport, limit: int = 20) -> List[Table2Row]:
+    rows = []
+    for name in report.top_cds_operators(limit):
+        stats = report.operators[name]
+        rows.append(Table2Row(operator=name, with_cds=stats.with_cds, domains=stats.domains))
+    return rows
+
+
+def expected_table2(targets, limit: int = 20) -> List[Table2Row]:
+    from repro.ecosystem.world import attributed_operator
+
+    by_op: Dict[str, Table2Row] = {}
+    for cell in targets.cells:
+        operator = attributed_operator(cell)
+        row = by_op.setdefault(operator, Table2Row(operator, 0, 0))
+        row.domains += cell.count
+        if cell.cds not in (CdsScenario.NONE,):
+            row.with_cds += cell.count
+    ordered = sorted(
+        (row for row in by_op.values() if row.with_cds and row.operator != "unknown"),
+        key=lambda r: (-r.with_cds, r.operator),
+    )
+    return ordered[:limit]
+
+
+def render_table2(rows: List[Table2Row], expected: Optional[List[Table2Row]] = None) -> str:
+    headers = ["#", "DNS Operator", "Dom. w. CDS", "%"]
+
+    def body(rows: List[Table2Row]) -> List[List[str]]:
+        return [
+            [
+                str(i + 1),
+                row.operator,
+                format_count(row.with_cds),
+                format_pct(row.with_cds, row.domains),
+            ]
+            for i, row in enumerate(rows)
+        ]
+
+    out = render_table(
+        headers,
+        body(rows),
+        title="Table 2: top DNS operators publishing CDS RRs",
+        align_left=(1,),
+    )
+    if expected is not None:
+        out += "\n\n" + render_table(
+            headers,
+            body(expected),
+            title="Table 2 (paper targets, scaled)",
+            align_left=(1,),
+        )
+    return out

@@ -1,0 +1,84 @@
+"""TTL-bounded positive and negative DNS cache (RFC 2308 semantics)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+from repro.dns.types import RRType
+
+_Key = Tuple[Name, int]
+
+
+class DnsCache:
+    """Maps (name, type) to RRsets with expiry; supports negative entries.
+
+    *now* is injectable so the cache runs on the simulated clock during
+    scans and on wall time in the live UDP examples.
+    """
+
+    def __init__(self, now: Callable[[], float] = lambda: 0.0, max_entries: int = 1_000_000):
+        self._now = now
+        self._max_entries = max_entries
+        self._positive: Dict[_Key, Tuple[float, List[RRset]]] = {}
+        self._negative: Dict[_Key, float] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def _evict_if_full(self) -> None:
+        if len(self._positive) + len(self._negative) >= self._max_entries:
+            # Crude but sufficient: drop everything (scans set generous caps).
+            self._positive.clear()
+            self._negative.clear()
+
+    # -- positive -----------------------------------------------------------
+
+    def put(self, rrsets: List[RRset]) -> None:
+        if not rrsets:
+            return
+        self._evict_if_full()
+        by_key: Dict[_Key, List[RRset]] = {}
+        for rrset in rrsets:
+            by_key.setdefault((rrset.name, int(rrset.rrtype)), []).append(rrset)
+        for key, group in by_key.items():
+            ttl = min(rrset.ttl for rrset in group)
+            self._positive[key] = (self._now() + ttl, group)
+            self._negative.pop(key, None)
+
+    def get(self, name: Name, rrtype: RRType) -> Optional[List[RRset]]:
+        key = (name, int(rrtype))
+        entry = self._positive.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        expiry, rrsets = entry
+        if self._now() > expiry:
+            del self._positive[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return rrsets
+
+    # -- negative -----------------------------------------------------------------
+
+    def put_negative(self, name: Name, rrtype: RRType, ttl: int) -> None:
+        self._evict_if_full()
+        self._negative[(name, int(rrtype))] = self._now() + ttl
+
+    def is_negative(self, name: Name, rrtype: RRType) -> bool:
+        key = (name, int(rrtype))
+        expiry = self._negative.get(key)
+        if expiry is None:
+            return False
+        if self._now() > expiry:
+            del self._negative[key]
+            return False
+        return True
+
+    def clear(self) -> None:
+        self._positive.clear()
+        self._negative.clear()
+
+    def __len__(self) -> int:
+        return len(self._positive) + len(self._negative)

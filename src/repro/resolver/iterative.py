@@ -1,0 +1,372 @@
+"""Iterative (recursive-resolver-style) resolution over the network fabric.
+
+Walks the delegation tree from the root hints, following referrals and
+glue, with a shared :class:`~repro.resolver.cache.DnsCache`.  Besides
+ordinary lookups it exposes :meth:`IterativeResolver.find_delegation`,
+which captures the *parent side* of a zone cut (NS + DS as served by the
+registry) — the data the bootstrapping analysis compares against the
+child's view.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.dns.message import Message, make_query
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+from repro.dns.types import Rcode, RRType
+from repro.resolver.cache import DnsCache
+from repro.server.network import NetworkTimeout, SimulatedNetwork
+
+_MAX_REFERRALS = 32
+_MAX_CNAME = 8
+_MAX_GLUELESS_DEPTH = 8
+
+
+class ResolutionError(Exception):
+    """Resolution could not complete (lame servers, loops, timeouts)."""
+
+
+class Resolution:
+    """Final outcome of an iterative lookup."""
+
+    __slots__ = ("rcode", "answers", "authority", "source_ip", "authoritative")
+
+    def __init__(
+        self,
+        rcode: Rcode,
+        answers: Sequence[RRset] = (),
+        authority: Sequence[RRset] = (),
+        source_ip: Optional[str] = None,
+        authoritative: bool = False,
+    ):
+        self.rcode = rcode
+        self.answers = list(answers)
+        self.authority = list(authority)
+        self.source_ip = source_ip
+        self.authoritative = authoritative
+
+    def rrset(self, rrtype: RRType) -> Optional[RRset]:
+        for rrset in self.answers:
+            if int(rrset.rrtype) == int(rrtype):
+                return rrset
+        return None
+
+    def __repr__(self) -> str:
+        return f"<Resolution {self.rcode.name} answers={len(self.answers)}>"
+
+
+class Delegation:
+    """The parent-side view of a zone cut."""
+
+    __slots__ = ("zone", "parent", "ns_rrset", "ds_rrset", "ds_rrsigs", "glue", "parent_ips")
+
+    def __init__(
+        self,
+        zone: Name,
+        parent: Name,
+        ns_rrset: Optional[RRset],
+        ds_rrset: Optional[RRset],
+        ds_rrsigs: Optional[RRset],
+        glue: Dict[Name, List[str]],
+        parent_ips: List[str],
+    ):
+        self.zone = zone
+        self.parent = parent
+        self.ns_rrset = ns_rrset
+        self.ds_rrset = ds_rrset
+        self.ds_rrsigs = ds_rrsigs
+        self.glue = glue
+        self.parent_ips = parent_ips
+
+    @property
+    def nameserver_names(self) -> List[Name]:
+        if self.ns_rrset is None:
+            return []
+        return sorted(
+            (rd.target for rd in self.ns_rrset.rdatas if hasattr(rd, "target")),
+            key=lambda n: n.canonical_key(),
+        )
+
+    def __repr__(self) -> str:
+        return f"<Delegation {self.zone} parent={self.parent} ns={len(self.nameserver_names)}>"
+
+
+class IterativeResolver:
+    """Resolves names by walking referrals from the root."""
+
+    def __init__(
+        self,
+        network: SimulatedNetwork,
+        root_ips: Sequence[str],
+        cache: Optional[DnsCache] = None,
+        timeout: float = 2.0,
+        limiter=None,
+    ):
+        self.network = network
+        self.root_ips = list(root_ips)
+        self.cache = cache or DnsCache(now=network.clock.now)
+        self.timeout = timeout
+        # Optional token bucket (see repro.scanner.ratelimit): when set,
+        # every outgoing query is paced — the scanner shares its limiter
+        # so *all* measurement traffic honours the per-NS budget.
+        self.limiter = limiter
+        self._msg_id = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _next_id(self) -> int:
+        self._msg_id = (self._msg_id + 1) & 0xFFFF
+        return self._msg_id
+
+    def _ask(self, ips: Sequence[str], name: Name, rrtype: RRType) -> Tuple[Message, str]:
+        """Query the given server addresses in order until one answers."""
+        last_error: Optional[Exception] = None
+        for ip in ips:
+            query = make_query(name, rrtype, msg_id=self._next_id())
+            try:
+                if self.limiter is not None:
+                    self.limiter.acquire(ip)
+                response = self.network.query(ip, query, timeout=self.timeout)
+                if response.truncated:
+                    response = self.network.query(ip, query, timeout=self.timeout, tcp=True)
+                return response, ip
+            except NetworkTimeout as exc:
+                last_error = exc
+        raise ResolutionError(f"all servers failed for {name} {rrtype.name}: {last_error}")
+
+    @staticmethod
+    def _referral_cut(response: Message, qname: Name) -> Optional[RRset]:
+        """The NS RRset of a referral response, if this is one."""
+        if response.authoritative or response.rcode != Rcode.NOERROR:
+            return None
+        if response.answer:
+            return None
+        for rrset in response.authority:
+            if int(rrset.rrtype) == int(RRType.NS) and qname.is_subdomain_of(rrset.name):
+                return rrset
+        return None
+
+    @staticmethod
+    def _glue_from(response: Message) -> Dict[Name, List[str]]:
+        glue: Dict[Name, List[str]] = {}
+        for rrset in response.additional:
+            if int(rrset.rrtype) in (int(RRType.A), int(RRType.AAAA)):
+                addresses = glue.setdefault(rrset.name, [])
+                for rdata in rrset.rdatas:
+                    if rdata.address not in addresses:
+                        addresses.append(rdata.address)
+        return glue
+
+    # -- address resolution ------------------------------------------------------
+
+    def resolve_addresses(self, hostname: Name, _depth: int = 0) -> List[str]:
+        """All A+AAAA addresses for *hostname* (deterministic order)."""
+        if _depth > _MAX_GLUELESS_DEPTH:
+            return []
+        addresses: List[str] = []
+        for rrtype in (RRType.A, RRType.AAAA):
+            cached = self.cache.get(hostname, rrtype)
+            if cached is not None:
+                for rrset in cached:
+                    for rdata in rrset.rdatas:
+                        if rdata.address not in addresses:
+                            addresses.append(rdata.address)
+                continue
+            if self.cache.is_negative(hostname, rrtype):
+                continue
+            try:
+                resolution = self.resolve(hostname, rrtype, _depth=_depth + 1)
+            except ResolutionError:
+                continue
+            rrset = resolution.rrset(rrtype)
+            if rrset is not None:
+                self.cache.put([rrset])
+                for rdata in rrset.rdatas:
+                    if rdata.address not in addresses:
+                        addresses.append(rdata.address)
+            else:
+                self.cache.put_negative(hostname, rrtype, 300)
+        return addresses
+
+    # -- main walk ------------------------------------------------------------------
+
+    def resolve(self, name: Name | str, rrtype: RRType, _depth: int = 0) -> Resolution:
+        """Iteratively resolve (name, type) starting from the root."""
+        qname = name if isinstance(name, Name) else Name.from_text(name)
+        cname_budget = _MAX_CNAME
+        current = qname
+        collected: List[RRset] = []
+        while True:
+            resolution = self._resolve_no_cname(current, rrtype, _depth)
+            cname = resolution.rrset(RRType.CNAME)
+            wanted = resolution.rrset(rrtype)
+            if wanted is not None or cname is None or int(rrtype) == int(RRType.CNAME):
+                resolution.answers = collected + resolution.answers
+                return resolution
+            collected.extend(resolution.answers)
+            cname_budget -= 1
+            if cname_budget <= 0:
+                raise ResolutionError(f"CNAME chain too long for {qname}")
+            current = cname.rdatas[0].target
+
+    def _resolve_no_cname(self, qname: Name, rrtype: RRType, _depth: int) -> Resolution:
+        servers = list(self.root_ips)
+        current_zone = Name.root()
+        for _ in range(_MAX_REFERRALS):
+            response, ip = self._ask(servers, qname, rrtype)
+            if response.rcode == Rcode.NXDOMAIN:
+                return Resolution(
+                    Rcode.NXDOMAIN,
+                    authority=response.authority,
+                    source_ip=ip,
+                    authoritative=response.authoritative,
+                )
+            if response.rcode != Rcode.NOERROR:
+                raise ResolutionError(
+                    f"{ip} answered {response.rcode.name} for {qname} {rrtype.name}"
+                )
+            cut = self._referral_cut(response, qname)
+            if cut is None:
+                return Resolution(
+                    Rcode.NOERROR,
+                    answers=response.answer,
+                    authority=response.authority,
+                    source_ip=ip,
+                    authoritative=response.authoritative,
+                )
+            if not cut.name.is_proper_subdomain_of(current_zone):
+                raise ResolutionError(f"upward referral from {ip} for {qname}")
+            current_zone = cut.name
+            glue = self._glue_from(response)
+            next_servers: List[str] = []
+            for rdata in cut.rdatas:
+                target = getattr(rdata, "target", None)
+                if target is None:
+                    continue
+                if target in glue:
+                    next_servers.extend(glue[target])
+                elif _depth < _MAX_GLUELESS_DEPTH:
+                    next_servers.extend(self.resolve_addresses(target, _depth + 1))
+            if not next_servers:
+                raise ResolutionError(f"no reachable nameservers below {cut.name}")
+            servers = next_servers
+        raise ResolutionError(f"referral chain too long for {qname}")
+
+    # -- delegation capture ----------------------------------------------------------
+
+    def find_delegation(self, zone: Name | str) -> Delegation:
+        """Capture the parent-side NS/DS for *zone*.
+
+        Walks referrals until the parent hands out the referral for
+        *zone* itself, then asks the same parent servers for the DS RRset
+        (which the parent answers authoritatively, RFC 4035 §3.1.4.1).
+        """
+        zone = zone if isinstance(zone, Name) else Name.from_text(zone)
+        servers = list(self.root_ips)
+        current_zone = Name.root()
+        for _ in range(_MAX_REFERRALS):
+            response, ip = self._ask(servers, zone, RRType.NS)
+            cut = self._referral_cut(response, zone)
+            if cut is not None and cut.name == zone:
+                return self._capture_delegation(zone, current_zone, cut, response, servers)
+            if cut is not None:
+                current_zone = cut.name
+                glue = self._glue_from(response)
+                next_servers: List[str] = []
+                for rdata in cut.rdatas:
+                    target = getattr(rdata, "target", None)
+                    if target is None:
+                        continue
+                    if target in glue:
+                        next_servers.extend(glue[target])
+                    else:
+                        next_servers.extend(self.resolve_addresses(target))
+                if not next_servers:
+                    raise ResolutionError(f"no reachable nameservers below {cut.name}")
+                servers = next_servers
+                continue
+            if response.rcode == Rcode.NXDOMAIN:
+                raise ResolutionError(f"{zone} does not exist (NXDOMAIN from {ip})")
+            # The server answered authoritatively: either it hosts the
+            # parent and the NS RRset is the delegation (apex case), or
+            # we've walked into the child already.
+            raise ResolutionError(f"no delegation observed for {zone} at {ip}")
+        raise ResolutionError(f"referral chain too long for {zone}")
+
+    def find_delegation_below(
+        self,
+        target: Name,
+        current_zone: Name,
+        servers: Sequence[str],
+    ) -> Optional[Tuple[Name, Optional[RRset], Optional[RRset], List[str]]]:
+        """One step of a downward walk: ask *servers* (authoritative for
+        *current_zone*) about *target* and return the next cut.
+
+        Returns ``(cut_name, ds_rrset, ds_rrsigs, next_server_ips)`` when
+        the servers hand out a referral, or ``None`` when they answer
+        authoritatively (no further cut towards *target*).
+        """
+        response, _ = self._ask(servers, target, RRType.NS)
+        cut = self._referral_cut(response, target)
+        if cut is None:
+            return None
+        ds_rrset: Optional[RRset] = None
+        ds_rrsigs: Optional[RRset] = None
+        for rrset in response.authority:
+            if rrset.name == cut.name and int(rrset.rrtype) == int(RRType.DS):
+                ds_rrset = rrset
+            if rrset.name == cut.name and int(rrset.rrtype) == int(RRType.RRSIG):
+                ds_rrsigs = rrset
+        if ds_rrset is None:
+            try:
+                ds_response, _ = self._ask(servers, cut.name, RRType.DS)
+                ds_rrset = ds_response.get_rrset(ds_response.answer, cut.name, RRType.DS)
+                ds_rrsigs = ds_response.get_rrset(ds_response.answer, cut.name, RRType.RRSIG)
+            except ResolutionError:
+                pass
+        glue = self._glue_from(response)
+        next_servers: List[str] = []
+        for rdata in cut.rdatas:
+            host = getattr(rdata, "target", None)
+            if host is None:
+                continue
+            if host in glue:
+                next_servers.extend(glue[host])
+            else:
+                next_servers.extend(self.resolve_addresses(host))
+        return cut.name, ds_rrset, ds_rrsigs, next_servers
+
+    def _capture_delegation(
+        self,
+        zone: Name,
+        parent: Name,
+        cut: RRset,
+        referral: Message,
+        parent_ips: List[str],
+    ) -> Delegation:
+        ds_rrset: Optional[RRset] = None
+        ds_rrsigs: Optional[RRset] = None
+        # DS may already ride along in the referral.
+        for rrset in referral.authority:
+            if int(rrset.rrtype) == int(RRType.DS) and rrset.name == zone:
+                ds_rrset = rrset
+            if int(rrset.rrtype) == int(RRType.RRSIG) and rrset.name == zone:
+                ds_rrsigs = rrset
+        if ds_rrset is None:
+            try:
+                response, _ = self._ask(parent_ips, zone, RRType.DS)
+                ds_rrset = response.get_rrset(response.answer, zone, RRType.DS)
+                ds_rrsigs = response.get_rrset(response.answer, zone, RRType.RRSIG)
+            except ResolutionError:
+                pass
+        return Delegation(
+            zone=zone,
+            parent=parent,
+            ns_rrset=cut,
+            ds_rrset=ds_rrset,
+            ds_rrsigs=ds_rrsigs,
+            glue=self._glue_from(referral),
+            parent_ips=list(parent_ips),
+        )

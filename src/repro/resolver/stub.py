@@ -1,0 +1,43 @@
+"""Minimal stub resolver: forwards to fixed server addresses.
+
+Used by examples and tests that want point queries against a known
+server without walking the tree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.dns.message import Message, make_query
+from repro.dns.name import Name
+from repro.dns.rrset import RRset
+from repro.dns.types import RRType
+from repro.server.network import NetworkTimeout, SimulatedNetwork
+
+
+class StubResolver:
+    """Sends each query to the configured addresses in order."""
+
+    def __init__(self, network: SimulatedNetwork, servers: Sequence[str], timeout: float = 2.0):
+        self.network = network
+        self.servers = list(servers)
+        self.timeout = timeout
+        self._msg_id = 0
+
+    def query(self, name: Name | str, rrtype: RRType, dnssec_ok: bool = True) -> Message:
+        """Return the first response any configured server gives."""
+        self._msg_id = (self._msg_id + 1) & 0xFFFF
+        query = make_query(name, rrtype, msg_id=self._msg_id, dnssec_ok=dnssec_ok)
+        last_error: Optional[Exception] = None
+        for ip in self.servers:
+            try:
+                return self.network.query(ip, query, timeout=self.timeout)
+            except NetworkTimeout as exc:
+                last_error = exc
+        raise NetworkTimeout(f"no stub server answered for {name}: {last_error}")
+
+    def lookup_rrset(self, name: Name | str, rrtype: RRType) -> Optional[RRset]:
+        """Convenience: the answer RRset of exactly (name, type), or None."""
+        name = name if isinstance(name, Name) else Name.from_text(name)
+        response = self.query(name, rrtype)
+        return response.get_rrset(response.answer, name, rrtype)

@@ -1,0 +1,55 @@
+"""Per-nameserver rate limiting on the simulated clock.
+
+The paper limits each scan machine to 50 queries per second per
+nameserver "to limit the impact of our scans on DNS operator's load".
+A token bucket per destination address reproduces this: when a bucket is
+empty, the limiter *advances the simulated clock* to the next refill
+instead of sleeping, so scan-duration figures (App. D: "a scan duration
+of just over a month") remain meaningful without real waiting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.server.network import SimulatedClock
+
+DEFAULT_QPS = 50.0
+
+
+class RateLimiter:
+    """Token bucket per destination address, driven by a simulated clock."""
+
+    def __init__(self, clock: SimulatedClock, qps: float = DEFAULT_QPS, burst: float | None = None):
+        if qps <= 0:
+            raise ValueError("qps must be positive")
+        self.clock = clock
+        self.qps = qps
+        self.burst = burst if burst is not None else qps
+        # ip -> (tokens, last_refill_time)
+        self._buckets: Dict[str, tuple[float, float]] = {}
+        self.waits = 0
+        self.total_wait_time = 0.0
+
+    def _refill(self, ip: str) -> float:
+        now = self.clock.now()
+        tokens, last = self._buckets.get(ip, (self.burst, now))
+        tokens = min(self.burst, tokens + (now - last) * self.qps)
+        self._buckets[ip] = (tokens, now)
+        return tokens
+
+    def acquire(self, ip: str) -> float:
+        """Take one token for *ip*, advancing the clock if none is
+        available.  Returns the (simulated) seconds waited."""
+        tokens = self._refill(ip)
+        waited = 0.0
+        if tokens < 1.0:
+            deficit = 1.0 - tokens
+            waited = deficit / self.qps
+            self.clock.advance(waited)
+            self.waits += 1
+            self.total_wait_time += waited
+            tokens = self._refill(ip)
+        tokens, last = self._buckets[ip]
+        self._buckets[ip] = (tokens - 1.0, last)
+        return waited

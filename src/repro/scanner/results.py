@@ -1,0 +1,160 @@
+"""Scan result data model.
+
+Everything the analysis pipeline consumes is captured here — the scanner
+and the analysis communicate only through these records, mirroring the
+paper's store-then-analyse methodology (App. D: "we stored the whole DNS
+message for every query made"; we store the decoded RRsets we need).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.dns.name import Name
+from repro.dns.rdata import RRSIG
+from repro.dns.rrset import RRset
+from repro.dns.types import Rcode, RRType
+
+
+class QueryStatus(enum.Enum):
+    """Transport-level outcome of one query."""
+
+    OK = "ok"
+    TIMEOUT = "timeout"
+    ERROR = "error"  # rcode other than NOERROR/NXDOMAIN
+    NXDOMAIN = "nxdomain"
+
+
+@dataclass
+class RRQueryResult:
+    """One (qname, qtype) question asked of one server address."""
+
+    status: QueryStatus
+    rcode: Optional[Rcode] = None
+    rrset: Optional[RRset] = None
+    rrsigs: List[RRSIG] = field(default_factory=list)
+
+    @property
+    def answered(self) -> bool:
+        return self.status in (QueryStatus.OK, QueryStatus.NXDOMAIN)
+
+    @property
+    def has_data(self) -> bool:
+        return self.status == QueryStatus.OK and self.rrset is not None and len(self.rrset) > 0
+
+    def __repr__(self) -> str:
+        return f"<RRQueryResult {self.status.value} rrset={self.rrset!r}>"
+
+
+@dataclass
+class ChainLink:
+    """Parent-side DS plus child-side DNSKEY for one delegation step,
+    as collected along the path from the root to a zone."""
+
+    zone: Name
+    ds_rrset: Optional[RRset]
+    ds_rrsigs: List[RRSIG]
+    dnskey_rrset: Optional[RRset]
+    dnskey_rrsigs: List[RRSIG]
+
+
+@dataclass
+class SignalScan:
+    """RFC 9615 signal data for one nameserver hostname of one zone."""
+
+    ns_host: Name
+    signal_name: Optional[Name]  # None if it would exceed 255 octets
+    name_too_long: bool = False
+    # CDS/CDNSKEY at the signaling name, per signal-zone server address.
+    cds_by_ip: Dict[str, RRQueryResult] = field(default_factory=dict)
+    cdnskey_by_ip: Dict[str, RRQueryResult] = field(default_factory=dict)
+    # Apex of the zone that served the signaling name (from SOA).
+    signal_zone_apex: Optional[Name] = None
+    # Names strictly between the apex and the signaling name that
+    # answered an NS query authoritatively — i.e. unexpected zone cuts.
+    zone_cuts: List[Name] = field(default_factory=list)
+    # Chain of trust from the root down to the signal zone apex.
+    chain: List[ChainLink] = field(default_factory=list)
+    error: Optional[str] = None
+
+    @property
+    def any_cds(self) -> bool:
+        return any(r.has_data for r in self.cds_by_ip.values()) or any(
+            r.has_data for r in self.cdnskey_by_ip.values()
+        )
+
+
+@dataclass
+class ZoneScanResult:
+    """Everything measured about one zone."""
+
+    zone: Name
+    resolved: bool = False
+    error: Optional[str] = None
+
+    # Parent-side view.
+    parent: Optional[Name] = None
+    delegation_ns: List[Name] = field(default_factory=list)
+    ds: Optional[RRQueryResult] = None
+
+    # Child-side view (from one responsive server).
+    soa: Optional[RRQueryResult] = None
+    child_ns: Optional[RRQueryResult] = None
+    dnskey: Optional[RRQueryResult] = None
+
+    # NS host → addresses chosen for querying (after sampling).
+    ns_addresses: Dict[Name, List[str]] = field(default_factory=dict)
+    sampled: bool = False
+
+    # Per (ns_host, ip) CDS/CDNSKEY answers. Keyed "host@ip".
+    cds_by_ns: Dict[str, RRQueryResult] = field(default_factory=dict)
+    cdnskey_by_ns: Dict[str, RRQueryResult] = field(default_factory=dict)
+
+    # RFC 9615 signal scans, one per NS host.
+    signals: List[SignalScan] = field(default_factory=list)
+
+    queries_used: int = 0
+
+    # -- convenience views (used heavily by the pipeline) ------------------
+
+    def cds_rrsets(self) -> List[Tuple[str, RRQueryResult]]:
+        return sorted(self.cds_by_ns.items())
+
+    @property
+    def any_cds_answer(self) -> bool:
+        """Did any server answer the CDS/CDNSKEY question at all?"""
+        return any(r.answered for r in self.cds_by_ns.values()) or any(
+            r.answered for r in self.cdnskey_by_ns.values()
+        )
+
+    @property
+    def has_cds(self) -> bool:
+        return any(r.has_data for r in self.cds_by_ns.values()) or any(
+            r.has_data for r in self.cdnskey_by_ns.values()
+        )
+
+    @property
+    def has_signal(self) -> bool:
+        return any(s.any_cds for s in self.signals)
+
+    def key(self) -> str:
+        return self.zone.to_text()
+
+    def __repr__(self) -> str:
+        return f"<ZoneScanResult {self.zone} resolved={self.resolved}>"
+
+
+def make_signal_name(zone: Name, ns_host: Name) -> Optional[Name]:
+    """Build ``_dsboot.<zone>._signal.<ns_host>`` (RFC 9615 §2.1).
+
+    Returns ``None`` when the result would exceed the 255-octet limit —
+    the "unusually long child zone names, or NS hostnames" limitation the
+    paper describes.
+    """
+    try:
+        prefix = zone.child("_dsboot")
+        return prefix.concatenate(Name((b"_signal",)).concatenate(ns_host))
+    except ValueError:
+        return None

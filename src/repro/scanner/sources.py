@@ -1,0 +1,176 @@
+"""Zone-list acquisition — the paper's §3 "Domains" subsection.
+
+The study compiled 287.6 M names from heterogeneous sources; each has a
+counterpart here that extracts registrable delegations from the world's
+registries the same way:
+
+* **CZDS** — gTLD zone files from the Centralized Zone Data Service:
+  modelled as direct zone-file dumps of the gTLD registries
+  (:func:`czds_names`, via the master-file serialiser);
+* **AXFR** — ccTLDs that publish their zones (.ch, .li, .se, .nu):
+  a real RFC 5936 zone transfer against the registry servers
+  (:func:`axfr_names`);
+* **private arrangement** — .uk and .sk zone files under license:
+  modelled as dumps gated on an ``agreements`` set;
+* **CT logs** — for ccTLDs with no zone access (.de, .nl, ...): a
+  partial, possibly skewed sample (:func:`ctlog_names`, using the §3.1
+  samplers).
+
+:func:`compile_scan_list` merges the sources exactly as §3 describes and
+reports per-source counts and total coverage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.dns.message import make_query
+from repro.dns.name import Name
+from repro.dns.types import RRType
+from repro.scanner.coverage import UniformSampler
+from repro.server.network import NetworkTimeout
+
+# Which suffixes expose which acquisition channel (mirrors §3).
+GTLD_SUFFIXES = ("com", "net", "org", "digital", "io")  # CZDS
+AXFR_SUFFIXES = ("ch", "li", "se", "nu")  # open AXFR
+PRIVATE_SUFFIXES = ("co.uk", "sk")  # private arrangement
+CTLOG_SUFFIXES = ("de", "nl", "eu", "bo")  # CT-log sampling only
+
+
+def _registrable_delegations(zone, suffix: str) -> List[Name]:
+    """Owner names of NS RRsets directly below the suffix apex, minus
+    infrastructure (nic.) and signaling delegations."""
+    origin = zone.origin
+    out = []
+    for name in zone.delegation_points():
+        if len(name) != len(origin) + 1:
+            continue
+        label = name.labels[0]
+        if label.startswith(b"_") or label in (b"nic",):
+            continue
+        out.append(name)
+    return out
+
+
+def czds_names(world, suffix: str) -> List[Name]:
+    """CZDS-style acquisition: parse the registry's zone-file dump."""
+    from repro.dns.zonefile import parse_zone
+
+    registry = world.registry_zones[suffix]
+    dumped = parse_zone(registry.to_text())
+    return _registrable_delegations(dumped, suffix)
+
+
+def axfr_names(world, suffix: str, registry_ip: str = "192.5.6.30") -> List[Name]:
+    """AXFR acquisition: a real zone transfer over the (in-memory) wire."""
+    query = make_query(suffix, RRType.make(int(RRType.AXFR)), msg_id=252, dnssec_ok=False)
+    try:
+        response = world.network.query(registry_ip, query, tcp=True)
+    except NetworkTimeout as exc:
+        raise RuntimeError(f"AXFR of {suffix} failed: {exc}") from exc
+    if not response.answer:
+        raise RuntimeError(f"AXFR of {suffix} refused (rcode {response.rcode.name})")
+    apex = Name.from_text(suffix)
+    seen: Set[Name] = set()
+    for rrset in response.answer:
+        if int(rrset.rrtype) != int(RRType.NS):
+            continue
+        if len(rrset.name) != len(apex) + 1:
+            continue
+        label = rrset.name.labels[0]
+        if label.startswith(b"_") or label == b"nic":
+            continue
+        seen.add(rrset.name)
+    return sorted(seen, key=lambda n: n.canonical_key())
+
+
+def private_names(world, suffix: str, agreements: Set[str]) -> List[Name]:
+    """Zone files under private arrangement: only with an agreement."""
+    if suffix not in agreements:
+        raise PermissionError(f"no agreement covers the {suffix} zone file")
+    return _registrable_delegations(world.registry_zones[suffix], suffix)
+
+
+def ctlog_names(world, suffix: str, sampler: Optional[UniformSampler] = None) -> List[Name]:
+    """CT-log acquisition: a partial sample of the suffix's zones."""
+    sampler = sampler or UniformSampler(0.6)
+    full = _registrable_delegations(world.registry_zones[suffix], suffix)
+    return [name for name in full if sampler.keeps(name, False)]
+
+
+@dataclass
+class ScanListReport:
+    """What :func:`compile_scan_list` assembled."""
+
+    names: List[Name] = field(default_factory=list)
+    per_source: Dict[str, int] = field(default_factory=dict)
+    per_suffix: Dict[str, int] = field(default_factory=dict)
+    excluded_in_domain: int = 0
+
+    @property
+    def total(self) -> int:
+        return len(self.names)
+
+
+def compile_scan_list(
+    world,
+    agreements: Iterable[str] = PRIVATE_SUFFIXES,
+    ctlog_sampler: Optional[UniformSampler] = None,
+    exclude_in_domain_ns: bool = True,
+) -> ScanListReport:
+    """Assemble the scan list from the §3 sources.
+
+    Zones whose NSes all sit inside the zone itself are excluded, "as
+    these could never be bootstrapped" (§3) — checked against the
+    registry delegation's NS targets.
+    """
+    report = ScanListReport()
+    agreements = set(agreements)
+    collected: Dict[str, List[Name]] = {}
+    for suffix in world.registry_zones:
+        if suffix not in _leaf_suffixes(world):
+            continue
+        if suffix in GTLD_SUFFIXES:
+            names = czds_names(world, suffix)
+            source = "czds"
+        elif suffix in AXFR_SUFFIXES:
+            names = axfr_names(world, suffix)
+            source = "axfr"
+        elif suffix in PRIVATE_SUFFIXES:
+            names = private_names(world, suffix, agreements)
+            source = "private"
+        else:
+            names = ctlog_names(world, suffix, ctlog_sampler)
+            source = "ctlog"
+        collected[suffix] = names
+        report.per_source[source] = report.per_source.get(source, 0) + len(names)
+        report.per_suffix[suffix] = len(names)
+
+    for suffix, names in collected.items():
+        registry = world.registry_zones[suffix]
+        for name in names:
+            if exclude_in_domain_ns and _all_ns_in_domain(registry, name):
+                report.excluded_in_domain += 1
+                continue
+            report.names.append(name)
+    report.names.sort(key=lambda n: n.canonical_key())
+    return report
+
+
+def _leaf_suffixes(world) -> Set[str]:
+    """Suffixes that actually take registrations (excludes bare parents
+    like 'uk' that only delegate 'co.uk')."""
+    from repro.ecosystem import psl
+
+    return set(psl.SUFFIX_WEIGHTS)
+
+
+def _all_ns_in_domain(registry, zone_name: Name) -> bool:
+    ns_rrset = registry.get_rrset(zone_name, RRType.NS)
+    if ns_rrset is None or not len(ns_rrset):
+        return False
+    return all(
+        getattr(rd, "target", None) is not None and rd.target.is_subdomain_of(zone_name)
+        for rd in ns_rrset.rdatas
+    )

@@ -1,0 +1,29 @@
+"""Authoritative DNS serving: answer logic, operator quirks, and transports.
+
+The scanner talks to :class:`~repro.server.network.SimulatedNetwork` (an
+in-memory IP fabric) by default; the same :class:`AuthoritativeServer`
+objects can also be exposed on real localhost UDP sockets via
+:mod:`repro.server.udp`.
+"""
+
+from repro.server.nameserver import AuthoritativeServer
+from repro.server.network import NetworkTimeout, SimulatedClock, SimulatedNetwork
+from repro.server.behaviors import (
+    AfternicParkingBehavior,
+    DropQueriesBehavior,
+    LegacyUnknownTypeBehavior,
+    ServerBehavior,
+    TransientFailureBehavior,
+)
+
+__all__ = [
+    "AfternicParkingBehavior",
+    "AuthoritativeServer",
+    "DropQueriesBehavior",
+    "LegacyUnknownTypeBehavior",
+    "NetworkTimeout",
+    "ServerBehavior",
+    "SimulatedClock",
+    "SimulatedNetwork",
+    "TransientFailureBehavior",
+]

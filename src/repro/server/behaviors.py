@@ -1,0 +1,210 @@
+"""Operator-quirk behaviours layered onto authoritative servers.
+
+Each behaviour models a real-world server pathology the paper observed:
+
+* :class:`LegacyUnknownTypeBehavior` — pre-RFC 3597 servers that return
+  an error instead of NODATA for unknown query types (the paper's 7.6 M
+  domains whose nameservers "failed to respond, or returned an error"
+  for CDS/CDNSKEY queries).
+* :class:`AfternicParkingBehavior` — GoDaddy's Afternic parking NSes,
+  which answer *every* query identically, creating "the illusion of a
+  zone cut at every level of the DNS tree" (the ``desc.io`` incident).
+* :class:`TransientFailureBehavior` — servers that intermittently
+  SERVFAIL or time out (deSEC's transient scan failures in §4.4).
+* :class:`DropQueriesBehavior` — servers that never answer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set, TYPE_CHECKING
+
+from repro.dns.message import Message, make_response
+from repro.dns.name import Name
+from repro.dns.rdata import NS
+from repro.dns.rrset import RRset
+from repro.dns.types import Rcode, RRType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.server.nameserver import AuthoritativeServer
+
+
+class ServerBehavior:
+    """Hook points around the default answer algorithm.
+
+    ``intercept`` may return a complete response to short-circuit
+    processing; ``postprocess`` may rewrite the computed response.
+    """
+
+    def intercept(self, server: "AuthoritativeServer", query: Message) -> Optional[Message]:
+        return None
+
+    def postprocess(
+        self, server: "AuthoritativeServer", query: Message, response: Message
+    ) -> Message:
+        return response
+
+
+# Types a pre-2003 (pre-RFC 3597) server implementation knows about.
+_ANCIENT_TYPES = {
+    int(RRType.A),
+    int(RRType.NS),
+    int(RRType.CNAME),
+    int(RRType.SOA),
+    int(RRType.PTR),
+    int(RRType.MX),
+    int(RRType.TXT),
+    int(RRType.AAAA),
+}
+
+
+class LegacyUnknownTypeBehavior(ServerBehavior):
+    """Return an error for query types the (ancient) implementation does
+    not know, instead of the NODATA that RFC 3597 requires."""
+
+    def __init__(self, rcode: Rcode = Rcode.SERVFAIL):
+        self.rcode = rcode
+
+    def intercept(self, server: "AuthoritativeServer", query: Message) -> Optional[Message]:
+        if query.question is None:
+            return None
+        if int(query.question.rrtype) not in _ANCIENT_TYPES:
+            return make_response(query, self.rcode)
+        return None
+
+
+class AfternicParkingBehavior(ServerBehavior):
+    """Answer every query for any name with the same parking NS records.
+
+    Because a response to an NS query at *any* depth looks like a
+    delegation, scanners perceive a zone cut at every level — exactly the
+    failure mode that disqualified ``copacabanasomostudestino.com.bo``'s
+    signal chain in the paper.
+    """
+
+    def __init__(self, park_ns: Iterable[str] = ("ns1.namefind.com", "ns2.namefind.com")):
+        self.park_ns = [NS(name) for name in park_ns]
+
+    def intercept(self, server: "AuthoritativeServer", query: Message) -> Optional[Message]:
+        if query.question is None:
+            return None
+        response = make_response(query)
+        response.authoritative = True
+        if int(query.question.rrtype) == int(RRType.NS):
+            response.answer.append(
+                RRset(query.question.name, RRType.NS, 3600, list(self.park_ns))
+            )
+        # Any other type: NOERROR with empty answer (looks like NODATA
+        # but without an SOA — thoroughly confusing, as in the wild).
+        return response
+
+
+class TransientFailureBehavior(ServerBehavior):
+    """SERVFAIL the first *failures* queries for each listed name.
+
+    Deterministic by construction: a rescan of the same name succeeds,
+    reproducing the paper's "subsequent check of this zone succeeded"
+    observations.
+    """
+
+    def __init__(self, names: Iterable[Name], failures: int = 1, rcode: Rcode = Rcode.SERVFAIL):
+        self._remaining = {name: failures for name in names}
+        self.rcode = rcode
+
+    def intercept(self, server: "AuthoritativeServer", query: Message) -> Optional[Message]:
+        if query.question is None:
+            return None
+        qname = query.question.name
+        remaining = self._remaining.get(qname, 0)
+        if remaining > 0:
+            self._remaining[qname] = remaining - 1
+            return make_response(query, self.rcode)
+        return None
+
+
+class CorruptSignaturesBehavior(ServerBehavior):
+    """Serve bogus RRSIGs for listed names, a limited number of times.
+
+    Models deSEC's transiently invalid signal-zone signatures (§4.4):
+    the first scan sees validation failures, a re-check succeeds.
+    """
+
+    def __init__(self, names: Iterable[Name], failures: int = 1):
+        self._remaining = {name: failures for name in names}
+
+    def postprocess(
+        self, server: "AuthoritativeServer", query: Message, response: Message
+    ) -> Message:
+        if query.question is None:
+            return response
+        qname = query.question.name
+        remaining = self._remaining.get(qname, 0)
+        if remaining <= 0:
+            return response
+        self._remaining[qname] = remaining - 1
+        from repro.dns.rdata import RRSIG
+        from repro.dnssec.signer import corrupt_signature
+
+        for section in (response.answer, response.authority):
+            for index, rrset in enumerate(section):
+                if int(rrset.rrtype) != int(RRType.RRSIG):
+                    continue
+                corrupted = RRset(
+                    rrset.name,
+                    RRType.RRSIG,
+                    rrset.ttl,
+                    [
+                        corrupt_signature(rd) if isinstance(rd, RRSIG) else rd
+                        for rd in rrset.rdatas
+                    ],
+                )
+                section[index] = corrupted
+        return response
+
+
+class SyntheticCutBehavior(ServerBehavior):
+    """Answer NS queries at specific names with a fabricated NS RRset.
+
+    Creates the *illusion* of a zone cut (RFC 9615 forbids cuts inside
+    signaling names) without actually delegating — the configuration
+    error behind the paper's ``copacabanasomostudestino.com.bo`` case.
+    """
+
+    def __init__(self, names: Iterable[Name], park_ns: Iterable[str] = ("ns1.namefind.com", "ns2.namefind.com")):
+        self.names = set(names)
+        self.park_ns = [NS(name) for name in park_ns]
+
+    def intercept(self, server: "AuthoritativeServer", query: Message) -> Optional[Message]:
+        if query.question is None:
+            return None
+        if int(query.question.rrtype) != int(RRType.NS):
+            return None
+        if query.question.name not in self.names:
+            return None
+        response = make_response(query)
+        response.authoritative = True
+        response.answer.append(RRset(query.question.name, RRType.NS, 3600, list(self.park_ns)))
+        return response
+
+
+class DropQueriesBehavior(ServerBehavior):
+    """Never answer (the network layer turns ``None`` into a timeout).
+
+    Models lame or firewalled nameservers; with *qtypes* set, only the
+    listed query types are dropped (legacy middleboxes eating unknown
+    types without even an error).
+    """
+
+    def __init__(self, qtypes: Optional[Iterable[RRType]] = None):
+        self.qtypes: Optional[Set[int]] = (
+            None if qtypes is None else {int(t) for t in qtypes}
+        )
+
+    def should_drop(self, query: Message) -> bool:
+        if self.qtypes is None:
+            return True
+        return query.question is not None and int(query.question.rrtype) in self.qtypes
+
+    def intercept(self, server: "AuthoritativeServer", query: Message) -> Optional[Message]:
+        # The sentinel is detected by SimulatedNetwork, which raises a
+        # timeout instead of delivering a response.
+        return None

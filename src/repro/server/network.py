@@ -1,0 +1,118 @@
+"""In-memory network fabric connecting scanners to authoritative servers.
+
+The fabric maps IP addresses to servers (many IPs may share one server —
+that is precisely how anycast providers like Cloudflare appear from the
+outside), moves whole wire-format messages, counts queries and bytes per
+destination, and advances a simulated clock so that rate limiters behave
+deterministically without real sleeping.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.dns.message import Message
+from repro.server.behaviors import DropQueriesBehavior
+from repro.server.nameserver import AuthoritativeServer
+
+
+class NetworkTimeout(Exception):
+    """No response arrived within the timeout (dropped or dark IP)."""
+
+
+class SimulatedClock:
+    """A monotonically advancing virtual clock (seconds)."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clock cannot go backwards")
+        self._now += seconds
+
+
+class SimulatedNetwork:
+    """Registry of IP → server plus accounting and failure injection."""
+
+    def __init__(self, clock: Optional[SimulatedClock] = None, query_cost: float = 0.0):
+        self.clock = clock or SimulatedClock()
+        self._servers: Dict[str, AuthoritativeServer] = {}
+        self._dark: set[str] = set()
+        self.query_cost = query_cost
+        self.queries_sent = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.timeouts = 0
+        self.per_ip_queries: Dict[str, int] = {}
+        # Optional hook: (ip, query) -> True to drop this datagram.
+        self.loss_hook: Optional[Callable[[str, Message], bool]] = None
+
+    # -- topology ------------------------------------------------------------
+
+    def register(self, ip: str, server: AuthoritativeServer) -> None:
+        self._servers[ip] = server
+
+    def register_dark(self, ip: str) -> None:
+        """An address that never answers (unreachable host)."""
+        self._dark.add(ip)
+
+    def server_at(self, ip: str) -> Optional[AuthoritativeServer]:
+        return self._servers.get(ip)
+
+    def addresses(self) -> list[str]:
+        return sorted(self._servers)
+
+    # -- data plane --------------------------------------------------------------
+
+    def query(
+        self, ip: str, query: Message, timeout: float = 2.0, tcp: bool = False
+    ) -> Message:
+        """Send *query* to *ip* and return the response message.
+
+        The exchange is wire-accurate: the query is encoded and the
+        response decoded, so codec bugs surface in integration tests the
+        same way they would on a real socket.  UDP responses are subject
+        to the EDNS payload limit and may come back truncated (TC bit);
+        pass ``tcp=True`` to retry without the size limit (RFC 7766).
+        Raises :class:`NetworkTimeout` for dark addresses, drop
+        behaviours, and loss-hook hits.
+        """
+        wire = query.to_wire()
+        self.queries_sent += 1
+        self.bytes_sent += len(wire)
+        self.per_ip_queries[ip] = self.per_ip_queries.get(ip, 0) + 1
+        if self.query_cost:
+            self.clock.advance(self.query_cost)
+        if self.loss_hook is not None and self.loss_hook(ip, query):
+            self.timeouts += 1
+            self.clock.advance(timeout)
+            raise NetworkTimeout(f"packet to {ip} lost")
+        server = self._servers.get(ip)
+        if server is None or ip in self._dark:
+            self.timeouts += 1
+            self.clock.advance(timeout)
+            raise NetworkTimeout(f"no server listening at {ip}")
+        decoded = Message.from_wire(wire)
+        for behavior in server.behaviors:
+            if isinstance(behavior, DropQueriesBehavior) and behavior.should_drop(decoded):
+                self.timeouts += 1
+                self.clock.advance(timeout)
+                raise NetworkTimeout(f"{ip} dropped the query")
+        response = server.handle_query(decoded)
+        if tcp:
+            response_wire = response.to_wire()
+        else:
+            limit = decoded.edns_payload if decoded.edns else 512
+            response_wire = response.to_wire(max_size=limit)
+        self.bytes_received += len(response_wire)
+        return Message.from_wire(response_wire)
+
+    def __repr__(self) -> str:
+        return (
+            f"<SimulatedNetwork servers={len(self._servers)} "
+            f"queries={self.queries_sent} timeouts={self.timeouts}>"
+        )

@@ -1,0 +1,116 @@
+"""Real TCP transport (RFC 7766): length-prefixed DNS over a stream.
+
+Complements :mod:`repro.server.udp` for answers that exceed the EDNS
+UDP payload limit — large DNSKEY RRsets, fat TXT records, and zone
+transfers in spirit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import socket
+import struct
+import threading
+from typing import Optional, Tuple
+
+from repro.dns.message import Message
+from repro.server.nameserver import AuthoritativeServer
+
+
+class TcpNameserver:
+    """An :class:`AuthoritativeServer` listening on a localhost TCP port.
+
+    Runs its own event loop on a daemon thread; use as a context manager::
+
+        with TcpNameserver(server) as endpoint:
+            response = query_tcp(endpoint, make_query("example.com", RRType.SOA))
+    """
+
+    def __init__(self, server: AuthoritativeServer, host: str = "127.0.0.1", port: int = 0):
+        self.server = server
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._started = threading.Event()
+
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter):
+        try:
+            while True:
+                header = await reader.readexactly(2)
+                (length,) = struct.unpack("!H", header)
+                data = await reader.readexactly(length)
+                try:
+                    query = Message.from_wire(data)
+                except Exception:
+                    break
+                response = self.server.handle_query(query)
+                wire = response.to_wire()  # no size limit over TCP
+                writer.write(struct.pack("!H", len(wire)) + wire)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def start():
+            self._tcp_server = await asyncio.start_server(
+                self._handle, self.host, self.port
+            )
+            self.port = self._tcp_server.sockets[0].getsockname()[1]
+            self._started.set()
+
+        self._loop.run_until_complete(start())
+        self._loop.run_forever()
+        self._tcp_server.close()
+        self._loop.run_until_complete(self._tcp_server.wait_closed())
+        self._loop.close()
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=5):  # pragma: no cover
+            raise RuntimeError("TCP nameserver failed to start")
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def query_tcp(endpoint: Tuple[str, int], query: Message, timeout: float = 2.0) -> Message:
+    """Send one query over TCP (2-byte length prefix) and decode the answer."""
+    wire = query.to_wire()
+    with contextlib.closing(socket.create_connection(endpoint, timeout=timeout)) as sock:
+        sock.sendall(struct.pack("!H", len(wire)) + wire)
+        header = _read_exactly(sock, 2)
+        (length,) = struct.unpack("!H", header)
+        return Message.from_wire(_read_exactly(sock, length))
+
+
+def _read_exactly(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("connection closed mid-message")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

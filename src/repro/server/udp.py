@@ -1,0 +1,128 @@
+"""Real UDP transport: serve and query authoritative servers on sockets.
+
+The simulated fabric covers the measurement pipeline; this module proves
+the wire codec and server logic interoperate over actual datagrams and
+powers the live examples.  Synchronous wrappers are provided so tests and
+examples don't need to manage an event loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from typing import Optional, Tuple
+
+from repro.dns.message import Message
+from repro.dns.types import MAX_UDP_PAYLOAD
+from repro.server.behaviors import DropQueriesBehavior
+from repro.server.nameserver import AuthoritativeServer
+
+
+class _ServerProtocol(asyncio.DatagramProtocol):
+    def __init__(self, server: AuthoritativeServer):
+        self.server = server
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport):  # pragma: no cover - asyncio plumbing
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr):
+        try:
+            query = Message.from_wire(data)
+        except Exception:
+            return  # unparseable datagrams are silently dropped
+        for behavior in self.server.behaviors:
+            if isinstance(behavior, DropQueriesBehavior) and behavior.should_drop(query):
+                return
+        response = self.server.handle_query(query)
+        payload = query.edns_payload if query.edns else 512
+        assert self.transport is not None
+        self.transport.sendto(response.to_wire(max_size=payload), addr)
+
+
+class UdpNameserver:
+    """An :class:`AuthoritativeServer` listening on a localhost UDP port.
+
+    Runs its own event loop on a daemon thread; use as a context manager::
+
+        with UdpNameserver(server) as endpoint:
+            response = query_udp(endpoint, make_query("example.com", RRType.SOA))
+    """
+
+    def __init__(self, server: AuthoritativeServer, host: str = "127.0.0.1", port: int = 0):
+        self.server = server
+        self.host = host
+        self.port = port
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._transport: Optional[asyncio.DatagramTransport] = None
+        self._started = threading.Event()
+
+    def _run(self):
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+
+        async def start():
+            transport, _ = await self._loop.create_datagram_endpoint(
+                lambda: _ServerProtocol(self.server), local_addr=(self.host, self.port)
+            )
+            self._transport = transport
+            self.port = transport.get_extra_info("sockname")[1]
+            self._started.set()
+
+        self._loop.run_until_complete(start())
+        self._loop.run_forever()
+        # Drain pending callbacks after stop() so close() is clean.
+        self._transport.close()
+        self._loop.run_until_complete(asyncio.sleep(0))
+        self._loop.close()
+
+    def start(self) -> Tuple[str, int]:
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=5):  # pragma: no cover - startup failure
+            raise RuntimeError("UDP nameserver failed to start")
+        return (self.host, self.port)
+
+    def stop(self) -> None:
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> Tuple[str, int]:
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+def query_udp(
+    endpoint: Tuple[str, int],
+    query: Message,
+    timeout: float = 2.0,
+    retries: int = 1,
+) -> Message:
+    """Send one query over UDP and return the decoded response.
+
+    Uses a short-lived socket per call (the scanner's behaviour); retries
+    once on timeout by default.
+    """
+    import socket
+
+    wire = query.to_wire()
+    last_error: Optional[Exception] = None
+    for _ in range(retries + 1):
+        with contextlib.closing(socket.socket(socket.AF_INET, socket.SOCK_DGRAM)) as sock:
+            sock.settimeout(timeout)
+            try:
+                sock.sendto(wire, endpoint)
+                data, _ = sock.recvfrom(max(MAX_UDP_PAYLOAD, 4096))
+                response = Message.from_wire(data)
+                if response.id == query.id:
+                    return response
+                last_error = ValueError("mismatched message id")
+            except OSError as exc:
+                last_error = exc
+    raise TimeoutError(f"no response from {endpoint}: {last_error}")

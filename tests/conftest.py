@@ -1,0 +1,17 @@
+"""Shared fixtures."""
+
+import pytest
+
+from tests.helpers import build_mini_world
+
+
+@pytest.fixture(scope="module")
+def mini_world():
+    """The hand-built miniature DNS world (module-scoped: read-only use)."""
+    return build_mini_world()
+
+
+@pytest.fixture
+def fresh_world():
+    """A fresh world per test, for tests that mutate state."""
+    return build_mini_world()

@@ -1,0 +1,71 @@
+"""Direct tests for the campaign orchestration (build → scan → analyze
+→ re-check) and its acquired-sources mode."""
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.core.bootstrap import INCORRECT_OUTCOMES, SignalOutcome
+from repro.ecosystem.spec import SignalScenario
+
+SCALE = 1e-6
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(scale=SCALE, seed=41, recheck=True)
+
+
+class TestRecheck:
+    def test_transients_resolved(self, campaign):
+        transients = {
+            spec.name + "."
+            for spec in campaign.world.specs.values()
+            if spec.signal == SignalScenario.SIG_TRANSIENT
+        }
+        assert transients
+        assert set(campaign.rechecked) == transients
+        by_zone = {a.zone: a for a in campaign.report.assessments}
+        for zone in transients:
+            assert by_zone[zone].signal_outcome == SignalOutcome.CORRECT
+
+    def test_persistent_misconfigs_stay(self, campaign):
+        persistent = {
+            SignalScenario.NS_COVERAGE: SignalOutcome.INCORRECT_NS_COVERAGE,
+            SignalScenario.ZONE_CUT: SignalOutcome.INCORRECT_ZONE_CUT,
+            SignalScenario.SIG_EXPIRED: SignalOutcome.INCORRECT_SIGNAL_DNSSEC,
+        }
+        by_zone = {a.zone: a for a in campaign.report.assessments}
+        for spec in campaign.world.specs.values():
+            expected = persistent.get(spec.signal)
+            if expected is None:
+                continue
+            assert by_zone[spec.name + "."].signal_outcome == expected, spec.name
+
+    def test_counter_consistency_after_recheck(self, campaign):
+        report = campaign.report
+        assert sum(report.outcome_counts.values()) == report.total_scanned
+        incorrect = sum(report.outcome_counts.get(o, 0) for o in INCORRECT_OUTCOMES)
+        funnel_incorrect = sum(f.incorrect for f in report.signal_funnels.values())
+        assert incorrect == funnel_incorrect
+
+
+class TestSourcesMode:
+    def test_acquired_list_scans(self):
+        acquired = run_campaign(scale=SCALE, seed=41, recheck=False, use_sources=True)
+        full = run_campaign(scale=SCALE, seed=41, recheck=False)
+        # CT-log sampling makes the acquired list a subset.
+        assert acquired.report.total_scanned <= full.report.total_scanned
+        assert acquired.report.total_scanned > 0
+
+    def test_acquired_percentages_close_to_full(self):
+        from repro.core import DnssecStatus
+
+        acquired = run_campaign(scale=2e-6, seed=42, recheck=False, use_sources=True)
+        full = run_campaign(scale=2e-6, seed=42, recheck=False)
+
+        def secured_pct(report):
+            return report.status_count(DnssecStatus.SECURE) / max(1, report.total_resolved)
+
+        # Uniform CT-log sampling keeps the estimate representative
+        # (§3.1's claim) — allow small-population noise.
+        assert abs(secured_pct(acquired.report) - secured_pct(full.report)) < 0.04

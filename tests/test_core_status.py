@@ -1,0 +1,218 @@
+"""Unit tests for DNSSEC status classification and CDS analysis.
+
+Builds synthetic ZoneScanResult objects directly, so each taxonomy
+branch is exercised in isolation.
+"""
+
+import pytest
+
+from repro.core import DnssecStatus, analyze_cds, classify_status
+from repro.core.status import island_is_internally_valid
+from repro.dns.name import Name
+from repro.dns.rdata import CDNSKEY
+from repro.dns.rrset import RRset
+from repro.dns.types import Rcode, RRType
+from repro.dnssec import Algorithm, KeyPair, cds_delete_rdata, ds_from_dnskey
+from repro.dnssec.ds import cds_from_dnskey
+from repro.dnssec.signer import corrupt_signature, sign_rrset
+from repro.dnssec.validator import FailureReason
+from repro.scanner.results import QueryStatus, RRQueryResult, ZoneScanResult
+
+ZONE = Name.from_text("zone.example")
+KEY = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"status-key")
+OTHER_KEY = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"other-key")
+
+
+def ok(rrset=None, rrsigs=None):
+    return RRQueryResult(QueryStatus.OK, rcode=Rcode.NOERROR, rrset=rrset, rrsigs=rrsigs or [])
+
+
+def make_dnskey_result(key=KEY, sign_with=None, corrupt=False):
+    rrset = RRset(ZONE, RRType.DNSKEY, 3600, [key.dnskey()])
+    signer = sign_with or key
+    sig = sign_rrset(rrset, signer, ZONE)
+    if corrupt:
+        sig = corrupt_signature(sig)
+    return ok(rrset, [sig])
+
+
+def make_result(ds=None, dnskey=None, resolved=True, cds=None, cdnskey=None):
+    result = ZoneScanResult(zone=ZONE, resolved=resolved)
+    result.soa = ok()
+    result.ds = ds if ds is not None else ok(None)
+    result.dnskey = dnskey if dnskey is not None else ok(None)
+    result.cds_by_ns = cds or {}
+    result.cdnskey_by_ns = cdnskey or {}
+    return result
+
+
+def ds_rrset_for(key):
+    return RRset(ZONE, RRType.DS, 3600, [ds_from_dnskey(ZONE, key.dnskey())])
+
+
+class TestClassifyStatus:
+    def test_unresolved(self):
+        status, _ = classify_status(make_result(resolved=False))
+        assert status == DnssecStatus.UNRESOLVED
+
+    def test_unsigned(self):
+        status, detail = classify_status(make_result())
+        assert status == DnssecStatus.UNSIGNED and detail is None
+
+    def test_secure(self):
+        result = make_result(ds=ok(ds_rrset_for(KEY)), dnskey=make_dnskey_result())
+        status, detail = classify_status(result)
+        assert status == DnssecStatus.SECURE and detail is None
+
+    def test_errant_ds_no_dnskey_is_invalid(self):
+        # The paper's no-DNSSEC operators show small invalid percentages
+        # "due to errant DS records in the parent".
+        result = make_result(ds=ok(ds_rrset_for(KEY)))
+        status, detail = classify_status(result)
+        assert status == DnssecStatus.INVALID
+        assert detail == FailureReason.NO_DNSKEY
+
+    def test_ds_not_matching_dnskey_is_invalid(self):
+        result = make_result(ds=ok(ds_rrset_for(OTHER_KEY)), dnskey=make_dnskey_result())
+        status, detail = classify_status(result)
+        assert status == DnssecStatus.INVALID
+        assert detail == FailureReason.NO_MATCHING_DS
+
+    def test_bogus_signature_is_invalid(self):
+        result = make_result(
+            ds=ok(ds_rrset_for(KEY)), dnskey=make_dnskey_result(corrupt=True)
+        )
+        status, detail = classify_status(result)
+        assert status == DnssecStatus.INVALID
+        assert detail == FailureReason.BAD_SIGNATURE
+
+    def test_island(self):
+        result = make_result(dnskey=make_dnskey_result())
+        status, detail = classify_status(result)
+        assert status == DnssecStatus.ISLAND and detail is None
+
+    def test_island_with_broken_sigs_still_island(self):
+        result = make_result(dnskey=make_dnskey_result(corrupt=True))
+        status, detail = classify_status(result)
+        assert status == DnssecStatus.ISLAND
+        assert detail == FailureReason.BAD_SIGNATURE
+
+    def test_island_internal_validity(self):
+        assert island_is_internally_valid(make_result(dnskey=make_dnskey_result()))
+        assert not island_is_internally_valid(
+            make_result(dnskey=make_dnskey_result(corrupt=True))
+        )
+        assert not island_is_internally_valid(make_result())
+
+
+def cds_rrset_for(key=KEY, delete=False):
+    if delete:
+        return RRset(ZONE, RRType.CDS, 3600, [cds_delete_rdata()])
+    return RRset(ZONE, RRType.CDS, 3600, [cds_from_dnskey(ZONE, key.dnskey())])
+
+
+def cds_response(key=KEY, delete=False, sign=True, corrupt=False, signer=None):
+    rrset = cds_rrset_for(key, delete)
+    rrsigs = []
+    if sign:
+        sig = sign_rrset(rrset, signer or KEY, ZONE)
+        if corrupt:
+            sig = corrupt_signature(sig)
+        rrsigs = [sig]
+    return ok(rrset, rrsigs)
+
+
+class TestAnalyzeCds:
+    def test_absent(self):
+        report = analyze_cds(make_result(cds={"ns1@1": ok(None)}))
+        assert not report.present
+        assert report.any_answer
+        assert not report.all_failed
+
+    def test_present_and_valid(self):
+        result = make_result(
+            dnskey=make_dnskey_result(),
+            cds={"ns1@1": cds_response(), "ns2@2": cds_response()},
+        )
+        report = analyze_cds(result)
+        assert report.present and report.consistent
+        assert report.matches_dnskey is True
+        assert report.sigs_valid is True
+        assert not report.is_delete
+
+    def test_all_failed(self):
+        failures = {
+            "ns1@1": RRQueryResult(QueryStatus.ERROR, rcode=Rcode.SERVFAIL),
+            "ns2@2": RRQueryResult(QueryStatus.TIMEOUT),
+        }
+        report = analyze_cds(make_result(cds=dict(failures), cdnskey=dict(failures)))
+        assert report.all_failed
+        assert not report.any_answer
+
+    def test_inconsistent_between_ns(self):
+        result = make_result(
+            dnskey=make_dnskey_result(),
+            cds={"ns1@1": cds_response(KEY), "ns2@2": cds_response(OTHER_KEY, signer=KEY)},
+        )
+        report = analyze_cds(result)
+        assert not report.consistent
+        assert report.inconsistent_keys
+
+    def test_empty_vs_data_is_inconsistent(self):
+        result = make_result(
+            dnskey=make_dnskey_result(),
+            cds={"ns1@1": cds_response(), "ns2@2": ok(None)},
+        )
+        report = analyze_cds(result)
+        assert not report.consistent
+
+    def test_delete_sentinel(self):
+        result = make_result(
+            dnskey=make_dnskey_result(), cds={"ns1@1": cds_response(delete=True)}
+        )
+        report = analyze_cds(result)
+        assert report.is_delete
+
+    def test_cdnskey_delete_sentinel(self):
+        rrset = RRset(ZONE, RRType.CDNSKEY, 3600, [CDNSKEY(0, 3, 0, b"\x00")])
+        result = make_result(dnskey=make_dnskey_result(), cdnskey={"ns1@1": ok(rrset)})
+        report = analyze_cds(result)
+        assert report.is_delete
+
+    def test_cds_not_matching_dnskey(self):
+        result = make_result(
+            dnskey=make_dnskey_result(),
+            cds={"ns1@1": cds_response(OTHER_KEY, signer=KEY)},
+        )
+        report = analyze_cds(result)
+        assert report.matches_dnskey is False
+
+    def test_bad_signature(self):
+        result = make_result(
+            dnskey=make_dnskey_result(), cds={"ns1@1": cds_response(corrupt=True)}
+        )
+        report = analyze_cds(result)
+        assert report.sigs_valid is False
+
+    def test_cds_in_unsigned_zone(self):
+        # §4.2: CDS published without any DNSKEY — a misconfiguration.
+        result = make_result(cds={"ns1@1": cds_response(sign=False)})
+        report = analyze_cds(result)
+        assert report.present
+        assert report.matches_dnskey is False
+        assert report.sigs_valid is None
+
+    def test_cdnskey_matching(self):
+        cdnskey = RRset(ZONE, RRType.CDNSKEY, 3600, [KEY.cdnskey()])
+        sig = sign_rrset(cdnskey, KEY, ZONE)
+        result = make_result(dnskey=make_dnskey_result(), cdnskey={"ns1@1": ok(cdnskey, [sig])})
+        report = analyze_cds(result)
+        assert report.matches_dnskey is True
+        assert report.sigs_valid is True
+
+    def test_cdnskey_mismatch(self):
+        cdnskey = RRset(ZONE, RRType.CDNSKEY, 3600, [OTHER_KEY.cdnskey()])
+        sig = sign_rrset(cdnskey, KEY, ZONE)
+        result = make_result(dnskey=make_dnskey_result(), cdnskey={"ns1@1": ok(cdnskey, [sig])})
+        report = analyze_cds(result)
+        assert report.matches_dnskey is False

@@ -1,0 +1,92 @@
+"""Tests for zone-list coverage sampling and bias quantification (§3.1)."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.scanner.coverage import (
+    CoverageReport,
+    TlsWeightedSampler,
+    UniformSampler,
+    coverage_bias,
+    per_suffix_zones,
+)
+
+ZONES = [Name.from_text(f"zone{i:05d}.de") for i in range(4000)]
+# Deterministic ground truth: every 18th zone is secured (~5.5 %).
+SECURED = {zone: (i % 18 == 0) for i, zone in enumerate(ZONES)}
+
+
+def is_secured(zone):
+    return SECURED[zone]
+
+
+class TestSamplers:
+    def test_uniform_fraction_respected(self):
+        sampler = UniformSampler(0.6)
+        kept = sum(sampler.keeps(z, SECURED[z]) for z in ZONES)
+        assert abs(kept / len(ZONES) - 0.6) < 0.05
+
+    def test_uniform_deterministic(self):
+        sampler = UniformSampler(0.5)
+        assert [sampler.keeps(z, False) for z in ZONES[:50]] == [
+            sampler.keeps(z, False) for z in ZONES[:50]
+        ]
+
+    def test_tls_weighted_prefers_secured(self):
+        sampler = TlsWeightedSampler(0.4, weight=2.0)
+        secured_kept = sum(sampler.keeps(z, True) for z in ZONES)
+        unsecured_kept = sum(sampler.keeps(z, False) for z in ZONES)
+        assert secured_kept > unsecured_kept * 1.5
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            UniformSampler(0)
+        with pytest.raises(ValueError):
+            TlsWeightedSampler(1.5)
+
+
+class TestCoverageBias:
+    def test_uniform_sample_unbiased(self):
+        report = coverage_bias(ZONES, is_secured, UniformSampler(0.6), suffix="de")
+        assert 0.4 < report.coverage < 0.8  # the paper's 43-80 % band
+        assert abs(report.bias_points) < 1.5  # representative
+
+    def test_tls_weighted_sample_overstates(self):
+        report = coverage_bias(ZONES, is_secured, TlsWeightedSampler(0.4, weight=3.0))
+        assert report.bias_points > 1.0  # adoption overstated
+        assert report.sampled_secured_pct > report.true_secured_pct
+
+    def test_full_coverage_no_bias(self):
+        report = coverage_bias(ZONES, is_secured, UniformSampler(1.0))
+        assert report.coverage == 1.0
+        assert report.bias_points == 0.0
+
+    def test_empty_population(self):
+        report = coverage_bias([], is_secured, UniformSampler(0.5))
+        assert report.population == 0 and report.coverage == 0.0
+
+    def test_per_suffix_grouping(self):
+        world_like = type("W", (), {})()
+        world_like.scan_list = [
+            Name.from_text("a.de"),
+            Name.from_text("b.de"),
+            Name.from_text("c.com"),
+        ]
+        groups = per_suffix_zones(world_like)
+        assert len(groups["de"]) == 2 and len(groups["com"]) == 1
+
+    def test_against_generated_world(self):
+        from repro.ecosystem import build_world
+        from repro.ecosystem.spec import StatusScenario
+
+        world = build_world(scale=2e-6, seed=6)
+        groups = per_suffix_zones(world)
+        suffix, zones = max(groups.items(), key=lambda kv: len(kv[1]))
+
+        def truth(zone: Name) -> bool:
+            spec = world.specs[zone.to_text().rstrip(".")]
+            return spec.status == StatusScenario.SECURE
+
+        report = coverage_bias(zones, truth, UniformSampler(0.6), suffix=suffix)
+        assert report.sample_size > 0
+        assert abs(report.bias_points) < 6  # small populations are noisy

@@ -1,0 +1,131 @@
+"""Tests for NSEC denial-of-existence verification (RFC 4035 §5.4)."""
+
+import pytest
+
+from repro.dns.message import make_query
+from repro.dns.name import Name
+from repro.dns.rdata import A, NS, SOA, TXT
+from repro.dns.types import Rcode, RRType
+from repro.dns.zone import Zone
+from repro.dnssec import Algorithm, KeyPair, sign_zone
+from repro.dnssec.denial import (
+    nsec_covers,
+    nsec_matches,
+    verify_denial,
+    verify_nodata,
+    verify_nxdomain,
+)
+from repro.server import AuthoritativeServer
+
+APEX = Name.from_text("d.test")
+
+
+@pytest.fixture(scope="module")
+def served():
+    zone = Zone(APEX)
+    zone.add(APEX, 300, SOA("ns1.d.test", "h.d.test", 1))
+    zone.add(APEX, 300, NS("ns1.d.test"))
+    zone.add("alpha.d.test", 300, A("192.0.2.1"))
+    zone.add("mike.d.test", 300, A("192.0.2.2"))
+    zone.add("zulu.d.test", 300, TXT(["end"]))
+    key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"denial")
+    sign_zone(zone, [key])
+    server = AuthoritativeServer()
+    server.add_zone(zone)
+    return zone, server
+
+
+def nsec_sets(response):
+    return [r for r in response.authority if int(r.rrtype) == int(RRType.NSEC)]
+
+
+class TestPrimitives:
+    def test_covers_gap(self, served):
+        zone, _ = served
+        rrset = zone.get_rrset("alpha.d.test", RRType.NSEC)
+        assert nsec_covers(rrset, Name.from_text("beta.d.test"))
+        assert not nsec_covers(rrset, Name.from_text("alpha.d.test"))  # match ≠ cover
+        assert not nsec_covers(rrset, Name.from_text("nancy.d.test"))
+
+    def test_wraparound_covers_names_after_last(self, served):
+        zone, _ = served
+        rrset = zone.get_rrset("zulu.d.test", RRType.NSEC)
+        # zulu is last; its NSEC wraps to the apex and covers zz names.
+        assert nsec_covers(rrset, Name.from_text("zzz.d.test"))
+
+    def test_matches(self, served):
+        zone, _ = served
+        rrset = zone.get_rrset("mike.d.test", RRType.NSEC)
+        assert nsec_matches(rrset, Name.from_text("mike.d.test")) is not None
+        assert nsec_matches(rrset, Name.from_text("other.d.test")) is None
+
+
+class TestServerProofs:
+    def test_nxdomain_proof_verifies(self, served):
+        _, server = served
+        response = server.handle_query(make_query("gamma.d.test", RRType.A))
+        assert response.rcode == Rcode.NXDOMAIN
+        result = verify_nxdomain(Name.from_text("gamma.d.test"), APEX, nsec_sets(response))
+        assert result.proven, result.reason
+
+    def test_nodata_proof_verifies(self, served):
+        _, server = served
+        response = server.handle_query(make_query("mike.d.test", RRType.TXT))
+        assert response.rcode == Rcode.NOERROR and not response.answer
+        result = verify_nodata(Name.from_text("mike.d.test"), RRType.TXT, nsec_sets(response))
+        assert result.proven, result.reason
+
+    def test_dispatch(self, served):
+        _, server = served
+        response = server.handle_query(make_query("gamma.d.test", RRType.A))
+        result = verify_denial(
+            Name.from_text("gamma.d.test"), RRType.A, APEX, nsec_sets(response), nxdomain=True
+        )
+        assert result.proven
+
+    def test_forged_nxdomain_rejected(self, served):
+        zone, _ = served
+        # Claim NXDOMAIN for a name that exists: no NSEC covers it.
+        all_nsec = [
+            zone.get_rrset(name, RRType.NSEC)
+            for name in zone.names()
+            if zone.get_rrset(name, RRType.NSEC)
+        ]
+        result = verify_nxdomain(Name.from_text("mike.d.test"), APEX, all_nsec)
+        assert not result.proven
+
+    def test_forged_nodata_rejected(self, served):
+        zone, _ = served
+        all_nsec = [
+            zone.get_rrset(name, RRType.NSEC)
+            for name in zone.names()
+            if zone.get_rrset(name, RRType.NSEC)
+        ]
+        # mike.d.test *does* own an A record: the bitmap exposes the lie.
+        result = verify_nodata(Name.from_text("mike.d.test"), RRType.A, all_nsec)
+        assert not result.proven
+        assert "claims A exists" in result.reason
+
+    def test_empty_proof_rejected(self):
+        assert not verify_nxdomain(Name.from_text("x.d.test"), APEX, []).proven
+        assert not verify_nodata(Name.from_text("x.d.test"), RRType.A, []).proven
+
+
+class TestWildcardInteraction:
+    def test_nxdomain_with_wildcard_present_rejected(self):
+        zone = Zone("w.test")
+        zone.add("w.test", 300, SOA("ns1.w.test", "h.w.test", 1))
+        zone.add("w.test", 300, NS("ns1.w.test"))
+        zone.add("*.w.test", 300, A("192.0.2.9"))
+        key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"wildcard-denial")
+        sign_zone(zone, [key])
+        all_nsec = [
+            zone.get_rrset(name, RRType.NSEC)
+            for name in zone.names()
+            if zone.get_rrset(name, RRType.NSEC)
+        ]
+        # An attacker replaying these NSECs to deny a name that the
+        # wildcard would answer must fail: the wildcard NSEC *matches*.
+        result = verify_nxdomain(Name.from_text("anything.w.test"), Name.from_text("w.test"), all_nsec)
+        assert not result.proven
+        assert "wildcard" in result.reason

@@ -1,0 +1,201 @@
+"""Integration tests: generated worlds must reproduce their own ground
+truth through the *real* scan + analysis pipeline."""
+
+import pytest
+
+from repro.core import AnalysisPipeline, DnssecStatus, SignalOutcome
+from repro.core.bootstrap import BootstrapEligibility
+from repro.dns.name import Name
+from repro.dns.types import RRType
+from repro.ecosystem import build_world
+from repro.ecosystem.spec import Cell, CdsScenario, SignalScenario, StatusScenario
+from repro.ecosystem.world import expected_classification
+
+SCALE = 1 / 1_000_000  # ~290 zones: every taxonomy branch, fast tests
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(scale=SCALE, seed=1)
+
+
+@pytest.fixture(scope="module")
+def report(world):
+    scanner = world.make_scanner()
+    results = scanner.scan_many(world.scan_list)
+    pipeline = AnalysisPipeline(world.operator_db)
+    rep = pipeline.analyze(results)
+    rep._results = results  # stash for other tests
+    return rep
+
+
+def spec_cell(spec):
+    return Cell(
+        operator=spec.operator,
+        status=spec.status,
+        cds=spec.cds,
+        signal=spec.signal,
+        count=1,
+        secondary_operator=spec.secondary_operator,
+        legacy_ns=spec.legacy_ns,
+    )
+
+
+class TestWorldStructure:
+    def test_zone_count_matches_scale(self, world):
+        # 287.6M * 1e-6 = 288 zones + the unresolved extras.
+        assert 288 <= world.zone_count <= 300
+
+    def test_specs_unique_names(self, world):
+        assert len(world.specs) == len(world.scan_list)
+
+    def test_root_resolves(self, world):
+        from repro.dns.message import make_query
+
+        resp = world.network.query("198.41.0.4", make_query(".", RRType.SOA))
+        assert resp.answer
+
+    def test_registry_signed(self, world):
+        from repro.dns.message import make_query
+
+        resp = world.network.query("198.41.0.4", make_query("com", RRType.NS))
+        # Referral to com with DS (signed TLD).
+        assert any(int(r.rrtype) == int(RRType.DS) for r in resp.authority)
+
+    def test_operator_db_knows_cloudflare(self, world):
+        assert (
+            world.operator_db.identify_host(Name.from_text("asa.ns.cloudflare.com"))
+            == "Cloudflare"
+        )
+
+    def test_anycast_suffix_configured(self, world):
+        assert Name.from_text("ns.cloudflare.com") in world.anycast_ns_suffixes
+
+    def test_deterministic_rebuild(self):
+        w1 = build_world(scale=SCALE, seed=7)
+        w2 = build_world(scale=SCALE, seed=7)
+        assert sorted(w1.specs) == sorted(w2.specs)
+        spec1 = w1.specs[next(iter(sorted(w1.specs)))]
+        spec2 = w2.specs[next(iter(sorted(w2.specs)))]
+        assert spec1 == spec2
+
+    def test_seed_changes_names(self):
+        w1 = build_world(scale=SCALE, seed=1)
+        w2 = build_world(scale=SCALE, seed=2)
+        assert sorted(w1.specs) != sorted(w2.specs)
+
+
+class TestGroundTruth:
+    def test_every_zone_classified_as_designed(self, world, report):
+        by_zone = {a.zone.rstrip("."): a for a in report.assessments}
+        mismatches = []
+        for name, spec in world.specs.items():
+            expected = expected_classification(spec_cell(spec))
+            actual = by_zone[name]
+            got = (actual.status, actual.eligibility, actual.signal_outcome)
+            if got != expected:
+                mismatches.append((name, expected, got))
+        assert not mismatches, mismatches[:5]
+
+    def test_status_totals_match_targets(self, world, report):
+        for scenario, status in [
+            (StatusScenario.SECURE, DnssecStatus.SECURE),
+            (StatusScenario.UNSIGNED, DnssecStatus.UNSIGNED),
+        ]:
+            expected = world.targets.count_where(status=scenario)
+            assert report.status_count(status) == expected
+
+    def test_island_total(self, world, report):
+        expected = world.targets.count_where(status=StatusScenario.ISLAND) + world.targets.count_where(
+            status=StatusScenario.ISLAND_BADSIG
+        )
+        assert report.status_count(DnssecStatus.ISLAND) == expected
+
+    def test_unresolved_zones_detected(self, world, report):
+        expected = world.targets.count_where(status=StatusScenario.UNRESOLVED)
+        assert report.status_count(DnssecStatus.UNRESOLVED) == expected
+        assert expected >= 2
+
+    def test_multi_operator_zones_counted(self, world, report):
+        expected = sum(
+            1 for spec in world.specs.values() if spec.secondary_operator is not None
+        )
+        assert report.multi_operator_zones == expected
+
+    def test_legacy_cds_failures_counted(self, world, report):
+        expected = sum(1 for spec in world.specs.values() if spec.legacy_ns)
+        assert report.cds_query_failures == expected
+
+    def test_operator_attribution(self, world, report):
+        cf_zones = [
+            spec
+            for spec in world.specs.values()
+            if spec.operator == "Cloudflare" and spec.secondary_operator is None
+        ]
+        stats = report.operators.get("Cloudflare")
+        assert stats is not None
+        assert stats.domains >= len(cf_zones)
+
+
+class TestSignalFunnelGroundTruth:
+    def test_funnel_matches_cells(self, world, report):
+        from collections import Counter
+
+        expected = Counter()
+        for spec in world.specs.values():
+            _, _, outcome = expected_classification(spec_cell(spec))
+            if outcome != SignalOutcome.NO_SIGNAL:
+                expected[outcome] += 1
+        for outcome, count in expected.items():
+            assert report.outcome_count(outcome) == count, outcome
+
+    def test_zone_cut_zone_detected(self, world, report):
+        cut_specs = [s for s in world.specs.values() if s.signal == SignalScenario.ZONE_CUT]
+        assert cut_specs  # preserved at any scale
+        by_zone = {a.zone.rstrip("."): a for a in report.assessments}
+        for spec in cut_specs:
+            assert by_zone[spec.name].signal_outcome == SignalOutcome.INCORRECT_ZONE_CUT
+
+    def test_transient_recovers_on_rescan(self, world, report):
+        transient = [
+            s for s in world.specs.values() if s.signal == SignalScenario.SIG_TRANSIENT
+        ]
+        assert transient
+        scanner = world.make_scanner()
+        for spec in transient:
+            rescan = scanner.scan_zone(spec.name)
+            from repro.core import assess_zone
+
+            assessment = assess_zone(rescan)
+            assert assessment.signal_outcome == SignalOutcome.CORRECT, spec.name
+
+    def test_cloudflare_sampling_applied(self, world, report):
+        results = report._results
+        cf_sampled = [
+            r
+            for r in results
+            if r.sampled and world.specs.get(r.zone.to_text().rstrip("."), None)
+        ]
+        # Nearly all Cloudflare zones are scanned in reduced mode.
+        cf_total = sum(
+            1 for s in world.specs.values() if s.operator == "Cloudflare" and not s.secondary_operator
+        )
+        assert len(cf_sampled) >= cf_total * 0.7
+
+
+class TestEligibilityGroundTruth:
+    def test_bootstrappable_zones(self, world, report):
+        expected = sum(
+            1
+            for spec in world.specs.values()
+            if expected_classification(spec_cell(spec))[1] == BootstrapEligibility.BOOTSTRAPPABLE
+        )
+        assert report.eligibility_count(BootstrapEligibility.BOOTSTRAPPABLE) == expected
+
+    def test_delete_islands(self, world, report):
+        expected = sum(
+            1
+            for spec in world.specs.values()
+            if spec.status == StatusScenario.ISLAND and spec.cds == CdsScenario.DELETE
+        )
+        assert report.eligibility_count(BootstrapEligibility.ISLAND_CDS_DELETE) == expected

@@ -1,0 +1,83 @@
+"""Tests for the longitudinal snapshots (§5 related-work trajectory)."""
+
+import pytest
+
+from repro.ecosystem.evolution import (
+    SNAPSHOTS,
+    build_historical_world,
+    historical_cells,
+    measure_trend,
+    snapshot_for,
+)
+from repro.ecosystem.paper_targets import TOTAL_DOMAINS
+from repro.ecosystem.spec import SignalScenario, StatusScenario
+
+
+class TestSnapshots:
+    def test_years_ordered(self):
+        years = [s.year for s in SNAPSHOTS]
+        assert years == sorted(years)
+        assert years[0] == 2017 and years[-1] == 2025
+
+    def test_secure_rate_monotonic(self):
+        rates = [s.secure_rate for s in SNAPSHOTS]
+        assert rates == sorted(rates)
+
+    def test_2017_matches_chung(self):
+        snapshot = snapshot_for(2017)
+        assert 0.006 <= snapshot.secure_rate <= 0.010
+        assert snapshot.ab_signal_zones == 0
+
+    def test_unknown_year_rejected(self):
+        with pytest.raises(ValueError):
+            snapshot_for(1999)
+
+    def test_historical_cells_sum_to_total(self):
+        for year in (2017, 2020, 2023):
+            cells = historical_cells(year)
+            assert sum(c.count for c in cells) == TOTAL_DOMAINS
+
+    def test_2017_has_no_cds_or_signal(self):
+        from repro.ecosystem.spec import CdsScenario
+
+        cells = historical_cells(2017)
+        assert all(c.cds == CdsScenario.NONE for c in cells)
+        assert all(c.signal == SignalScenario.NONE for c in cells)
+
+    def test_2023_has_signal_population(self):
+        cells = historical_cells(2023)
+        signal = sum(c.count for c in cells if c.signal != SignalScenario.NONE)
+        assert signal == 250_000
+
+    def test_2025_delegates_to_paper_table(self):
+        from repro.ecosystem.paper_targets import build_cells
+
+        assert len(historical_cells(2025)) == len(build_cells())
+
+
+class TestMeasuredTrend:
+    @pytest.fixture(scope="class")
+    def trend(self):
+        return measure_trend(scale=2e-6, seed=4, years=[2017, 2023, 2025])
+
+    def test_adoption_grows(self, trend):
+        secured = [p.secured_pct for p in trend]
+        assert secured == sorted(secured)
+        assert secured[0] < 1.5  # Chung-era
+        assert 4.0 <= secured[-1] <= 7.0  # the paper's 5.5 %
+
+    def test_signal_only_in_recent_years(self, trend):
+        by_year = {p.year: p for p in trend}
+        assert by_year[2017].with_signal == 0
+        assert by_year[2023].with_signal >= 1
+        assert by_year[2025].with_signal > by_year[2023].with_signal
+
+    def test_sources_attached(self, trend):
+        assert "Chung" in trend[0].source
+
+    def test_historical_world_scans(self):
+        world = build_historical_world(2017, scale=1e-6, seed=4)
+        assert world.zone_count > 200
+        scanner = world.make_scanner()
+        result = scanner.scan_zone(world.scan_list[0])
+        assert result.resolved or result.error

@@ -1,0 +1,177 @@
+"""Unit tests for DNS message encoding/decoding."""
+
+import pytest
+
+from repro.dns.message import Message, Question, make_query, make_response
+from repro.dns.name import Name
+from repro.dns.rdata import A, CDS, NS, SOA
+from repro.dns.rrset import RRset
+from repro.dns.types import Rcode, RRType
+from repro.dns.wire import WireError
+
+
+def round_trip(msg: Message) -> Message:
+    return Message.from_wire(msg.to_wire())
+
+
+class TestQuery:
+    def test_make_query_defaults(self):
+        query = make_query("example.com", RRType.CDS, msg_id=7)
+        assert query.question == Question("example.com", RRType.CDS)
+        assert query.edns and query.dnssec_ok
+        assert not query.is_response
+
+    def test_query_round_trip(self):
+        query = make_query("example.co.uk", RRType.DNSKEY, msg_id=999)
+        decoded = round_trip(query)
+        assert decoded.id == 999
+        assert decoded.question.name == Name.from_text("example.co.uk")
+        assert decoded.question.rrtype == RRType.DNSKEY
+        assert decoded.dnssec_ok
+
+    def test_no_dnssec_ok(self):
+        query = make_query("example.com", RRType.A, dnssec_ok=False)
+        assert not round_trip(query).dnssec_ok
+
+    def test_recursion_desired(self):
+        query = make_query("example.com", RRType.A, recursion_desired=True)
+        assert round_trip(query).recursion_desired
+
+
+class TestResponse:
+    def test_make_response_mirrors_query(self):
+        query = make_query("example.com", RRType.A, msg_id=4)
+        resp = make_response(query)
+        assert resp.id == 4
+        assert resp.is_response
+        assert resp.question == query.question
+        assert resp.dnssec_ok  # DO echoed
+
+    def test_sections_round_trip(self):
+        query = make_query("example.com", RRType.A, msg_id=11)
+        resp = make_response(query)
+        resp.authoritative = True
+        resp.answer.append(RRset("example.com", RRType.A, 300, [A("192.0.2.1"), A("192.0.2.2")]))
+        resp.authority.append(RRset("example.com", RRType.NS, 3600, [NS("ns1.example.net")]))
+        resp.additional.append(RRset("ns1.example.net", RRType.A, 3600, [A("198.51.100.1")]))
+        decoded = round_trip(resp)
+        assert decoded.authoritative
+        assert len(decoded.answer) == 1 and len(decoded.answer[0]) == 2
+        assert decoded.authority[0].rdatas[0].target == Name.from_text("ns1.example.net")
+        assert decoded.additional[0].name == Name.from_text("ns1.example.net")
+
+    def test_rcode_round_trip(self):
+        query = make_query("nope.example.com", RRType.A, msg_id=2)
+        resp = make_response(query, Rcode.NXDOMAIN)
+        resp.authority.append(
+            RRset("example.com", RRType.SOA, 300, [SOA("ns1.example.com", "root.example.com", 1)])
+        )
+        decoded = round_trip(resp)
+        assert decoded.rcode == Rcode.NXDOMAIN
+
+    def test_rrset_regrouping(self):
+        # Two records with same owner/type must decode into one RRset.
+        query = make_query("example.com", RRType.CDS, msg_id=1)
+        resp = make_response(query)
+        resp.answer.append(
+            RRset(
+                "example.com",
+                RRType.CDS,
+                3600,
+                [CDS(1, 15, 2, b"\x01" * 32), CDS(2, 15, 2, b"\x02" * 32)],
+            )
+        )
+        decoded = round_trip(resp)
+        assert len(decoded.answer) == 1
+        assert len(decoded.answer[0]) == 2
+
+
+class TestTruncation:
+    def test_truncates_over_max_size(self):
+        query = make_query("example.com", RRType.A, msg_id=3)
+        resp = make_response(query)
+        rrset = RRset("example.com", RRType.A, 300)
+        for i in range(120):
+            rrset.add(A(f"192.0.{i // 250}.{i % 250 + 1}"))
+        resp.answer.append(rrset)
+        wire = resp.to_wire(max_size=512)
+        assert len(wire) <= 512
+        decoded = Message.from_wire(wire)
+        assert decoded.truncated
+        assert not decoded.answer
+
+    def test_no_truncation_when_fits(self):
+        query = make_query("example.com", RRType.A, msg_id=3)
+        resp = make_response(query)
+        resp.answer.append(RRset("example.com", RRType.A, 300, [A("192.0.2.1")]))
+        decoded = Message.from_wire(resp.to_wire(max_size=512))
+        assert not decoded.truncated
+        assert decoded.answer
+
+
+class TestEDNS:
+    def test_opt_record_emitted_and_absorbed(self):
+        query = make_query("example.com", RRType.A)
+        decoded = round_trip(query)
+        assert decoded.edns
+        # OPT is meta — it must not appear as a regular additional RRset.
+        assert decoded.additional == []
+
+    def test_payload_size(self):
+        query = make_query("example.com", RRType.A)
+        query.edns_payload = 4096
+        assert round_trip(query).edns_payload == 4096
+
+    def test_plain_dns_no_edns(self):
+        msg = Message(msg_id=5, question=Question("example.com", RRType.A))
+        decoded = round_trip(msg)
+        assert not decoded.edns
+        assert not decoded.dnssec_ok
+
+
+class TestExtendedRcode:
+    def test_badvers_round_trip(self):
+        # BADVERS (16) needs the OPT extended-rcode bits (RFC 6891 §6.1.3).
+        query = make_query("example.com", RRType.A, msg_id=8)
+        resp = make_response(query, Rcode.BADVERS)
+        decoded = round_trip(resp)
+        assert decoded.rcode == Rcode.BADVERS
+
+    def test_low_rcode_unaffected_by_edns(self):
+        query = make_query("example.com", RRType.A, msg_id=8)
+        resp = make_response(query, Rcode.REFUSED)
+        assert round_trip(resp).rcode == Rcode.REFUSED
+
+
+class TestMalformed:
+    def test_truncated_header(self):
+        with pytest.raises(WireError):
+            Message.from_wire(b"\x00\x01\x02")
+
+    def test_multi_question_rejected(self):
+        data = bytearray(make_query("example.com", RRType.A).to_wire())
+        data[4:6] = (2).to_bytes(2, "big")  # qdcount = 2
+        with pytest.raises(WireError):
+            Message.from_wire(bytes(data))
+
+    def test_garbage(self):
+        with pytest.raises(WireError):
+            Message.from_wire(b"\xff" * 11)
+
+
+class TestFlags:
+    def test_all_flag_accessors(self):
+        msg = Message()
+        for attr in (
+            "is_response",
+            "authoritative",
+            "truncated",
+            "recursion_desired",
+            "recursion_available",
+            "authenticated_data",
+            "checking_disabled",
+        ):
+            setattr(msg, attr, True)
+            assert getattr(msg, attr)
+            setattr(msg, attr, False)
+            assert not getattr(msg, attr)

@@ -1,0 +1,135 @@
+"""RFC 8901 multi-signer tests: coordinated multi-operator setups are
+bootstrappable, uncoordinated ones are not (§4.2's coordination gap)."""
+
+import pytest
+
+from repro.core import assess_zone
+from repro.core.bootstrap import BootstrapEligibility
+from repro.dns.message import make_query
+from repro.dns.name import Name
+from repro.dns.types import Rcode, RRType
+from repro.dnssec import validate_rrset
+from repro.ecosystem.generator import (
+    materialize_customer_zone,
+    secondary_keys,
+    zone_keys,
+)
+from repro.ecosystem.spec import CdsScenario, SignalScenario, StatusScenario, ZoneSpec
+from repro.scanner.results import QueryStatus, RRQueryResult, ZoneScanResult
+from repro.server import AuthoritativeServer, SimulatedNetwork
+
+HOSTS = ("ns1.op-a.net", "ns2.op-b.net")
+
+
+def make_spec(cds: CdsScenario) -> ZoneSpec:
+    return ZoneSpec(
+        name="multi.example.com",
+        suffix="com",
+        operator="OpA",
+        status=StatusScenario.ISLAND,
+        cds=cds,
+        signal=SignalScenario.NONE,
+        ns_hosts=HOSTS,
+        secondary_operator="OpB",
+    )
+
+
+def scan_variants(spec: ZoneSpec) -> ZoneScanResult:
+    """Serve each operator's variant and collect a per-NS scan result."""
+    network = SimulatedNetwork()
+    result = ZoneScanResult(zone=Name.from_text(spec.name), resolved=True)
+    result.delegation_ns = [Name.from_text(h) for h in HOSTS]
+    for index, (host, ip) in enumerate(zip(HOSTS, ("10.0.0.1", "10.0.0.2"))):
+        server = AuthoritativeServer(host)
+        server.add_zone(materialize_customer_zone(spec, host))
+        network.register(ip, server)
+        for qtype, store in ((RRType.CDS, result.cds_by_ns), (RRType.CDNSKEY, result.cdnskey_by_ns)):
+            response = network.query(ip, make_query(spec.name, qtype, msg_id=index * 10 + int(qtype)))
+            rrset = response.get_rrset(response.answer, Name.from_text(spec.name), qtype)
+            sig_rrset = response.get_rrset(response.answer, Name.from_text(spec.name), RRType.RRSIG)
+            rrsigs = [
+                rd
+                for rd in (sig_rrset.rdatas if sig_rrset else [])
+                if int(rd.type_covered) == int(qtype)
+            ]
+            store[f"{host}@{ip}"] = RRQueryResult(
+                QueryStatus.OK, rcode=Rcode.NOERROR, rrset=rrset, rrsigs=rrsigs
+            )
+        if index == 0:
+            soa_resp = network.query(ip, make_query(spec.name, RRType.SOA, msg_id=99))
+            result.soa = RRQueryResult(
+                QueryStatus.OK,
+                rcode=Rcode.NOERROR,
+                rrset=soa_resp.get_rrset(soa_resp.answer, Name.from_text(spec.name), RRType.SOA),
+            )
+            dnskey_resp = network.query(ip, make_query(spec.name, RRType.DNSKEY, msg_id=98))
+            sig_rrset = dnskey_resp.get_rrset(
+                dnskey_resp.answer, Name.from_text(spec.name), RRType.RRSIG
+            )
+            result.dnskey = RRQueryResult(
+                QueryStatus.OK,
+                rcode=Rcode.NOERROR,
+                rrset=dnskey_resp.get_rrset(
+                    dnskey_resp.answer, Name.from_text(spec.name), RRType.DNSKEY
+                ),
+                rrsigs=[
+                    rd
+                    for rd in (sig_rrset.rdatas if sig_rrset else [])
+                    if int(rd.type_covered) == int(RRType.DNSKEY)
+                ],
+            )
+    result.ds = RRQueryResult(QueryStatus.OK, rcode=Rcode.NOERROR, rrset=None)
+    return result
+
+
+class TestMultisignerModel2:
+    def test_both_variants_publish_union_dnskey(self):
+        spec = make_spec(CdsScenario.MULTISIGNER)
+        for host in HOSTS:
+            zone = materialize_customer_zone(spec, host)
+            dnskeys = zone.get_rrset(spec.name, RRType.DNSKEY)
+            tags = {rd.key_tag() for rd in dnskeys.rdatas}
+            assert tags == {zone_keys(spec).key_tag, secondary_keys(spec).key_tag}
+
+    def test_each_variant_signed_by_own_key(self):
+        spec = make_spec(CdsScenario.MULTISIGNER)
+        from repro.dnssec.validator import extract_rrsigs
+
+        for index, host in enumerate(HOSTS):
+            zone = materialize_customer_zone(spec, host)
+            sigs = extract_rrsigs(zone.get_rrset(spec.name, RRType.RRSIG))
+            signer_tags = {
+                s.key_tag for s in sigs if int(s.type_covered) == int(RRType.DNSKEY)
+            }
+            expected = zone_keys(spec) if index == 0 else secondary_keys(spec)
+            assert signer_tags == {expected.key_tag}
+
+    def test_variant_validates_under_union_keyset(self):
+        spec = make_spec(CdsScenario.MULTISIGNER)
+        from repro.dnssec.validator import extract_rrsigs
+
+        for host in HOSTS:
+            zone = materialize_customer_zone(spec, host)
+            dnskeys = zone.get_rrset(spec.name, RRType.DNSKEY)
+            sigs = extract_rrsigs(zone.get_rrset(spec.name, RRType.RRSIG))
+            assert validate_rrset(dnskeys, sigs, list(dnskeys.rdatas)).ok
+
+    def test_coordinated_setup_is_bootstrappable(self):
+        result = scan_variants(make_spec(CdsScenario.MULTISIGNER))
+        assessment = assess_zone(result)
+        assert assessment.cds.consistent
+        assert assessment.cds.matches_dnskey is True
+        assert assessment.eligibility == BootstrapEligibility.BOOTSTRAPPABLE
+
+    def test_uncoordinated_setup_is_not(self):
+        # The same topology without coordination: each operator serves
+        # its own CDS — the paper's 4 637 multi-operator inconsistencies.
+        result = scan_variants(make_spec(CdsScenario.INCONSISTENT))
+        assessment = assess_zone(result)
+        assert not assessment.cds.consistent
+        assert assessment.eligibility == BootstrapEligibility.ISLAND_CDS_INVALID
+
+    def test_cds_covers_both_keys(self):
+        result = scan_variants(make_spec(CdsScenario.MULTISIGNER))
+        assessment = assess_zone(result)
+        assert len(assessment.cds.cds_rrset) == 2

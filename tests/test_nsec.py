@@ -1,0 +1,118 @@
+"""Unit tests for NSEC/NSEC3 chain construction."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, NS, SOA
+from repro.dns.types import RRType
+from repro.dns.zone import Zone
+from repro.dnssec.nsec import (
+    build_nsec_chain,
+    build_nsec3_chain,
+    nsec3_hash,
+    nsec3_hash_label,
+)
+
+
+@pytest.fixture
+def zone():
+    z = Zone("example.com")
+    z.add("example.com", 300, SOA("ns1.example.com", "h.example.com", 1))
+    z.add("example.com", 300, NS("ns1.example.com"))
+    z.add("beta.example.com", 300, A("192.0.2.2"))
+    z.add("alpha.example.com", 300, A("192.0.2.1"))
+    z.add("delegated.example.com", 300, NS("ns.other.net"))
+    z.add("glue.delegated.example.com", 300, A("198.51.100.9"))
+    return z
+
+
+class TestNSECChain:
+    def test_chain_is_closed_cycle(self, zone):
+        build_nsec_chain(zone)
+        names = [
+            name
+            for name in zone.names()
+            if zone.get_rrset(name, RRType.NSEC) is not None
+        ]
+        # Walk the chain from the apex; it must visit every NSEC owner and
+        # return to the apex.
+        seen = []
+        current = zone.origin
+        for _ in range(len(names)):
+            seen.append(current)
+            nsec = zone.get_rrset(current, RRType.NSEC)
+            current = nsec.rdatas[0].next_name
+        assert current == zone.origin
+        assert sorted(seen, key=lambda n: n.canonical_key()) == names
+
+    def test_canonical_ordering(self, zone):
+        build_nsec_chain(zone)
+        apex_nsec = zone.get_rrset("example.com", RRType.NSEC).rdatas[0]
+        assert apex_nsec.next_name == Name.from_text("alpha.example.com")
+
+    def test_glue_not_covered(self, zone):
+        build_nsec_chain(zone)
+        assert zone.get_rrset("glue.delegated.example.com", RRType.NSEC) is None
+
+    def test_delegation_covered_with_restricted_bitmap(self, zone):
+        build_nsec_chain(zone)
+        nsec = zone.get_rrset("delegated.example.com", RRType.NSEC).rdatas[0]
+        assert RRType.NS in nsec.types
+        assert RRType.A not in nsec.types  # child data is not authoritative
+
+    def test_bitmap_contains_node_types(self, zone):
+        build_nsec_chain(zone)
+        nsec = zone.get_rrset("alpha.example.com", RRType.NSEC).rdatas[0]
+        assert set(nsec.types) == {RRType.A, RRType.RRSIG, RRType.NSEC}
+
+    def test_empty_zone_no_crash(self):
+        build_nsec_chain(Zone("empty.example"))
+
+
+class TestNSEC3:
+    def test_hash_deterministic(self):
+        name = Name.from_text("example.com")
+        assert nsec3_hash(name, b"\xaa", 5) == nsec3_hash(name, b"\xaa", 5)
+        assert nsec3_hash(name, b"\xaa", 5) != nsec3_hash(name, b"\xbb", 5)
+        assert nsec3_hash(name, b"\xaa", 5) != nsec3_hash(name, b"\xaa", 6)
+
+    def test_rfc5155_appendix_a_vector(self):
+        # From RFC 5155 Appendix A: H(example) with salt aabbccdd, 12 iter.
+        label = nsec3_hash_label(Name.from_text("example"), bytes.fromhex("aabbccdd"), 12)
+        assert label == b"0p9mhaveqvm6t7vbl5lop2u3t2rp3tom"
+
+    def test_chain_built(self, zone):
+        build_nsec3_chain(zone, salt=b"\xab", iterations=2)
+        assert zone.get_rrset("example.com", RRType.NSEC3PARAM) is not None
+        nsec3_owners = [
+            name for name in zone.names() if zone.get_rrset(name, RRType.NSEC3)
+        ]
+        # apex, alpha, beta, delegated — glue excluded.
+        assert len(nsec3_owners) == 4
+
+    def test_chain_is_cycle(self, zone):
+        build_nsec3_chain(zone)
+        owners = {
+            name: zone.get_rrset(name, RRType.NSEC3).rdatas[0]
+            for name in zone.names()
+            if zone.get_rrset(name, RRType.NSEC3)
+        }
+        hashes = sorted(rd.next_hashed for rd in owners.values())
+        # next_hashed values are exactly the set of all hashed owners.
+        own_hashes = sorted(
+            nsec3_hash(n, b"", 0)
+            for n in [
+                Name.from_text("example.com"),
+                Name.from_text("alpha.example.com"),
+                Name.from_text("beta.example.com"),
+                Name.from_text("delegated.example.com"),
+            ]
+        )
+        assert hashes == own_hashes
+
+    def test_opt_out_flag(self, zone):
+        build_nsec3_chain(zone, opt_out=True)
+        for name in zone.names():
+            rrset = zone.get_rrset(name, RRType.NSEC3)
+            if rrset:
+                assert rrset.rdatas[0].opt_out

@@ -1,0 +1,120 @@
+"""Unit tests for operator attribution and the analysis pipeline glue."""
+
+import pytest
+
+from repro.core import AnalysisPipeline, OperatorDB
+from repro.core.operators import UNKNOWN_OPERATOR
+from repro.dns.name import Name
+from repro.scanner import Scanner
+
+
+@pytest.fixture
+def db():
+    return OperatorDB(
+        suffixes={
+            "domaincontrol.com": "GoDaddy",
+            "ns.cloudflare.com": "Cloudflare",
+            "desec.io": "deSEC",
+            "desec.org": "deSEC",
+        },
+        whitelabels={"seized.gov": "Cloudflare"},
+    )
+
+
+def names(*texts):
+    return [Name.from_text(t) for t in texts]
+
+
+class TestOperatorDB:
+    def test_simple_suffix(self, db):
+        assert db.identify_host(Name.from_text("ns41.domaincontrol.com")) == "GoDaddy"
+
+    def test_no_match(self, db):
+        assert db.identify_host(Name.from_text("ns1.random.net")) is None
+
+    def test_deepest_suffix_wins(self):
+        db = OperatorDB(suffixes={"example.com": "Generic", "dns.example.com": "Specific"})
+        assert db.identify_host(Name.from_text("a.dns.example.com")) == "Specific"
+
+    def test_whitelabel(self, db):
+        # The US Government's seized.gov NSes are rebranded Cloudflare.
+        attribution = db.identify(names("ns1.seized.gov", "ns2.seized.gov"))
+        assert attribution.primary == "Cloudflare"
+        assert not attribution.multi
+
+    def test_single_operator_two_suffixes(self, db):
+        # deSEC runs ns1.desec.io and ns2.desec.org — one operator.
+        attribution = db.identify(names("ns1.desec.io", "ns2.desec.org"))
+        assert attribution.primary == "deSEC"
+        assert not attribution.multi
+
+    def test_multi_operator(self, db):
+        attribution = db.identify(names("asa.ns.cloudflare.com", "ns1.desec.io"))
+        assert attribution.multi
+        assert set(attribution.operators) == {"Cloudflare", "deSEC"}
+
+    def test_unknown(self, db):
+        attribution = db.identify(names("ns1.mystery.example", "ns2.mystery.example"))
+        assert attribution.primary == UNKNOWN_OPERATOR
+        assert not attribution.multi
+
+    def test_known_plus_unknown_is_multi(self, db):
+        attribution = db.identify(names("ns1.desec.io", "ns1.mystery.example"))
+        assert attribution.multi
+        assert UNKNOWN_OPERATOR in attribution.operators
+
+    def test_case_insensitive(self, db):
+        assert db.identify_host(Name.from_text("NS1.DESEC.IO")) == "deSEC"
+
+    def test_empty_ns_list(self, db):
+        assert db.identify([]).primary == UNKNOWN_OPERATOR
+
+
+class TestPipelineAggregation:
+    @pytest.fixture(scope="class")
+    def report(self, mini_world):
+        scanner = Scanner(mini_world["network"], mini_world["root_ips"])
+        results = scanner.scan_many(
+            ["example.com", "unsigned.com", "island.com", "broken.com", "missing.com"]
+        )
+        db = OperatorDB(suffixes={"opdns.net": "OpDNS"})
+        return AnalysisPipeline(db).analyze(results)
+
+    def test_totals(self, report):
+        assert report.total_scanned == 5
+        assert report.total_resolved == 4
+        assert report.total_queries > 0
+
+    def test_status_counts(self, report):
+        from repro.core import DnssecStatus
+
+        assert report.status_count(DnssecStatus.SECURE) == 1
+        assert report.status_count(DnssecStatus.UNSIGNED) == 1
+        assert report.status_count(DnssecStatus.ISLAND) == 1
+        assert report.status_count(DnssecStatus.INVALID) == 1
+        assert report.status_count(DnssecStatus.UNRESOLVED) == 1
+
+    def test_operator_stats(self, report):
+        stats = report.operators["OpDNS"]
+        assert stats.domains == 4
+        assert stats.secured == 1
+        assert stats.unsigned == 1
+        assert stats.islands == 1
+        assert stats.invalid == 1
+        assert stats.with_cds == 1
+
+    def test_signal_funnel(self, report):
+        funnel = report.signal_funnels["OpDNS"]
+        assert funnel.with_signal == 1
+        assert funnel.potential == 1
+        assert funnel.correct == 1
+        assert funnel.incorrect == 0
+
+    def test_islands_with_cds(self, report):
+        assert report.islands_with_cds == 1
+        assert report.islands_cds_consistent == 1
+        assert report.islands_cds_inconsistent == 0
+
+    def test_top_operators(self, report):
+        assert report.top_operators() == ["OpDNS"]
+        assert report.top_cds_operators() == ["OpDNS"]

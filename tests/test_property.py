@@ -1,0 +1,195 @@
+"""Property-based tests (hypothesis) over the core data structures."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.message import Message, Question, make_query, make_response
+from repro.dns.name import Name
+from repro.dns.rdata import A, AAAA, CDS, DNSKEY, NS, RRSIG, TXT, read_rdata
+from repro.dns.rrset import RRset
+from repro.dns.types import RRType
+from repro.dns.wire import WireReader, WireWriter
+from repro.dnssec import Algorithm, KeyPair, ds_from_dnskey, ds_matches_dnskey, sign_rrset, validate_rrset
+
+LABEL_CHARS = string.ascii_lowercase + string.digits + "-_"
+
+labels = st.text(LABEL_CHARS, min_size=1, max_size=12).map(str.encode)
+names = st.lists(labels, min_size=0, max_size=6).map(Name)
+
+
+@st.composite
+def ipv4s(draw):
+    return ".".join(str(draw(st.integers(0, 255))) for _ in range(4))
+
+
+class TestNameProperties:
+    @given(names)
+    @settings(max_examples=200)
+    def test_wire_round_trip(self, name):
+        writer = WireWriter(compress=False)
+        writer.write_name(name)
+        assert WireReader(writer.getvalue()).read_name() == name
+
+    @given(names)
+    def test_text_round_trip(self, name):
+        assert Name.from_text(name.to_text()) == name
+
+    @given(names, names)
+    def test_ordering_total(self, a, b):
+        # Canonical ordering is a total order consistent with equality.
+        assert (a < b) or (b < a) or (a == b)
+        if a == b:
+            assert not (a < b) and not (b < a)
+
+    @given(names)
+    def test_subdomain_of_parent(self, name):
+        if not name.is_root():
+            assert name.is_proper_subdomain_of(name.parent())
+
+    @given(names, labels)
+    def test_child_inverts_parent(self, name, label):
+        try:
+            child = name.child(label)
+        except ValueError:
+            return  # would exceed 255 octets
+        assert child.parent() == name
+        assert child.is_proper_subdomain_of(name)
+
+    @given(names)
+    def test_canonical_wire_is_lowercase_wire(self, name):
+        assert name.to_canonical_wire() == name.to_canonical_wire().lower()
+        assert len(name.to_wire()) == name.wire_length
+
+    @given(st.lists(names, min_size=2, max_size=10))
+    def test_sorting_stable_under_case(self, name_list):
+        upper = [Name([label.upper() for label in n.labels]) for n in name_list]
+        assert sorted(name_list, key=lambda n: n.canonical_key()) == sorted(
+            upper, key=lambda n: n.canonical_key()
+        )
+
+
+class TestWireCompressionProperties:
+    @given(st.lists(names, min_size=1, max_size=8))
+    @settings(max_examples=100)
+    def test_compressed_stream_round_trip(self, name_list):
+        writer = WireWriter(compress=True)
+        for name in name_list:
+            writer.write_name(name)
+        reader = WireReader(writer.getvalue())
+        for name in name_list:
+            assert reader.read_name() == name
+
+    @given(st.lists(names, min_size=1, max_size=8))
+    def test_compression_never_grows(self, name_list):
+        compressed = WireWriter(compress=True)
+        plain = WireWriter(compress=False)
+        for name in name_list:
+            compressed.write_name(name)
+            plain.write_name(name)
+        assert len(compressed.getvalue()) <= len(plain.getvalue())
+
+
+class TestRdataProperties:
+    @given(ipv4s())
+    def test_a_round_trip(self, address):
+        rdata = A(address)
+        wire = rdata.to_wire()
+        assert read_rdata(RRType.A, WireReader(wire), len(wire)) == rdata
+
+    @given(st.lists(st.binary(min_size=0, max_size=60), min_size=1, max_size=5))
+    def test_txt_round_trip(self, chunks):
+        rdata = TXT(chunks)
+        wire = rdata.to_wire()
+        decoded = read_rdata(RRType.TXT, WireReader(wire), len(wire))
+        assert decoded == rdata
+
+    @given(
+        st.integers(0, 0xFFFF),
+        st.integers(0, 255),
+        st.integers(0, 255),
+        st.binary(min_size=1, max_size=48),
+    )
+    def test_cds_round_trip(self, key_tag, algorithm, digest_type, digest):
+        rdata = CDS(key_tag, algorithm, digest_type, digest)
+        wire = rdata.to_wire()
+        assert read_rdata(RRType.CDS, WireReader(wire), len(wire)) == rdata
+
+    @given(st.integers(0, 0xFFFF), st.binary(min_size=1, max_size=64))
+    def test_dnskey_key_tag_stable(self, flags, key):
+        rdata = DNSKEY(flags, 3, 15, key)
+        assert rdata.key_tag() == rdata.key_tag()
+        assert 0 <= rdata.key_tag() <= 0xFFFF
+
+
+class TestMessageProperties:
+    @given(names, st.sampled_from([RRType.A, RRType.CDS, RRType.DNSKEY, RRType.NS]), st.integers(0, 0xFFFF))
+    @settings(max_examples=100)
+    def test_query_round_trip(self, name, rrtype, msg_id):
+        query = make_query(name, rrtype, msg_id=msg_id)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.id == msg_id
+        assert decoded.question == Question(name, rrtype)
+        assert decoded.dnssec_ok
+
+    @given(names, st.lists(ipv4s(), min_size=1, max_size=6, unique=True))
+    @settings(max_examples=100)
+    def test_response_answer_round_trip(self, name, addresses):
+        query = make_query(name, RRType.A, msg_id=1)
+        response = make_response(query)
+        response.answer.append(RRset(name, RRType.A, 300, [A(a) for a in addresses]))
+        decoded = Message.from_wire(response.to_wire())
+        assert len(decoded.answer) == 1
+        got = sorted(rd.address for rd in decoded.answer[0].rdatas)
+        assert got == sorted(addresses)
+
+
+class TestRRsetProperties:
+    @given(names, st.lists(ipv4s(), min_size=1, max_size=6, unique=True))
+    def test_same_rdata_order_insensitive(self, name, addresses):
+        forward = RRset(name, RRType.A, 300, [A(a) for a in addresses])
+        backward = RRset(name, RRType.A, 60, [A(a) for a in reversed(addresses)])
+        assert forward.same_rdata_as(backward)
+
+    @given(names, st.lists(ipv4s(), min_size=1, max_size=6, unique=True))
+    def test_canonical_wire_deterministic(self, name, addresses):
+        one = RRset(name, RRType.A, 300, [A(a) for a in addresses])
+        two = RRset(name, RRType.A, 300, [A(a) for a in reversed(addresses)])
+        assert one.canonical_wire() == two.canonical_wire()
+
+    @given(names, st.lists(ipv4s(), min_size=1, max_size=4, unique=True))
+    def test_duplicates_collapse(self, name, addresses):
+        rrset = RRset(name, RRType.A, 300, [A(a) for a in addresses + addresses])
+        assert len(rrset) == len(addresses)
+
+
+class TestDnssecProperties:
+    # One shared key: key generation dominates runtime otherwise.
+    KEY = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"prop")
+
+    @given(names, st.binary(min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_sign_validate_round_trip(self, name, payload):
+        rrset = RRset(name, RRType.TXT, 300, [TXT([payload])])
+        rrsig = sign_rrset(rrset, self.KEY)
+        assert validate_rrset(rrset, [rrsig], [self.KEY.dnskey()]).ok
+
+    @given(names, st.binary(min_size=1, max_size=40), st.binary(min_size=1, max_size=40))
+    @settings(max_examples=50)
+    def test_signature_binds_content(self, name, payload, other):
+        if payload == other:
+            return
+        rrset = RRset(name, RRType.TXT, 300, [TXT([payload])])
+        tampered = RRset(name, RRType.TXT, 300, [TXT([other])])
+        rrsig = sign_rrset(rrset, self.KEY)
+        assert not validate_rrset(tampered, [rrsig], [self.KEY.dnskey()]).ok
+
+    @given(names)
+    @settings(max_examples=50)
+    def test_ds_binds_owner(self, name):
+        ds = ds_from_dnskey(name, self.KEY.dnskey())
+        assert ds_matches_dnskey(name, ds, self.KEY.dnskey())
+        other = name.child("x") if name.wire_length < 250 else name.parent() if not name.is_root() else None
+        if other is not None and other != name:
+            assert not ds_matches_dnskey(other, ds, self.KEY.dnskey())

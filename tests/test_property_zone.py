@@ -1,0 +1,137 @@
+"""Property tests over zones: master-file round trips, lookup totality,
+NSEC chain invariants, and scan-result serialisation."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, MX, NS, SOA, TXT
+from repro.dns.types import RRType
+from repro.dns.zone import LookupStatus, Zone
+from repro.dns.zonefile import parse_zone
+
+LABELS = st.text(string.ascii_lowercase + string.digits, min_size=1, max_size=10)
+ORIGIN = Name.from_text("prop.test")
+
+
+@st.composite
+def zones(draw):
+    zone = Zone(ORIGIN)
+    zone.add(ORIGIN, 3600, SOA("ns1.prop.test", "h.prop.test", draw(st.integers(1, 2**31))))
+    zone.add(ORIGIN, 3600, NS("ns1.prop.test"))
+    for label in draw(st.lists(LABELS, min_size=0, max_size=8, unique=True)):
+        owner = ORIGIN.child(label)
+        kind = draw(st.integers(0, 2))
+        if kind == 0:
+            zone.add(owner, draw(st.integers(1, 86400)), A(f"192.0.2.{draw(st.integers(1, 250))}"))
+        elif kind == 1:
+            # Presentation-format TXT: printable chars minus quote,
+            # backslash (no escape support) and control whitespace.
+            alphabet = "".join(
+                c
+                for c in string.printable
+                if c not in '"\\' and (c == " " or not c.isspace())
+            )
+            zone.add(owner, 300, TXT([draw(st.text(alphabet, min_size=1, max_size=30))]))
+        else:
+            zone.add(owner, 300, MX(draw(st.integers(0, 100)), "mail.prop.test"))
+    return zone
+
+
+class TestZoneProperties:
+    @given(zones())
+    @settings(max_examples=60, deadline=None)
+    def test_master_file_round_trip(self, zone):
+        parsed = parse_zone(zone.to_text())
+        assert set(parsed.names()) == set(zone.names())
+        for name in zone.names():
+            for rrtype in zone.node_types(name):
+                original = zone.get_rrset(name, rrtype)
+                reparsed = parsed.get_rrset(name, rrtype)
+                assert reparsed is not None
+                assert reparsed.same_rdata_as(original)
+                assert reparsed.ttl == original.ttl
+
+    @given(zones(), LABELS, st.sampled_from([RRType.A, RRType.TXT, RRType.MX, RRType.CDS]))
+    @settings(max_examples=60, deadline=None)
+    def test_lookup_total_and_consistent(self, zone, label, qtype):
+        qname = ORIGIN.child(label)
+        result = zone.lookup(qname, qtype)
+        assert result.status in LookupStatus
+        if result.status == LookupStatus.ANSWER:
+            assert result.rrset is not None
+            assert result.rrset.name == qname
+            assert int(result.rrset.rrtype) == int(qtype)
+        elif result.status == LookupStatus.NXDOMAIN:
+            assert not zone.has_name(qname)
+        elif result.status == LookupStatus.NODATA:
+            assert zone.has_name(qname)
+
+    @given(zones())
+    @settings(max_examples=40, deadline=None)
+    def test_nsec_chain_closed_and_sorted(self, zone):
+        from repro.dnssec.nsec import build_nsec_chain
+
+        build_nsec_chain(zone)
+        owners = [n for n in zone.names() if zone.get_rrset(n, RRType.NSEC)]
+        assert owners  # at least the apex
+        current = zone.origin
+        visited = []
+        for _ in owners:
+            visited.append(current)
+            current = zone.get_rrset(current, RRType.NSEC).rdatas[0].next_name
+        assert current == zone.origin  # closed cycle
+        assert sorted(visited, key=lambda n: n.canonical_key()) == sorted(
+            owners, key=lambda n: n.canonical_key()
+        )
+
+    @given(zones())
+    @settings(max_examples=30, deadline=None)
+    def test_nsec3_chain_covers_all_names(self, zone):
+        from repro.dnssec.nsec import build_nsec3_chain, nsec3_label_to_hash
+
+        build_nsec3_chain(zone, salt=b"\x01", iterations=1)
+        hashes = sorted(
+            nsec3_label_to_hash(n.labels[0])
+            for n in zone.names()
+            if zone.get_rrset(n, RRType.NSEC3)
+        )
+        nexts = sorted(
+            zone.get_rrset(n, RRType.NSEC3).rdatas[0].next_hashed
+            for n in zone.names()
+            if zone.get_rrset(n, RRType.NSEC3)
+        )
+        assert hashes == nexts  # a permutation: the chain is a cycle
+
+    @given(zones())
+    @settings(max_examples=30, deadline=None)
+    def test_signed_zone_every_authoritative_rrset_validates(self, zone):
+        from repro.dnssec import Algorithm, KeyPair, sign_zone, validate_rrset
+        from repro.dnssec.validator import extract_rrsigs
+
+        key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"prop-zone")
+        sign_zone(zone, [key])
+        dnskeys = list(zone.get_rrset(ORIGIN, RRType.DNSKEY).rdatas)
+        for name in zone.names():
+            sigs = extract_rrsigs(zone.get_rrset(name, RRType.RRSIG))
+            for rrtype in zone.node_types(name):
+                if int(rrtype) in (int(RRType.RRSIG),):
+                    continue
+                rrset = zone.get_rrset(name, rrtype)
+                outcome = validate_rrset(rrset, sigs, dnskeys)
+                assert outcome.ok, (name, rrtype, outcome.reason)
+
+
+class TestSerializationProperties:
+    @given(zones())
+    @settings(max_examples=30, deadline=None)
+    def test_rrset_json_round_trip(self, zone):
+        from repro.scanner.serialize import rrset_from_obj, rrset_to_obj
+
+        for name in zone.names():
+            for rrtype in zone.node_types(name):
+                rrset = zone.get_rrset(name, rrtype)
+                back = rrset_from_obj(rrset_to_obj(rrset))
+                assert back.same_rdata_as(rrset), (name, rrtype)

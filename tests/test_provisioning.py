@@ -1,0 +1,312 @@
+"""Tests for the registry-side provisioning: acceptance policies, the
+bootstrap engine, and CDS-driven key rollovers."""
+
+import pytest
+
+from repro.core import AnalysisPipeline, DnssecStatus, assess_zone
+from repro.core.status import classify_status
+from repro.dns import A, NS, RRset, RRType, SOA, Zone
+from repro.dns.name import Name
+from repro.dnssec import Algorithm, KeyPair, ds_from_dnskey, sign_zone
+from repro.ecosystem import build_world
+from repro.ecosystem.spec import CdsScenario, SignalScenario, StatusScenario
+from repro.provisioning import (
+    AcceptAfterDelayPolicy,
+    AcceptFromInceptionPolicy,
+    AcceptWithChallengePolicy,
+    AuthenticatedBootstrapPolicy,
+    BootstrapEngine,
+    Decision,
+    RolloverEngine,
+)
+from repro.provisioning.engine import install_ds, remove_ds
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(scale=1 / 1_000_000, seed=11)
+
+
+@pytest.fixture(scope="module")
+def assessments(world):
+    scanner = world.make_scanner()
+    results = {r.zone.to_text().rstrip("."): r for r in scanner.scan_many(world.scan_list)}
+    return {name: assess_zone(result) for name, result in results.items()}, results
+
+
+def pick(world, assessments, status, cds, signal=None):
+    for name, spec in world.specs.items():
+        if spec.status == status and spec.cds == cds:
+            if signal is not None and spec.signal != signal:
+                continue
+            return assessments[0][name]
+    pytest.skip(f"no zone with {status}/{cds} at this scale")
+
+
+class TestAuthenticatedPolicy:
+    def test_accepts_correct_signal(self, world, assessments):
+        assessment = pick(
+            world, assessments, StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.OK
+        )
+        decision = AuthenticatedBootstrapPolicy().evaluate(assessment)
+        assert decision.decision == Decision.ACCEPT
+
+    def test_rejects_unsigned(self, world, assessments):
+        assessment = pick(world, assessments, StatusScenario.UNSIGNED, CdsScenario.NONE)
+        decision = AuthenticatedBootstrapPolicy().evaluate(assessment)
+        assert decision.decision == Decision.REJECT
+        assert "not DNSSEC signed" in decision.reason
+
+    def test_rejects_delete(self, world, assessments):
+        assessment = pick(world, assessments, StatusScenario.ISLAND, CdsScenario.DELETE)
+        decision = AuthenticatedBootstrapPolicy().evaluate(assessment)
+        assert decision.decision == Decision.REJECT
+        assert "delete" in decision.reason
+
+    def test_rejects_island_without_signal(self, world, assessments):
+        assessment = pick(
+            world, assessments, StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.NONE
+        )
+        decision = AuthenticatedBootstrapPolicy().evaluate(assessment)
+        assert decision.decision == Decision.REJECT
+        assert "signal" in decision.reason
+
+    def test_rejects_ns_coverage_violation(self, world, assessments):
+        assessment = pick(
+            world,
+            assessments,
+            StatusScenario.ISLAND,
+            CdsScenario.OK,
+            SignalScenario.NS_COVERAGE,
+        )
+        decision = AuthenticatedBootstrapPolicy().evaluate(assessment)
+        assert decision.decision == Decision.REJECT
+
+    def test_rejects_inconsistent_cds(self, world, assessments):
+        assessment = pick(world, assessments, StatusScenario.ISLAND, CdsScenario.INCONSISTENT)
+        decision = AuthenticatedBootstrapPolicy().evaluate(assessment)
+        assert decision.decision == Decision.REJECT
+        assert "inconsistent" in decision.reason
+
+
+class TestUnauthenticatedPolicies:
+    def test_delay_policy_defers_then_accepts(self, world, assessments):
+        assessment = pick(
+            world, assessments, StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.NONE
+        )
+        policy = AcceptAfterDelayPolicy(hold_days=2)
+        first = policy.evaluate(assessment)
+        assert first.decision == Decision.DEFER
+        policy.advance_days(1)
+        assert policy.evaluate(assessment).decision == Decision.DEFER
+        policy.advance_days(1)
+        assert policy.evaluate(assessment).decision == Decision.ACCEPT
+
+    def test_delay_policy_resets_on_change(self, world, assessments):
+        import copy
+
+        assessment = pick(
+            world, assessments, StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.NONE
+        )
+        policy = AcceptAfterDelayPolicy(hold_days=1)
+        policy.evaluate(assessment)
+        policy.advance_days(1)
+        # The CDS changes (e.g. a hijacker or a rollover) — clock resets.
+        changed = copy.deepcopy(assessment)
+        key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"changed")
+        from repro.dnssec.ds import cds_from_dnskey
+
+        changed.cds.cds_rrset = RRset(
+            Name.from_text(changed.zone),
+            RRType.CDS,
+            3600,
+            [cds_from_dnskey(Name.from_text(changed.zone), key.dnskey())],
+        )
+        assert policy.evaluate(changed).decision == Decision.DEFER
+
+    def test_delay_policy_rejects_broken_zone(self, world, assessments):
+        assessment = pick(world, assessments, StatusScenario.UNSIGNED, CdsScenario.NONE)
+        assert AcceptAfterDelayPolicy().evaluate(assessment).decision == Decision.REJECT
+
+    def test_challenge_policy_deterministic(self, world, assessments):
+        assessment = pick(
+            world, assessments, StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.NONE
+        )
+        policy = AcceptWithChallengePolicy(response_rate=0.5)
+        first = policy.evaluate(assessment)
+        assert first.decision == policy.evaluate(assessment).decision
+
+    def test_challenge_response_rate_extremes(self, world, assessments):
+        assessment = pick(
+            world, assessments, StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.NONE
+        )
+        assert (
+            AcceptWithChallengePolicy(response_rate=1.0).evaluate(assessment).decision
+            == Decision.ACCEPT
+        )
+        assert (
+            AcceptWithChallengePolicy(response_rate=0.0).evaluate(assessment).decision
+            == Decision.DEFER
+        )
+
+    def test_inception_policy_extremes(self, world, assessments):
+        assessment = pick(
+            world, assessments, StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.NONE
+        )
+        assert (
+            AcceptFromInceptionPolicy(preconfigured_rate=1.0).evaluate(assessment).decision
+            == Decision.ACCEPT
+        )
+        assert (
+            AcceptFromInceptionPolicy(preconfigured_rate=0.0).evaluate(assessment).decision
+            == Decision.REJECT
+        )
+
+
+class TestEngine:
+    def test_authenticated_run_secures_correct_zones(self, world, assessments):
+        engine = BootstrapEngine(world, AuthenticatedBootstrapPolicy())
+        run = engine.run(results=list(assessments[1].values()))
+        assert run.evaluated > 0
+        assert run.accepted, "expected at least one RFC 9615-correct island"
+        assert set(run.secured) == set(run.accepted)
+        assert not run.failed_verification
+
+    def test_accepted_zone_now_secure(self, world, assessments):
+        # After the module-scoped engine runs above, re-scan one accepted
+        # zone directly: the chain must validate.
+        engine = BootstrapEngine(world, AuthenticatedBootstrapPolicy())
+        run = engine.run(results=list(assessments[1].values()))
+        zone = run.accepted[0].rstrip(".")
+        scanner = world.make_scanner()
+        status, _ = classify_status(scanner.scan_zone(zone))
+        assert status == DnssecStatus.SECURE
+
+    def test_candidates_short_circuit(self, world, assessments):
+        engine = BootstrapEngine(world, AuthenticatedBootstrapPolicy())
+        results = list(assessments[1].values())
+        candidates = engine.candidates(results)
+        # Secured zones are skipped (App. D: exclude extant DS).
+        secured = {
+            name
+            for name, spec in world.specs.items()
+            if spec.status == StatusScenario.SECURE
+        }
+        candidate_names = {c.zone.to_text().rstrip(".") for c in candidates}
+        assert not candidate_names & secured
+
+    def test_install_and_remove_ds(self, world):
+        spec = next(
+            spec
+            for spec in world.specs.values()
+            if spec.status == StatusScenario.ISLAND and spec.cds == CdsScenario.OK
+        )
+        scanner = world.make_scanner()
+        before = scanner.scan_zone(spec.name)
+        assessment = assess_zone(before)
+        install_ds(world, spec.name, assessment.cds.cds_rrset)
+        status, _ = classify_status(scanner.scan_zone(spec.name))
+        assert status == DnssecStatus.SECURE
+        remove_ds(world, spec.name)
+        status, _ = classify_status(scanner.scan_zone(spec.name))
+        assert status == DnssecStatus.ISLAND
+
+
+class TestDeleteProcessing:
+    def test_delete_request_converts_secure_to_island(self):
+        # A fresh world: find the SECURE + CDS-delete population
+        # (the paper's 3 289 zones with ignored delete requests).
+        world = build_world(scale=1 / 1_000_000, seed=13)
+        scanner = world.make_scanner()
+        results = scanner.scan_many(world.scan_list)
+        engine = BootstrapEngine(world, AuthenticatedBootstrapPolicy())
+        run = engine.process_delete_requests(results)
+        assert run.evaluated >= 1
+        assert run.deleted, "expected at least one honoured delete request"
+        # Each processed zone is now exactly a delete-request island.
+        for zone in run.deleted:
+            rescan = scanner.scan_zone(zone.rstrip("."))
+            assessment = assess_zone(rescan)
+            assert assessment.status == DnssecStatus.ISLAND
+            assert assessment.cds.is_delete
+
+    def test_dry_run_leaves_world_untouched(self):
+        world = build_world(scale=1 / 1_000_000, seed=13)
+        scanner = world.make_scanner()
+        results = scanner.scan_many(world.scan_list)
+        engine = BootstrapEngine(world, AuthenticatedBootstrapPolicy())
+        run = engine.process_delete_requests(results, provision=False)
+        for zone in run.deleted:
+            status, _ = classify_status(scanner.scan_zone(zone.rstrip(".")))
+            assert status == DnssecStatus.SECURE  # DS still in place
+
+    def test_islands_with_delete_not_evaluated(self, world, assessments):
+        # Islands have no DS — nothing to delete; they are skipped.
+        engine = BootstrapEngine(world, AuthenticatedBootstrapPolicy())
+        run = engine.process_delete_requests(assessments[1].values(), provision=False)
+        island_deletes = {
+            name
+            for name, spec in world.specs.items()
+            if spec.status == StatusScenario.ISLAND and spec.cds == CdsScenario.DELETE
+        }
+        evaluated_or_deleted = {z.rstrip(".") for z in run.deleted} | {
+            z.rstrip(".") for z in run.refused
+        }
+        assert not (island_deletes & evaluated_or_deleted)
+
+
+class TestRollover:
+    def make_secure_zone(self):
+        key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"rollover-initial")
+        zone = Zone("roll.example.net")
+        zone.add("roll.example.net", 3600, SOA("ns1.p.net", "h.p.net", 1))
+        zone.add("roll.example.net", 3600, NS("ns1.p.net"))
+        zone.add("www.roll.example.net", 300, A("192.0.2.2"))
+        sign_zone(zone, [key])
+        ds = RRset(
+            "roll.example.net",
+            RRType.DS,
+            3600,
+            [ds_from_dnskey(Name.from_text("roll.example.net"), key.dnskey())],
+        )
+        return zone, key, ds
+
+    def test_full_rollover_keeps_chain_valid(self):
+        zone, key, ds = self.make_secure_zone()
+        engine = RolloverEngine(zone, key, ds)
+        new_key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"rollover-new")
+        results = engine.run_full_rollover(new_key)
+        assert [r.stage.value for r in results] == [
+            "new_key_published",
+            "ds_swapped",
+            "old_key_retired",
+        ]
+        assert all(r.chain_valid for r in results)
+        assert results[-1].ds_key_tags == [new_key.key_tag]
+        assert results[-1].dnskey_count == 1
+
+    def test_double_signature_phase(self):
+        zone, key, ds = self.make_secure_zone()
+        engine = RolloverEngine(zone, key, ds)
+        result = engine.publish_new_key()
+        assert result.dnskey_count == 2
+        assert result.chain_valid  # old DS still anchors the chain
+        # CDS advertises only the new key.
+        cds = zone.get_rrset("roll.example.net", RRType.CDS)
+        assert len(cds) == 1
+        assert cds.rdatas[0].key_tag == engine.new_key.key_tag
+
+    def test_stage_ordering_enforced(self):
+        zone, key, ds = self.make_secure_zone()
+        engine = RolloverEngine(zone, key, ds)
+        with pytest.raises(RuntimeError):
+            engine.parent_swaps_ds()
+        with pytest.raises(RuntimeError):
+            engine.retire_old_key()
+
+    def test_cross_algorithm_rollover(self):
+        zone, key, ds = self.make_secure_zone()
+        engine = RolloverEngine(zone, key, ds)
+        new_key = KeyPair.generate(Algorithm.ECDSAP256SHA256, ksk=True, seed=b"to-ecdsa")
+        results = engine.run_full_rollover(new_key)
+        assert all(r.chain_valid for r in results)

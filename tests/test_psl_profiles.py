@@ -1,0 +1,177 @@
+"""Unit tests for the PSL subset, operator profiles, and generator pieces."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.ecosystem import psl
+from repro.ecosystem.generator import (
+    customer_cds_rdatas,
+    ghost_keys,
+    materialize_customer_zone,
+    signal_cds_rdatas,
+    zone_keys,
+)
+from repro.ecosystem.profiles import build_profiles, operator_db_config
+from repro.ecosystem.spec import CdsScenario, SignalScenario, StatusScenario, ZoneSpec
+from repro.dns.types import RRType
+
+
+class TestPsl:
+    def test_registry_zone_names_include_parents(self):
+        names = psl.registry_zone_names()
+        assert "co.uk" in names and "uk" in names
+        # Parents sort before children (creation order matters).
+        assert names.index("uk") < names.index("co.uk")
+
+    def test_suffix_for_index_deterministic(self):
+        assert psl.suffix_for_index(123) == psl.suffix_for_index(123)
+
+    def test_suffix_distribution_roughly_weighted(self):
+        from collections import Counter
+
+        counts = Counter(psl.suffix_for_index(i) for i in range(20_000))
+        total = sum(psl.SUFFIX_WEIGHTS.values())
+        expected_com = 20_000 * psl.SUFFIX_WEIGHTS["com"] / total
+        assert abs(counts["com"] - expected_com) / expected_com < 0.2
+
+    def test_registrable_part(self):
+        assert psl.registrable_part(Name.from_text("shop.co.uk")) == ("shop", "co.uk")
+        assert psl.registrable_part(Name.from_text("x.com")) == ("x", "com")
+
+    def test_registrable_part_longest_suffix_wins(self):
+        # co.uk must win over uk... uk alone is not in the suffix list,
+        # but multi-label names still resolve to co.uk.
+        label, suffix = psl.registrable_part(Name.from_text("deep.example.co.uk"))
+        assert suffix == "co.uk"
+        assert label == "deep.example"
+
+    def test_unknown_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            psl.registrable_part(Name.from_text("zone.invalid"))
+
+
+class TestProfiles:
+    @pytest.fixture(scope="class")
+    def profiles(self):
+        return build_profiles()
+
+    def test_all_paper_operators_present(self, profiles):
+        for name in ("GoDaddy", "Cloudflare", "deSEC", "Glauca", "WIX", "Simply.com"):
+            assert name in profiles
+
+    def test_cloudflare_anycast_shape(self, profiles):
+        cloudflare = profiles["Cloudflare"]
+        assert cloudflare.anycast
+        assert cloudflare.v4_per_host == 3 and cloudflare.v6_per_host == 3
+        assert len(cloudflare.hosts) >= 10
+        assert all(host.endswith(".ns.cloudflare.com") for host in cloudflare.hosts)
+
+    def test_desec_two_zones(self, profiles):
+        desec = profiles["deSEC"]
+        assert desec.ns_zones == ("desec.io", "desec.org")
+        assert desec.hosts == ("ns1.desec.io", "ns2.desec.org")
+        assert desec.publishes_signal and not desec.signal_includes_delete
+
+    def test_cloudflare_publishes_deletes_in_signal(self, profiles):
+        assert profiles["Cloudflare"].signal_includes_delete
+
+    def test_legacy_hosts_flagged(self, profiles):
+        assert profiles["LegacyHost-1"].legacy
+        assert not profiles["GoDaddy"].legacy
+
+    def test_indie_unknown(self, profiles):
+        assert not profiles["indie"].known
+
+    def test_host_pair_deterministic_and_distinct(self, profiles):
+        godaddy = profiles["GoDaddy"]
+        pair = godaddy.host_pair(7)
+        assert pair == godaddy.host_pair(7)
+        assert pair[0] != pair[1]
+
+    def test_operator_db_config(self, profiles):
+        suffixes, anycast = operator_db_config(profiles)
+        assert suffixes["ns.cloudflare.com"] == "Cloudflare"
+        assert suffixes["desec.io"] == "deSEC"
+        assert "hobby-dns.org" not in suffixes  # indie stays unknown
+        assert "ns.cloudflare.com" in anycast
+
+    def test_swiss_operators_on_ch(self, profiles):
+        assert profiles["cyon"].ns_zones[0].endswith(".ch")
+        assert profiles["Simply.com"].ns_zones[0].endswith(".net")
+
+
+def make_spec(**overrides):
+    defaults = dict(
+        name="unit.example.com",
+        suffix="com",
+        operator="UnitOp",
+        status=StatusScenario.ISLAND,
+        cds=CdsScenario.OK,
+        signal=SignalScenario.NONE,
+        ns_hosts=("ns1.unit-dns.net", "ns2.unit-dns.net"),
+    )
+    defaults.update(overrides)
+    return ZoneSpec(**defaults)
+
+
+class TestMaterialization:
+    def test_deterministic_keys(self):
+        spec = make_spec()
+        assert zone_keys(spec).key_tag == zone_keys(spec).key_tag
+        assert zone_keys(spec).key_tag != ghost_keys(spec).key_tag
+
+    def test_unsigned_zone_has_no_dnskey(self):
+        zone = materialize_customer_zone(make_spec(status=StatusScenario.UNSIGNED, cds=CdsScenario.NONE), None)
+        assert zone.get_rrset("unit.example.com", RRType.DNSKEY) is None
+        assert zone.get_rrset("unit.example.com", RRType.RRSIG) is None
+
+    def test_signed_zone_validates(self):
+        from repro.dnssec import validate_rrset
+        from repro.dnssec.validator import extract_rrsigs
+
+        zone = materialize_customer_zone(make_spec(), None)
+        dnskeys = zone.get_rrset("unit.example.com", RRType.DNSKEY)
+        sigs = extract_rrsigs(zone.get_rrset("unit.example.com", RRType.RRSIG))
+        assert validate_rrset(dnskeys, sigs, list(dnskeys.rdatas)).ok
+
+    def test_badsig_zone_does_not_validate(self):
+        from repro.dnssec import validate_rrset
+        from repro.dnssec.validator import extract_rrsigs
+
+        zone = materialize_customer_zone(make_spec(status=StatusScenario.ISLAND_BADSIG), None)
+        dnskeys = zone.get_rrset("unit.example.com", RRType.DNSKEY)
+        sigs = extract_rrsigs(zone.get_rrset("unit.example.com", RRType.RRSIG))
+        assert not validate_rrset(dnskeys, sigs, list(dnskeys.rdatas)).ok
+
+    def test_cds_scenarios(self):
+        spec_ok = make_spec()
+        cds, cdnskey = customer_cds_rdatas(spec_ok, 0)
+        assert len(cds) == 1 and len(cdnskey) == 1
+        assert cds[0].key_tag == zone_keys(spec_ok).key_tag
+
+        spec_delete = make_spec(cds=CdsScenario.DELETE)
+        cds, cdnskey = customer_cds_rdatas(spec_delete, 0)
+        assert cds[0].is_delete and cdnskey[0].is_delete
+
+        spec_mismatch = make_spec(cds=CdsScenario.MISMATCH)
+        cds, _ = customer_cds_rdatas(spec_mismatch, 0)
+        assert cds[0].key_tag == ghost_keys(spec_mismatch).key_tag
+
+    def test_inconsistent_variants_differ(self):
+        spec = make_spec(cds=CdsScenario.INCONSISTENT)
+        first, _ = customer_cds_rdatas(spec, 0)
+        second, _ = customer_cds_rdatas(spec, 1)
+        assert first[0] != second[0]
+
+    def test_signal_rdatas_for_cds_none(self):
+        spec = make_spec(status=StatusScenario.UNSIGNED, cds=CdsScenario.NONE, signal=SignalScenario.OK)
+        cds, cdnskey = signal_cds_rdatas(spec)
+        assert cds and cdnskey  # operator synthesizes the intended key
+
+    def test_variant_selection_by_host(self):
+        spec = make_spec(cds=CdsScenario.INCONSISTENT)
+        zone_a = materialize_customer_zone(spec, "ns1.unit-dns.net")
+        zone_b = materialize_customer_zone(spec, "ns2.unit-dns.net")
+        cds_a = zone_a.get_rrset(spec.name, RRType.CDS)
+        cds_b = zone_b.get_rrset(spec.name, RRType.CDS)
+        assert not cds_a.same_rdata_as(cds_b)

@@ -1,0 +1,106 @@
+"""Tests for scan-result JSON serialisation (store-then-analyse)."""
+
+import io
+
+import pytest
+
+from repro.core import assess_zone
+from repro.scanner import Scanner
+from repro.scanner.serialize import (
+    dump_results,
+    load_results,
+    result_from_obj,
+    result_to_obj,
+    rrset_from_obj,
+    rrset_to_obj,
+)
+
+
+@pytest.fixture(scope="module")
+def results(mini_world):
+    scanner = Scanner(mini_world["network"], mini_world["root_ips"])
+    return scanner.scan_many(
+        ["example.com", "unsigned.com", "island.com", "broken.com", "missing.com"]
+    )
+
+
+class TestRRsetRoundTrip:
+    def test_none(self):
+        assert rrset_to_obj(None) is None
+        assert rrset_from_obj(None) is None
+
+    def test_cds_rrset(self, results):
+        island = next(r for r in results if r.zone.to_text() == "island.com.")
+        for _, response in island.cds_rrsets():
+            if response.has_data:
+                obj = rrset_to_obj(response.rrset)
+                back = rrset_from_obj(obj)
+                assert back.same_rdata_as(response.rrset)
+                assert back.ttl == response.rrset.ttl
+                return
+        pytest.fail("no CDS data found")
+
+
+class TestResultRoundTrip:
+    @pytest.mark.parametrize("index", range(5))
+    def test_full_round_trip(self, results, index):
+        original = results[index]
+        back = result_from_obj(result_to_obj(original))
+        assert back.zone == original.zone
+        assert back.resolved == original.resolved
+        assert back.error == original.error
+        assert back.delegation_ns == original.delegation_ns
+        assert back.queries_used == original.queries_used
+        assert sorted(back.cds_by_ns) == sorted(original.cds_by_ns)
+        assert len(back.signals) == len(original.signals)
+
+    def test_assessment_identical_after_round_trip(self, results):
+        """The crucial property: offline re-analysis of stored results
+        yields exactly the classifications of the live analysis."""
+        for original in results:
+            back = result_from_obj(result_to_obj(original))
+            a = assess_zone(original)
+            b = assess_zone(back)
+            assert (a.status, a.eligibility, a.signal_outcome) == (
+                b.status,
+                b.eligibility,
+                b.signal_outcome,
+            ), original.zone
+
+    def test_signal_chain_survives(self, results):
+        island = next(r for r in results if r.zone.to_text() == "island.com.")
+        back = result_from_obj(result_to_obj(island))
+        assert [link.zone for link in back.signals[0].chain] == [
+            link.zone for link in island.signals[0].chain
+        ]
+        # Signatures survive byte-exactly (validation depends on it).
+        original_sig = island.signals[0].chain[-1].dnskey_rrsigs[0]
+        restored_sig = back.signals[0].chain[-1].dnskey_rrsigs[0]
+        assert restored_sig.signature == original_sig.signature
+
+
+class TestStreamFormat:
+    def test_dump_and_load(self, results):
+        buffer = io.StringIO()
+        count = dump_results(results, buffer)
+        assert count == len(results)
+        buffer.seek(0)
+        loaded = list(load_results(buffer))
+        assert [r.zone for r in loaded] == [r.zone for r in results]
+
+    def test_blank_lines_ignored(self, results):
+        buffer = io.StringIO()
+        dump_results(results[:1], buffer)
+        buffer.write("\n\n")
+        dump_results(results[1:2], buffer)
+        buffer.seek(0)
+        assert len(list(load_results(buffer))) == 2
+
+    def test_one_json_object_per_line(self, results):
+        buffer = io.StringIO()
+        dump_results(results, buffer)
+        lines = [line for line in buffer.getvalue().splitlines() if line]
+        import json
+
+        for line in lines:
+            json.loads(line)

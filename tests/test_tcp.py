@@ -1,0 +1,94 @@
+"""Tests for truncation handling and the TCP transports."""
+
+import pytest
+
+from repro.dns.message import Message, make_query
+from repro.dns.rdata import NS, SOA, TXT
+from repro.dns.rrset import RRset
+from repro.dns.types import Rcode, RRType
+from repro.dns.zone import Zone
+from repro.server import AuthoritativeServer, SimulatedNetwork
+from repro.server.tcp import TcpNameserver, query_tcp
+
+
+def make_fat_zone():
+    """A zone whose TXT answer exceeds the 1232-byte EDNS payload."""
+    zone = Zone("fat.test")
+    zone.add("fat.test", 300, SOA("ns1.fat.test", "h.fat.test", 1))
+    zone.add("fat.test", 300, NS("ns1.fat.test"))
+    big = RRset("big.fat.test", RRType.TXT, 300)
+    for i in range(10):
+        big.add(TXT([f"{i:03d}" + "x" * 200]))
+    zone.add_rrset(big)
+    server = AuthoritativeServer("fat")
+    server.add_zone(zone)
+    return server
+
+
+class TestSimulatedTruncation:
+    @pytest.fixture
+    def network(self):
+        network = SimulatedNetwork()
+        network.register("10.0.0.9", make_fat_zone())
+        return network
+
+    def test_udp_truncates(self, network):
+        response = network.query("10.0.0.9", make_query("big.fat.test", RRType.TXT))
+        assert response.truncated
+        assert not response.answer
+
+    def test_tcp_carries_full_answer(self, network):
+        response = network.query(
+            "10.0.0.9", make_query("big.fat.test", RRType.TXT), tcp=True
+        )
+        assert not response.truncated
+        assert len(response.answer[0]) == 10
+
+    def test_small_answer_not_truncated(self, network):
+        response = network.query("10.0.0.9", make_query("fat.test", RRType.SOA))
+        assert not response.truncated
+
+    def test_plain_dns_512_limit(self, network):
+        query = make_query("big.fat.test", RRType.TXT)
+        query.edns = False
+        response = network.query("10.0.0.9", query)
+        assert response.truncated
+
+    def test_scanner_tcp_fallback(self, network):
+        from repro.scanner.yodns import Scanner
+
+        scanner = Scanner(network, ["10.0.0.9"])
+        result = scanner.query_one("10.0.0.9", *_qname_qtype())
+        assert result.has_data
+        assert len(result.rrset) == 10
+        assert scanner.tcp_fallbacks >= 1
+
+
+def _qname_qtype():
+    from repro.dns.name import Name
+
+    return Name.from_text("big.fat.test"), RRType.TXT
+
+
+class TestRealTcp:
+    @pytest.fixture(scope="class")
+    def endpoint(self):
+        ns = TcpNameserver(make_fat_zone())
+        endpoint = ns.start()
+        yield endpoint
+        ns.stop()
+
+    def test_large_answer_over_tcp(self, endpoint):
+        response = query_tcp(endpoint, make_query("big.fat.test", RRType.TXT, msg_id=3))
+        assert response.rcode == Rcode.NOERROR
+        assert len(response.answer[0]) == 10
+        assert response.id == 3
+
+    def test_multiple_queries_one_connection_style(self, endpoint):
+        for i in range(5):
+            response = query_tcp(endpoint, make_query("fat.test", RRType.SOA, msg_id=i))
+            assert response.id == i
+
+    def test_nxdomain_over_tcp(self, endpoint):
+        response = query_tcp(endpoint, make_query("nope.fat.test", RRType.A, msg_id=9))
+        assert response.rcode == Rcode.NXDOMAIN

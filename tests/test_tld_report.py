@@ -1,0 +1,43 @@
+"""Unit tests for the per-TLD adoption report (§6 incentive effect)."""
+
+import pytest
+
+from repro.campaign import run_campaign
+from repro.reports.tld import compute_tld_report, render_tld_report
+
+
+@pytest.fixture(scope="module")
+def campaign():
+    return run_campaign(scale=2e-6, seed=23, recheck=False)
+
+
+class TestTldReport:
+    def test_rows_cover_population(self, campaign):
+        rows = compute_tld_report(campaign.report)
+        assert sum(row.domains for row in rows) == campaign.report.total_resolved
+
+    def test_ordering_by_size(self, campaign):
+        rows = compute_tld_report(campaign.report)
+        sizes = [row.domains for row in rows]
+        assert sizes == sorted(sizes, reverse=True)
+        assert rows[0].suffix == "com"
+
+    def test_percentages_consistent(self, campaign):
+        for row in compute_tld_report(campaign.report):
+            assert 0 <= row.secured_pct <= 100
+            assert row.secured <= row.domains
+            assert row.with_cds <= row.domains
+
+    def test_swiss_suffixes_present(self, campaign):
+        suffixes = {row.suffix for row in compute_tld_report(campaign.report)}
+        assert {"ch", "li"} <= suffixes
+
+    def test_render(self, campaign):
+        text = render_tld_report(compute_tld_report(campaign.report))
+        assert "Per-TLD DNSSEC adoption" in text
+        assert "ch" in text
+
+    def test_unresolved_excluded(self, campaign):
+        rows = compute_tld_report(campaign.report)
+        total = sum(row.domains for row in rows)
+        assert total < campaign.report.total_scanned  # dark zones dropped

@@ -1,0 +1,111 @@
+"""Tests for the validating resolver — the resolver-side view of the
+paper's status classes (secure / island-as-insecure / bogus)."""
+
+import pytest
+
+from repro.dns.types import Rcode, RRType
+from repro.resolver.validating import SecurityStatus, ValidatingResolver
+
+from tests.helpers import build_mini_world
+
+
+@pytest.fixture(scope="module")
+def resolver(mini_world):
+    return ValidatingResolver(mini_world["network"], mini_world["root_ips"])
+
+
+class TestValidatingResolver:
+    def test_secure_zone(self, resolver):
+        result = resolver.resolve("www.example.com", RRType.A)
+        assert result.status == SecurityStatus.SECURE
+        assert result.authenticated_data
+        assert result.rrset(RRType.A).rdatas[0].address == "192.0.2.80"
+        assert result.apex.to_text() == "example.com."
+
+    def test_chain_zones_recorded(self, resolver):
+        result = resolver.resolve("www.example.com", RRType.A)
+        assert [z.to_text() for z in result.chain_zones] == [".", "com.", "example.com."]
+
+    def test_unsigned_zone_insecure(self, resolver):
+        result = resolver.resolve("www.unsigned.com", RRType.A)
+        assert result.status == SecurityStatus.INSECURE
+        assert not result.authenticated_data
+        assert result.answers  # the data still resolves
+        assert "no DS" in result.detail
+
+    def test_island_treated_as_insecure(self, resolver):
+        # §4.1/RFC 4035: secure islands are treated as unsigned — the
+        # whole point of bootstrapping the missing DS.
+        result = resolver.resolve("www.island.com", RRType.A)
+        assert result.status == SecurityStatus.INSECURE
+        assert result.answers
+
+    def test_broken_zone_bogus(self, resolver):
+        # broken.com has a DS but corrupted signatures.
+        result = resolver.resolve("www.broken.com", RRType.A)
+        assert result.status == SecurityStatus.BOGUS
+        assert "broken.com" in result.detail
+
+    def test_nxdomain_in_secure_zone(self, resolver):
+        result = resolver.resolve("missing.example.com", RRType.A)
+        assert result.rcode == Rcode.NXDOMAIN
+        assert result.status == SecurityStatus.SECURE
+
+    def test_nodata_in_secure_zone(self, resolver):
+        result = resolver.resolve("www.example.com", RRType.MX)
+        assert result.rcode == Rcode.NOERROR
+        assert not result.answers
+        assert result.status == SecurityStatus.SECURE
+
+    def test_nonexistent_tld_indeterminate_or_nx(self, resolver):
+        result = resolver.resolve("zone.doesnotexist", RRType.A)
+        assert result.status in (SecurityStatus.INDETERMINATE, SecurityStatus.SECURE)
+
+    def test_signal_zone_resolves_secure(self, resolver):
+        # The RFC 9615 requirement in resolver terms: the signaling CDS
+        # must come back AD=1.
+        result = resolver.resolve(
+            "_dsboot.island.com._signal.ns1.opdns.net", RRType.CDS
+        )
+        assert result.status == SecurityStatus.SECURE
+        assert result.rrset(RRType.CDS) is not None
+
+    def test_bogus_after_ds_tamper(self):
+        # Corrupt the DS RRset for example.com inside the com zone: the
+        # chain must turn bogus at that link.
+        world = build_mini_world()
+        from repro.dns.name import Name
+        from repro.dns.rdata import DS
+        from repro.dns.rrset import RRset
+
+        com = world["zones"]["com"]
+        owner = Name.from_text("example.com")
+        com.remove_rrset(owner, RRType.DS)
+        com.add_rrset(RRset(owner, RRType.DS, 3600, [DS(1, 15, 2, b"\x00" * 32)]))
+        resolver = ValidatingResolver(world["network"], world["root_ips"])
+        result = resolver.resolve("www.example.com", RRType.A)
+        assert result.status == SecurityStatus.BOGUS
+
+    def test_generated_world_statuses(self):
+        # Spot-check against the ecosystem generator's ground truth.
+        from repro.ecosystem import build_world
+        from repro.ecosystem.spec import CdsScenario, SignalScenario, StatusScenario
+
+        world = build_world(scale=1 / 1_000_000, seed=21)
+        resolver = ValidatingResolver(world.network, world.root_ips)
+        wanted = {
+            StatusScenario.SECURE: SecurityStatus.SECURE,
+            StatusScenario.ISLAND: SecurityStatus.INSECURE,
+            StatusScenario.UNSIGNED: SecurityStatus.INSECURE,
+        }
+        seen = set()
+        for spec in world.specs.values():
+            expected = wanted.get(spec.status)
+            if expected is None or spec.status in seen:
+                continue
+            if spec.cds == CdsScenario.INCONSISTENT or spec.legacy_ns:
+                continue
+            result = resolver.resolve(spec.name, RRType.SOA)
+            assert result.status == expected, (spec.name, spec.status)
+            seen.add(spec.status)
+        assert len(seen) == 3

@@ -1,0 +1,122 @@
+"""Tests for RFC 1034 wildcard synthesis and RFC 4035 wildcard signatures."""
+
+import pytest
+
+from repro.dns.message import make_query
+from repro.dns.name import Name
+from repro.dns.rdata import A, CNAME, NS, SOA, TXT
+from repro.dns.types import Rcode, RRType
+from repro.dns.zone import LookupStatus, Zone
+from repro.dnssec import Algorithm, KeyPair, sign_zone, validate_rrset
+from repro.dnssec.validator import extract_rrsigs
+from repro.server import AuthoritativeServer, SimulatedNetwork
+
+
+@pytest.fixture
+def zone():
+    z = Zone("wild.example")
+    z.add("wild.example", 3600, SOA("ns1.wild.example", "h.wild.example", 1))
+    z.add("wild.example", 3600, NS("ns1.wild.example"))
+    z.add("*.wild.example", 300, A("192.0.2.42"))
+    z.add("*.wild.example", 300, TXT(["wildcard"]))
+    z.add("exact.wild.example", 300, A("192.0.2.1"))
+    z.add("*.sub.wild.example", 300, CNAME("target.wild.example"))
+    z.add("target.wild.example", 300, A("192.0.2.99"))
+    return z
+
+
+class TestWildcardLookup:
+    def test_exact_match_wins(self, zone):
+        result = zone.lookup(Name.from_text("exact.wild.example"), RRType.A)
+        assert result.status == LookupStatus.ANSWER
+        assert result.rrset.rdatas[0].address == "192.0.2.1"
+
+    def test_wildcard_synthesis(self, zone):
+        result = zone.lookup(Name.from_text("anything.wild.example"), RRType.A)
+        assert result.status == LookupStatus.WILDCARD
+        assert result.rrset.name == Name.from_text("anything.wild.example")
+        assert result.rrset.rdatas[0].address == "192.0.2.42"
+        assert result.cut_name == Name.from_text("*.wild.example")
+
+    def test_wildcard_nodata_for_missing_type(self, zone):
+        result = zone.lookup(Name.from_text("anything.wild.example"), RRType.MX)
+        assert result.status == LookupStatus.NODATA
+
+    def test_wildcard_does_not_cover_existing_name(self, zone):
+        # "exact" exists: its missing types are NODATA, not wildcard.
+        result = zone.lookup(Name.from_text("exact.wild.example"), RRType.TXT)
+        assert result.status == LookupStatus.NODATA
+
+    def test_wildcard_does_not_apply_below_existing_name(self, zone):
+        # exact.wild.example exists, so deep.exact.wild.example has
+        # closest encloser "exact" which has no wildcard child.
+        result = zone.lookup(Name.from_text("deep.exact.wild.example"), RRType.A)
+        assert result.status == LookupStatus.NXDOMAIN
+
+    def test_nested_wildcard_cname(self, zone):
+        result = zone.lookup(Name.from_text("x.sub.wild.example"), RRType.A)
+        assert result.status == LookupStatus.CNAME
+        assert result.rrset.name == Name.from_text("x.sub.wild.example")
+        assert result.rrset.rdatas[0].target == Name.from_text("target.wild.example")
+
+    def test_multilabel_expansion(self, zone):
+        result = zone.lookup(Name.from_text("a.b.c.wild.example"), RRType.A)
+        # Closest encloser is the apex; wildcard covers multi-label names.
+        assert result.status == LookupStatus.WILDCARD
+
+
+class TestWildcardDnssec:
+    @pytest.fixture
+    def signed(self, zone):
+        key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"wild")
+        sign_zone(zone, [key])
+        return zone, key
+
+    def test_synthesized_answer_validates(self, signed):
+        zone, key = signed
+        result = zone.lookup(Name.from_text("anything.wild.example"), RRType.A)
+        sig_rrset = zone.get_rrset("*.wild.example", RRType.RRSIG)
+        sigs = [s for s in sig_rrset.rdatas if int(s.type_covered) == int(RRType.A)]
+        assert sigs[0].labels == 2  # wildcard label not counted
+        outcome = validate_rrset(result.rrset, sigs, [key.dnskey()])
+        assert outcome.ok
+
+    def test_tampered_synthesis_fails(self, signed):
+        zone, key = signed
+        from repro.dns.rrset import RRset
+
+        fake = RRset(Name.from_text("anything.wild.example"), RRType.A, 300, [A("192.0.2.66")])
+        sig_rrset = zone.get_rrset("*.wild.example", RRType.RRSIG)
+        sigs = [s for s in sig_rrset.rdatas if int(s.type_covered) == int(RRType.A)]
+        assert not validate_rrset(fake, sigs, [key.dnskey()]).ok
+
+    def test_server_serves_wildcard_with_sigs(self, signed):
+        zone, key = signed
+        server = AuthoritativeServer()
+        server.add_zone(zone)
+        network = SimulatedNetwork()
+        network.register("10.0.0.5", server)
+        response = network.query("10.0.0.5", make_query("whatever.wild.example", RRType.A))
+        assert response.rcode == Rcode.NOERROR
+        a_rrset = response.get_rrset(
+            response.answer, Name.from_text("whatever.wild.example"), RRType.A
+        )
+        assert a_rrset is not None
+        sigs = extract_rrsigs(
+            response.get_rrset(
+                response.answer, Name.from_text("whatever.wild.example"), RRType.RRSIG
+            )
+        )
+        assert sigs and validate_rrset(a_rrset, sigs, [key.dnskey()]).ok
+        # NSEC proving no closer match rides in the authority section.
+        assert any(int(r.rrtype) == int(RRType.NSEC) for r in response.authority)
+
+    def test_server_wildcard_without_do_bit(self, signed):
+        zone, _ = signed
+        server = AuthoritativeServer()
+        server.add_zone(zone)
+        response = server.handle_query(
+            make_query("plain.wild.example", RRType.A, dnssec_ok=False)
+        )
+        types = {int(r.rrtype) for r in response.answer}
+        assert types == {int(RRType.A)}

@@ -1,0 +1,122 @@
+"""Unit tests for the low-level wire reader/writer."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.wire import WireError, WireReader, WireWriter
+
+
+class TestWriterPrimitives:
+    def test_integers(self):
+        writer = WireWriter()
+        writer.write_u8(0xAB)
+        writer.write_u16(0x1234)
+        writer.write_u32(0xDEADBEEF)
+        assert writer.getvalue() == bytes.fromhex("AB1234DEADBEEF")
+
+    def test_patch_u16(self):
+        writer = WireWriter()
+        writer.write_u16(0)
+        writer.write_bytes(b"xy")
+        writer.write_at_u16(0, 2)
+        assert writer.getvalue() == b"\x00\x02xy"
+
+    def test_len(self):
+        writer = WireWriter()
+        assert len(writer) == 0
+        writer.write_bytes(b"abc")
+        assert len(writer) == 3
+
+
+class TestReaderPrimitives:
+    def test_sequential_reads(self):
+        reader = WireReader(bytes.fromhex("AB1234DEADBEEF"))
+        assert reader.read_u8() == 0xAB
+        assert reader.read_u16() == 0x1234
+        assert reader.read_u32() == 0xDEADBEEF
+        assert reader.remaining == 0
+
+    def test_truncation_raises(self):
+        reader = WireReader(b"\x01")
+        with pytest.raises(WireError):
+            reader.read_u16()
+
+    def test_seek(self):
+        reader = WireReader(b"abcd")
+        reader.seek(2)
+        assert reader.read_bytes(2) == b"cd"
+        with pytest.raises(WireError):
+            reader.seek(9)
+
+
+class TestNameCompression:
+    def test_round_trip_plain(self):
+        writer = WireWriter(compress=False)
+        name = Name.from_text("www.example.com")
+        writer.write_name(name)
+        reader = WireReader(writer.getvalue())
+        assert reader.read_name() == name
+
+    def test_compression_shrinks_repeats(self):
+        writer = WireWriter(compress=True)
+        writer.write_name(Name.from_text("example.com"))
+        size_first = len(writer)
+        writer.write_name(Name.from_text("www.example.com"))
+        # Only "www" label (4 bytes) + 2-byte pointer.
+        assert len(writer) - size_first == 6
+
+    def test_compressed_round_trip(self):
+        writer = WireWriter(compress=True)
+        names = [
+            Name.from_text("example.com"),
+            Name.from_text("www.example.com"),
+            Name.from_text("mail.www.example.com"),
+            Name.from_text("example.com"),
+            Name.from_text("other.net"),
+        ]
+        for name in names:
+            writer.write_name(name)
+        reader = WireReader(writer.getvalue())
+        for name in names:
+            assert reader.read_name() == name
+
+    def test_compression_case_insensitive_target(self):
+        writer = WireWriter(compress=True)
+        writer.write_name(Name.from_text("Example.COM"))
+        writer.write_name(Name.from_text("www.example.com"))
+        reader = WireReader(writer.getvalue())
+        reader.read_name()
+        assert reader.read_name() == Name.from_text("www.example.com")
+
+    def test_root_round_trip(self):
+        writer = WireWriter()
+        writer.write_name(Name.root())
+        reader = WireReader(writer.getvalue())
+        assert reader.read_name().is_root()
+
+    def test_pointer_loop_rejected(self):
+        # A name that is a pointer to itself.
+        data = b"\xc0\x00"
+        with pytest.raises(WireError):
+            WireReader(data).read_name()
+
+    def test_forward_pointer_rejected(self):
+        # Pointer pointing past itself.
+        data = b"\xc0\x05" + b"\x00" * 10
+        with pytest.raises(WireError):
+            WireReader(data).read_name()
+
+    def test_unsupported_label_type(self):
+        with pytest.raises(WireError):
+            WireReader(b"\x80abc").read_name()
+
+    def test_truncated_label(self):
+        with pytest.raises(WireError):
+            WireReader(b"\x05ab").read_name()
+
+    def test_disable_compression(self):
+        writer = WireWriter(compress=True)
+        writer.write_name(Name.from_text("example.com"))
+        before = len(writer)
+        writer.write_name(Name.from_text("example.com"), compress=False)
+        assert len(writer) - before == 13  # full encoding again

@@ -1,0 +1,138 @@
+"""Unit tests for the Zone container and lookup semantics."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, CNAME, DS, NS, SOA
+from repro.dns.rrset import RRset
+from repro.dns.types import RRType
+from repro.dns.zone import LookupStatus, Zone, ZoneError
+
+
+@pytest.fixture
+def zone():
+    z = Zone("example.com")
+    z.add("example.com", 300, SOA("ns1.example.com", "hostmaster.example.com", 1))
+    z.add("example.com", 300, NS("ns1.example.com"))
+    z.add("ns1.example.com", 300, A("192.0.2.53"))
+    z.add("www.example.com", 300, A("192.0.2.80"))
+    z.add("alias.example.com", 300, CNAME("www.example.com"))
+    z.add("child.example.com", 3600, NS("ns1.child-dns.net"))
+    z.add("child.example.com", 3600, DS(1, 15, 2, b"\x00" * 32))
+    z.add("glue.child.example.com", 3600, A("203.0.113.1"))
+    return z
+
+
+class TestStructure:
+    def test_out_of_zone_rejected(self):
+        z = Zone("example.com")
+        with pytest.raises(ZoneError):
+            z.add("other.net", 300, A("192.0.2.1"))
+
+    def test_soa_property(self, zone):
+        assert zone.soa.serial == 1
+        assert Zone("empty.example").soa is None
+
+    def test_delegation_points(self, zone):
+        assert zone.delegation_points() == [Name.from_text("child.example.com")]
+
+    def test_apex_ns_is_not_a_cut(self, zone):
+        assert zone.find_cut(Name.from_text("example.com")) is None
+
+    def test_find_cut(self, zone):
+        assert zone.find_cut(Name.from_text("deep.child.example.com")) == Name.from_text(
+            "child.example.com"
+        )
+        assert zone.find_cut(Name.from_text("www.example.com")) is None
+        assert zone.find_cut(Name.from_text("other.net")) is None
+
+    def test_is_authoritative_for(self, zone):
+        assert zone.is_authoritative_for(Name.from_text("www.example.com"))
+        assert not zone.is_authoritative_for(Name.from_text("x.child.example.com"))
+        assert not zone.is_authoritative_for(Name.from_text("other.net"))
+
+    def test_names_canonical_order(self, zone):
+        names = zone.names()
+        assert names[0] == Name.from_text("example.com")
+        assert names == sorted(names, key=lambda n: n.canonical_key())
+
+    def test_merge_rrsets(self):
+        z = Zone("example.com")
+        z.add("example.com", 300, NS("ns1.example.net"))
+        z.add("example.com", 300, NS("ns2.example.net"))
+        assert len(z.get_rrset("example.com", RRType.NS)) == 2
+
+    def test_remove_rrset(self, zone):
+        zone.remove_rrset(Name.from_text("www.example.com"), RRType.A)
+        assert zone.get_rrset("www.example.com", RRType.A) is None
+        assert not zone.has_name(Name.from_text("www.example.com"))
+
+    def test_empty_non_terminal(self):
+        z = Zone("example.com")
+        z.add("a.b.example.com", 300, A("192.0.2.1"))
+        assert z.has_name(Name.from_text("b.example.com"))
+
+
+class TestLookup:
+    def test_answer(self, zone):
+        result = zone.lookup(Name.from_text("www.example.com"), RRType.A)
+        assert result.status == LookupStatus.ANSWER
+        assert result.rrset.rdatas[0].address == "192.0.2.80"
+
+    def test_nodata(self, zone):
+        result = zone.lookup(Name.from_text("www.example.com"), RRType.TXT)
+        assert result.status == LookupStatus.NODATA
+
+    def test_nxdomain(self, zone):
+        assert (
+            zone.lookup(Name.from_text("missing.example.com"), RRType.A).status
+            == LookupStatus.NXDOMAIN
+        )
+
+    def test_cname(self, zone):
+        result = zone.lookup(Name.from_text("alias.example.com"), RRType.A)
+        assert result.status == LookupStatus.CNAME
+        assert result.rrset.rdatas[0].target == Name.from_text("www.example.com")
+
+    def test_cname_query_answers_directly(self, zone):
+        result = zone.lookup(Name.from_text("alias.example.com"), RRType.CNAME)
+        assert result.status == LookupStatus.ANSWER
+
+    def test_delegation(self, zone):
+        result = zone.lookup(Name.from_text("x.child.example.com"), RRType.A)
+        assert result.status == LookupStatus.DELEGATION
+        assert result.cut_name == Name.from_text("child.example.com")
+        assert result.rrset.rrtype == RRType.NS
+
+    def test_delegation_at_cut_itself(self, zone):
+        result = zone.lookup(Name.from_text("child.example.com"), RRType.A)
+        assert result.status == LookupStatus.DELEGATION
+
+    def test_ds_at_cut_is_authoritative(self, zone):
+        # The parent answers DS queries at the delegation point itself.
+        result = zone.lookup(Name.from_text("child.example.com"), RRType.DS)
+        assert result.status == LookupStatus.ANSWER
+        assert result.rrset.rrtype == RRType.DS
+
+    def test_not_in_zone(self, zone):
+        assert zone.lookup(Name.from_text("other.net"), RRType.A).status == LookupStatus.NOT_IN_ZONE
+
+    def test_apex_lookup(self, zone):
+        assert zone.lookup(Name.from_text("example.com"), RRType.SOA).status == LookupStatus.ANSWER
+
+    def test_unknown_qtype_is_nodata(self, zone):
+        # RFC 3597: servers answer NODATA for unknown types at existing names.
+        result = zone.lookup(Name.from_text("www.example.com"), RRType.make(65280))
+        assert result.status == LookupStatus.NODATA
+
+
+class TestPresentation:
+    def test_to_text_contains_origin_and_records(self, zone):
+        text = zone.to_text()
+        assert "$ORIGIN example.com." in text
+        assert "www.example.com. 300 IN A 192.0.2.80" in text
+
+    def test_add_rrset_type_check(self):
+        rrset = RRset("example.com", RRType.A, 300)
+        with pytest.raises(ValueError):
+            rrset.add(NS("ns1.example.com"))

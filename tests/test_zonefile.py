@@ -1,0 +1,192 @@
+"""Tests for master-file zone parsing and round trips."""
+
+import pytest
+
+from repro.dns.name import Name
+from repro.dns.rdata import A, CDS, DNSKEY, MX, NS, SOA, TXT
+from repro.dns.types import RRType
+from repro.dns.zone import Zone
+from repro.dns.zonefile import ZoneFileError, parse_rdata, parse_zone
+from repro.dnssec import Algorithm, KeyPair, sign_zone
+
+SIMPLE = """
+$ORIGIN example.com.
+$TTL 3600
+@       IN SOA ns1.example.com. hostmaster.example.com. 2025070601 7200 3600 1209600 3600
+        IN NS  ns1
+        IN NS  ns2.other-dns.net.
+ns1     IN A   192.0.2.53
+www     300 IN A 192.0.2.80
+www     IN AAAA 2001:db8::80
+mail    IN MX  10 mx.example.com.
+txt     IN TXT "hello world" "second string"
+"""
+
+
+class TestParseZone:
+    def test_basic(self):
+        zone = parse_zone(SIMPLE)
+        assert zone.origin == Name.from_text("example.com")
+        assert zone.soa.serial == 2025070601
+
+    def test_relative_and_absolute_names(self):
+        zone = parse_zone(SIMPLE)
+        ns = zone.get_rrset("example.com", RRType.NS)
+        targets = {rd.target.to_text() for rd in ns.rdatas}
+        assert targets == {"ns1.example.com.", "ns2.other-dns.net."}
+
+    def test_owner_continuation(self):
+        zone = parse_zone(SIMPLE)
+        # The two indented NS lines inherit the apex owner.
+        assert len(zone.get_rrset("example.com", RRType.NS)) == 2
+        # www has two rrsets (A + AAAA) under the repeated owner.
+        assert zone.get_rrset("www.example.com", RRType.AAAA) is not None
+
+    def test_per_record_ttl(self):
+        zone = parse_zone(SIMPLE)
+        assert zone.get_rrset("www.example.com", RRType.A).ttl == 300
+        assert zone.get_rrset("ns1.example.com", RRType.A).ttl == 3600
+
+    def test_quoted_txt(self):
+        zone = parse_zone(SIMPLE)
+        txt = zone.get_rrset("txt.example.com", RRType.TXT).rdatas[0]
+        assert txt.strings == (b"hello world", b"second string")
+
+    def test_at_sign(self):
+        zone = parse_zone("$ORIGIN x.test.\n@ 60 IN A 192.0.2.1\n")
+        assert zone.get_rrset("x.test", RRType.A) is not None
+
+    def test_comments_stripped(self):
+        zone = parse_zone(
+            '$ORIGIN c.test.\n@ 60 IN TXT "a;b" ; trailing comment\nwww 60 IN A 192.0.2.9 ; note\n'
+        )
+        assert zone.get_rrset("c.test", RRType.TXT).rdatas[0].strings == (b"a;b",)
+
+    def test_parenthesised_soa(self):
+        text = """$ORIGIN p.test.
+@ IN SOA ns1.p.test. h.p.test. (
+        42      ; serial
+        7200 3600 1209600 3600 )
+"""
+        zone = parse_zone(text)
+        assert zone.soa.serial == 42
+
+    def test_explicit_origin_argument(self):
+        zone = parse_zone("@ 60 IN A 192.0.2.1\n", origin="arg.test")
+        assert zone.origin == Name.from_text("arg.test")
+
+    def test_missing_origin_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("www 60 IN A 192.0.2.1\n")
+
+    def test_unbalanced_parens_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN u.test.\n@ IN SOA a. b. ( 1 2 3 4 5\n")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN u.test.\n@ 60 IN NOPE data\n")
+
+    def test_bad_rdata_reports_line(self):
+        with pytest.raises(ZoneFileError) as excinfo:
+            parse_zone("$ORIGIN u.test.\n@ 60 IN MX not-a-number mx.u.test.\n")
+        assert excinfo.value.line == 2
+
+    def test_out_of_zone_record_rejected(self):
+        with pytest.raises(ZoneFileError):
+            parse_zone("$ORIGIN a.test.\nother.test. 60 IN A 192.0.2.1\n", origin="a.test")
+
+
+class TestRoundTrip:
+    def make_signed_zone(self):
+        key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"zonefile")
+        zone = Zone("rt.example")
+        zone.add("rt.example", 3600, SOA("ns1.rt.example", "h.rt.example", 7))
+        zone.add("rt.example", 3600, NS("ns1.rt.example"))
+        zone.add("ns1.rt.example", 3600, A("192.0.2.1"))
+        zone.add("www.rt.example", 300, A("192.0.2.2"))
+        zone.add("rt.example", 3600, MX(5, "mail.rt.example"))
+        zone.add("rt.example", 3600, TXT(["v=spf1 -all"]))
+        from repro.dnssec.ds import cds_from_dnskey
+
+        zone.add("rt.example", 3600, cds_from_dnskey(Name.from_text("rt.example"), key.dnskey()))
+        sign_zone(zone, [key])
+        return zone
+
+    def test_signed_zone_round_trip(self):
+        zone = self.make_signed_zone()
+        parsed = parse_zone(zone.to_text())
+        assert parsed.origin == zone.origin
+        assert set(parsed.names()) == set(zone.names())
+        for name in zone.names():
+            for rrtype in zone.node_types(name):
+                original = zone.get_rrset(name, rrtype)
+                reparsed = parsed.get_rrset(name, rrtype)
+                assert reparsed is not None, (name, rrtype)
+                assert reparsed.same_rdata_as(original), (name, rrtype)
+
+    def test_signatures_still_validate_after_round_trip(self):
+        from repro.dnssec import validate_rrset
+        from repro.dnssec.validator import extract_rrsigs
+
+        zone = self.make_signed_zone()
+        parsed = parse_zone(zone.to_text())
+        dnskeys = parsed.get_rrset("rt.example", RRType.DNSKEY)
+        sigs = extract_rrsigs(parsed.get_rrset("rt.example", RRType.RRSIG))
+        assert validate_rrset(dnskeys, sigs, list(dnskeys.rdatas)).ok
+
+    def test_mini_world_zone_round_trip(self, mini_world):
+        zone = mini_world["zones"]["island.com"]
+        parsed = parse_zone(zone.to_text())
+        cds = parsed.get_rrset("island.com", RRType.CDS)
+        assert cds is not None
+        assert cds.rdatas[0] == mini_world["island_cds"]
+
+
+class TestNsec3RoundTrip:
+    def test_nsec3_zone_round_trip(self):
+        key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"zf-nsec3")
+        zone = Zone("n3rt.example")
+        zone.add("n3rt.example", 3600, SOA("ns1.n3rt.example", "h.n3rt.example", 1))
+        zone.add("n3rt.example", 3600, NS("ns1.n3rt.example"))
+        zone.add("www.n3rt.example", 300, A("192.0.2.3"))
+        sign_zone(zone, [key], denial="nsec3")
+        parsed = parse_zone(zone.to_text())
+        assert set(parsed.names()) == set(zone.names())
+        for name in zone.names():
+            for rrtype in zone.node_types(name):
+                assert parsed.get_rrset(name, rrtype).same_rdata_as(
+                    zone.get_rrset(name, rrtype)
+                ), (name, rrtype)
+
+    def test_csync_round_trip(self):
+        from repro.dns.rdata import CSYNC
+
+        zone = Zone("cs.example")
+        zone.add("cs.example", 3600, SOA("ns1.cs.example", "h.cs.example", 1))
+        zone.add("cs.example", 3600, CSYNC(42, CSYNC.FLAG_SOAMINIMUM, [RRType.NS, RRType.A]))
+        parsed = parse_zone(zone.to_text())
+        rdata = parsed.get_rrset("cs.example", RRType.CSYNC).rdatas[0]
+        assert rdata.serial == 42 and rdata.soa_minimum
+        assert RRType.NS in rdata.types
+
+
+class TestParseRdata:
+    def test_cds_delete_sentinel(self):
+        rdata = parse_rdata(RRType.CDS, "0 0 0 00")
+        assert isinstance(rdata, CDS) and rdata.is_delete
+
+    def test_dnskey(self):
+        key = KeyPair.generate(Algorithm.ED25519, ksk=True, seed=b"pr")
+        text = key.dnskey().to_text()
+        parsed = parse_rdata(RRType.DNSKEY, text)
+        assert isinstance(parsed, DNSKEY)
+        assert parsed == key.dnskey()
+
+    def test_generic_rfc3597(self):
+        rdata = parse_rdata(RRType.make(65280), "\\# 3 abcdef")
+        assert rdata.data == bytes.fromhex("abcdef")
+
+    def test_generic_length_mismatch(self):
+        with pytest.raises(ValueError):
+            parse_rdata(RRType.make(65280), "\\# 2 abcdef")
