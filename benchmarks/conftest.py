@@ -36,6 +36,25 @@ def results_dir():
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def campaign_store(campaign, tmp_path_factory):
+    """The session campaign persisted once into a sharded store — shared
+    by the read/resume benchmarks in bench_store.py."""
+    from repro.store import CampaignStore
+
+    root = tmp_path_factory.mktemp("campaign-store")
+    store = CampaignStore.create(
+        root,
+        seed=campaign.world.seed,
+        scale=campaign.world.scale,
+        zones_total=len(campaign.results),
+    )
+    for result in campaign.results:
+        store.append(result)
+    store.complete()
+    return root
+
+
 def save_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
     path = results_dir / name
     path.write_text(text + "\n")

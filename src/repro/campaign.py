@@ -4,12 +4,21 @@ This is the one-call orchestration used by the CLI, the examples, and
 the benchmark harness.  It mirrors the paper's methodology, including
 the re-check pass for zones whose signal errors might be transient
 (§4.4: "following further checks, these were transient errors").
+
+Campaigns can run fully in memory (the default, results returned as a
+list) or against a :mod:`repro.store` warehouse (``store_dir=...``):
+results are then committed shard-by-shard as the scan proceeds, a
+killed campaign resumes from its manifest via :func:`resume_campaign`,
+and the report is computed by streaming the store back through the
+pipeline — the same store-then-analyse discipline as the paper's
+6.5 TiB archive.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, FrozenSet, List, Optional
 
 from repro.core.bootstrap import INCORRECT_OUTCOMES, SignalOutcome, assess_zone
 from repro.core.pipeline import AnalysisPipeline, AnalysisReport
@@ -26,6 +35,9 @@ class CampaignResult:
     results: List[ZoneScanResult]
     report: AnalysisReport
     rechecked: Dict[str, SignalOutcome]
+    # Set for store-backed campaigns; ``results`` is then empty — the
+    # records live in the store and stream back via StoreReader.
+    store_dir: Optional[Path] = None
 
     @property
     def simulated_duration(self) -> float:
@@ -34,12 +46,60 @@ class CampaignResult:
         return self.world.network.clock.now()
 
 
+def _scan_list(world: World, use_sources: bool):
+    if use_sources:
+        from repro.scanner.sources import compile_scan_list
+
+        return compile_scan_list(world).names
+    return world.scan_list
+
+
+def _recheck_pass(
+    scanner,
+    report: AnalysisReport,
+    double_check: FrozenSet[str] = frozenset(),
+) -> Dict[str, SignalOutcome]:
+    """The §4.4 re-check: rescan zones with incorrect signal outcomes.
+
+    *double_check* names zones whose stored result came from a previous
+    process (a resumed campaign).  Their first, transiently-failing
+    observation was consumed in *that* process's world; the resumed
+    world is fresh, so these zones get one extra rescan — the same
+    observation budget (initial scan + re-check) every other zone has —
+    which keeps a resumed report identical to an uninterrupted one.
+    """
+    suspicious = [
+        assessment.zone
+        for assessment in report.assessments
+        if assessment.signal_outcome in INCORRECT_OUTCOMES
+    ]
+    updates: Dict[str, SignalOutcome] = {}
+    for zone in suspicious:
+        rescan = scanner.scan_zone(zone)
+        outcome = assess_zone(rescan).signal_outcome
+        if outcome in INCORRECT_OUTCOMES and zone in double_check:
+            rescan = scanner.scan_zone(zone)
+            outcome = assess_zone(rescan).signal_outcome
+        updates[zone] = outcome
+    apply_recheck(report, updates)
+    return {
+        zone: outcome
+        for zone, outcome in updates.items()
+        if outcome not in INCORRECT_OUTCOMES
+    }
+
+
 def run_campaign(
     scale: float = 1 / 100_000,
     seed: int = 1,
     recheck: bool = True,
     world: Optional[World] = None,
     use_sources: bool = False,
+    store_dir: Optional[Path] = None,
+    checkpoint_every: Optional[int] = None,
+    num_shards: Optional[int] = None,
+    compress: bool = True,
+    stop_after: Optional[int] = None,
 ) -> CampaignResult:
     """Run one full measurement campaign.
 
@@ -52,36 +112,116 @@ def run_campaign(
     paper acquired it (§3: CZDS dumps, AXFR, private arrangements,
     CT-log sampling) instead of taken from the generator's ground truth
     — CT-log-only ccTLDs are then scanned partially.
+
+    With ``store_dir`` set, every result is persisted to a sharded
+    campaign store as it is scanned (checkpointed every
+    *checkpoint_every* records) instead of being kept in memory, and
+    the report is computed by streaming the store.  ``stop_after``
+    aborts the scan after N zones with the store left in-progress —
+    the programmatic stand-in for a crash; finish it later with
+    :func:`resume_campaign`.
     """
     if world is None:
         world = build_world(scale=scale, seed=seed)
     scanner = world.make_scanner()
-    if use_sources:
-        from repro.scanner.sources import compile_scan_list
+    scan_list = _scan_list(world, use_sources)
 
-        scan_list = compile_scan_list(world).names
-    else:
-        scan_list = world.scan_list
-    results = scanner.scan_many(scan_list)
-    pipeline = AnalysisPipeline(world.operator_db)
-    report = pipeline.analyze(results)
+    if store_dir is None:
+        if stop_after is not None:
+            raise ValueError("stop_after requires a store (store_dir=...)")
+        results = scanner.scan_many(scan_list)
+        pipeline = AnalysisPipeline(world.operator_db)
+        report = pipeline.analyze(results)
+        rechecked: Dict[str, SignalOutcome] = {}
+        if recheck:
+            rechecked = _recheck_pass(scanner, report)
+        return CampaignResult(
+            world=world, results=results, report=report, rechecked=rechecked
+        )
 
-    rechecked: Dict[str, SignalOutcome] = {}
+    # -- store-backed campaign: persist-as-you-scan ------------------------
+    from repro.store import DEFAULT_CHECKPOINT_EVERY, DEFAULT_NUM_SHARDS, CampaignStore
+    from repro.store.reader import StoreReader
+
+    store = CampaignStore.create(
+        Path(store_dir),
+        seed=world.seed,
+        scale=world.scale,
+        num_shards=num_shards or DEFAULT_NUM_SHARDS,
+        compress=compress,
+        zones_total=len(scan_list),
+        config={"recheck": recheck, "use_sources": use_sources},
+        checkpoint_every=checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+    )
+    interrupted = False
+    with store:
+        for index, _ in enumerate(scanner.scan_iter(scan_list, sink=store.append), 1):
+            if stop_after is not None and index >= stop_after:
+                interrupted = True
+                break
+    if interrupted:
+        # The context manager checkpointed whatever was buffered; the
+        # manifest stays in-progress, exactly like a crash after the
+        # last checkpoint.
+        reader = StoreReader(store.root)
+        report = AnalysisPipeline(world.operator_db).analyze(reader.iter_results())
+        return CampaignResult(
+            world=world, results=[], report=report, rechecked={}, store_dir=store.root
+        )
+    store.complete()
+
+    reader = StoreReader(store.root)
+    report = reader.reanalyze(world.operator_db)
+    rechecked = {}
     if recheck:
-        suspicious = [
-            assessment.zone
-            for assessment in report.assessments
-            if assessment.signal_outcome in INCORRECT_OUTCOMES
-        ]
-        updates: Dict[str, SignalOutcome] = {}
-        for zone in suspicious:
-            rescan = scanner.scan_zone(zone)
-            outcome = assess_zone(rescan).signal_outcome
-            updates[zone] = outcome
-        apply_recheck(report, updates)
-        rechecked = {
-            zone: outcome
-            for zone, outcome in updates.items()
-            if outcome not in INCORRECT_OUTCOMES
-        }
-    return CampaignResult(world=world, results=results, report=report, rechecked=rechecked)
+        rechecked = _recheck_pass(scanner, report)
+    return CampaignResult(
+        world=world, results=[], report=report, rechecked=rechecked, store_dir=store.root
+    )
+
+
+def resume_campaign(
+    store_dir: Path,
+    world: Optional[World] = None,
+    checkpoint_every: Optional[int] = None,
+) -> CampaignResult:
+    """Finish an interrupted store-backed campaign.
+
+    Opens the manifest, rebuilds the world at the recorded seed/scale,
+    skips every zone already persisted, scans only the remainder
+    (checkpointing as it goes), marks the store complete, and produces
+    the report by streaming the whole store — byte-identical to the
+    report of an uninterrupted campaign at the same seed/scale.
+    """
+    from repro.store import DEFAULT_CHECKPOINT_EVERY, CampaignStore, StoreError
+    from repro.store.reader import StoreReader
+
+    store = CampaignStore.open(
+        Path(store_dir), checkpoint_every=checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+    )
+    manifest = store.manifest
+    if world is None:
+        world = build_world(scale=manifest.scale, seed=manifest.seed)
+    elif (world.seed, world.scale) != (manifest.seed, manifest.scale):
+        raise StoreError(
+            f"world (seed={world.seed}, scale={world.scale:g}) does not match "
+            f"the store's campaign (seed={manifest.seed}, scale={manifest.scale:g})"
+        )
+    scanner = world.make_scanner()
+    scan_list = _scan_list(world, bool(manifest.config.get("use_sources")))
+
+    done = frozenset(store.completed_zones())
+    if not manifest.complete:
+        with store:
+            for _ in scanner.scan_iter(scan_list, skip=done, sink=store.append):
+                pass
+        store.complete()
+
+    reader = StoreReader(store.root)
+    report = reader.reanalyze(world.operator_db)
+    rechecked: Dict[str, SignalOutcome] = {}
+    if manifest.config.get("recheck", True):
+        rechecked = _recheck_pass(scanner, report, double_check=done)
+    return CampaignResult(
+        world=world, results=[], report=report, rechecked=rechecked, store_dir=store.root
+    )

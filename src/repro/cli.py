@@ -101,34 +101,119 @@ def cmd_audit(args: argparse.Namespace) -> int:
 
 
 def cmd_scan(args: argparse.Namespace) -> int:
-    """Scan a world and dump the raw results as JSON lines."""
-    from repro.scanner.serialize import dump_results
+    """Scan a world and dump the raw results as JSON lines.
+
+    Results stream straight from the scanner to disk (gzipped when the
+    output path ends in ``.gz``) — nothing is held in memory.
+    """
+    from repro.scanner.serialize import dump_results, open_results_write
 
     world = build_world(scale=args.scale, seed=args.seed)
     scanner = world.make_scanner()
-    results = scanner.scan_many(world.scan_list[: args.limit] if args.limit else world.scan_list)
-    with open(args.output, "w", encoding="utf-8") as fp:
-        count = dump_results(results, fp)
+    zones = world.scan_list[: args.limit] if args.limit else world.scan_list
+    with open_results_write(args.output) as fp:
+        count = dump_results(scanner.scan_iter(zones), fp)
     print(
         f"scanned {count} zones ({world.network.queries_sent} queries) -> {args.output}"
     )
     return 0
 
 
-def cmd_analyze(args: argparse.Namespace) -> int:
-    """Re-analyse stored scan results offline (no network, no world)."""
-    from repro.core import AnalysisPipeline
-    from repro.scanner.serialize import load_results
-
-    with open(args.input, encoding="utf-8") as fp:
-        results = list(load_results(fp))
-    report = AnalysisPipeline().analyze(results)
+def _print_report_summary(report) -> None:
     print(f"analysed {report.total_scanned} stored results")
     for status, count in sorted(report.status_counts.items(), key=lambda kv: -kv[1]):
         print(f"  {status.value:<12} {count}")
     for outcome, count in sorted(report.outcome_counts.items(), key=lambda kv: -kv[1]):
         if outcome.value != "no_signal":
             print(f"  signal:{outcome.value:<28} {count}")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Re-analyse stored scan results offline (no network, no world).
+
+    Streams the file through the pipeline in O(1) memory; gzip input is
+    auto-detected, truncated trailing lines (crash artefacts) are
+    skipped and counted unless ``--strict``.
+    """
+    from repro.core import AnalysisPipeline
+    from repro.scanner.serialize import LoadStats, load_results_path
+
+    stats = LoadStats()
+    report = AnalysisPipeline().analyze(
+        load_results_path(args.input, strict=args.strict, stats=stats)
+    )
+    _print_report_summary(report)
+    if stats.skipped:
+        print(f"  (skipped {stats.skipped} corrupt record(s))")
+    return 0
+
+
+# -- campaign warehouse ------------------------------------------------------
+
+
+def cmd_store_init(args: argparse.Namespace) -> int:
+    """Start a store-backed campaign: scan and persist shard by shard."""
+    from repro.campaign import run_campaign
+
+    campaign = run_campaign(
+        scale=args.scale,
+        seed=args.seed,
+        recheck=not args.no_recheck,
+        store_dir=args.dir,
+        checkpoint_every=args.checkpoint_every,
+        num_shards=args.shards,
+        compress=not args.no_gzip,
+        stop_after=args.stop_after or None,
+    )
+    from repro.store import StoreReader
+
+    summary = StoreReader(args.dir).summary()
+    print(summary.render())
+    if summary.status != "complete":
+        print(f"\ncampaign interrupted; finish with: repro-dnssec store resume --dir {args.dir}")
+    else:
+        print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
+    return 0
+
+
+def cmd_store_status(args: argparse.Namespace) -> int:
+    """Inspect a campaign store (existence always checked; --verify
+    re-hashes every shard against its manifest digest)."""
+    from repro.store import StoreReader
+
+    reader = StoreReader(args.dir, verify_digests=args.verify)
+    print(reader.summary().render())
+    if args.verify:
+        print("integrity: all shard digests verified")
+    return 0
+
+
+def cmd_store_resume(args: argparse.Namespace) -> int:
+    """Finish an interrupted campaign from its manifest."""
+    from repro.campaign import resume_campaign
+    from repro.store import StoreReader
+
+    campaign = resume_campaign(args.dir)
+    print(StoreReader(args.dir).summary().render())
+    print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
+    return 0
+
+
+def cmd_store_diff(args: argparse.Namespace) -> int:
+    """Longitudinal comparison of two stored campaigns."""
+    from repro.store import StoreReader, diff_stores, render_diff
+
+    diff = diff_stores(StoreReader(args.old), StoreReader(args.new))
+    print(render_diff(diff))
+    return 0
+
+
+def cmd_store_reanalyze(args: argparse.Namespace) -> int:
+    """Stream a stored campaign back through the analysis pipeline."""
+    from repro.store import StoreReader
+
+    report = StoreReader(args.dir, verify_digests=args.verify).reanalyze()
+    _print_report_summary(report)
     return 0
 
 
@@ -209,7 +294,61 @@ def build_parser() -> argparse.ArgumentParser:
 
     analyze = sub.add_parser("analyze", help="re-analyse stored scan results offline")
     analyze.add_argument("--input", default="scan-results.jsonl")
+    analyze.add_argument(
+        "--strict", action="store_true", help="raise on corrupt records instead of skipping"
+    )
     analyze.set_defaults(func=cmd_analyze)
+
+    store = sub.add_parser(
+        "store", help="sharded campaign warehouse (checkpoint/resume/diff)"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+
+    store_init = store_sub.add_parser(
+        "init", help="run a campaign persisting results shard-by-shard"
+    )
+    _add_common(store_init)
+    store_init.add_argument("--dir", required=True, help="store directory to create")
+    store_init.add_argument("--shards", type=int, default=None, help="zone-hash buckets")
+    store_init.add_argument(
+        "--checkpoint-every", type=int, default=None, help="records per durable commit"
+    )
+    store_init.add_argument("--no-gzip", action="store_true", help="store plain JSONL shards")
+    store_init.add_argument("--no-recheck", action="store_true")
+    store_init.add_argument(
+        "--stop-after",
+        type=int,
+        default=0,
+        help="abort after N zones, leaving the store resumable (crash stand-in)",
+    )
+    store_init.set_defaults(func=cmd_store_init)
+
+    store_status = store_sub.add_parser("status", help="inspect a campaign store")
+    store_status.add_argument("--dir", required=True)
+    store_status.add_argument(
+        "--verify", action="store_true", help="re-hash every shard against the manifest"
+    )
+    store_status.set_defaults(func=cmd_store_status)
+
+    store_resume = store_sub.add_parser(
+        "resume", help="finish an interrupted campaign from its manifest"
+    )
+    store_resume.add_argument("--dir", required=True)
+    store_resume.set_defaults(func=cmd_store_resume)
+
+    store_diff = store_sub.add_parser(
+        "diff", help="longitudinal diff of two stored campaigns"
+    )
+    store_diff.add_argument("--old", required=True, help="earlier campaign store")
+    store_diff.add_argument("--new", required=True, help="later campaign store")
+    store_diff.set_defaults(func=cmd_store_diff)
+
+    store_reanalyze = store_sub.add_parser(
+        "reanalyze", help="stream a stored campaign through the pipeline"
+    )
+    store_reanalyze.add_argument("--dir", required=True)
+    store_reanalyze.add_argument("--verify", action="store_true")
+    store_reanalyze.set_defaults(func=cmd_store_reanalyze)
 
     bootstrap = sub.add_parser("bootstrap", help="run a registry acceptance policy")
     _add_common(bootstrap)

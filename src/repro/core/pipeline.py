@@ -171,6 +171,14 @@ class AnalysisPipeline:
         self.now = now
 
     def analyze(self, results: Iterable[ZoneScanResult]) -> AnalysisReport:
+        """Assess and aggregate *results* into an :class:`AnalysisReport`.
+
+        *results* may be any iterable — a list, or a generator such as
+        :meth:`repro.store.StoreReader.iter_results`.  Each record is
+        consumed exactly once and never retained, so re-analysing an
+        arbitrarily large stored campaign runs in O(1) memory on top of
+        the report's own per-zone assessment list.
+        """
         report = AnalysisReport()
         for result in results:
             self._observe(report, result)

@@ -13,7 +13,13 @@ from repro.scanner.fleet import FleetReport, ScanFleet
 from repro.scanner.ratelimit import RateLimiter
 from repro.scanner.results import QueryStatus, RRQueryResult, SignalScan, ZoneScanResult
 from repro.scanner.sampling import AnycastSamplingPolicy
-from repro.scanner.serialize import dump_results, load_results
+from repro.scanner.serialize import (
+    LoadStats,
+    dump_results,
+    dump_results_path,
+    load_results,
+    load_results_path,
+)
 from repro.scanner.sources import compile_scan_list
 from repro.scanner.yodns import Scanner, ScannerConfig
 
@@ -30,8 +36,11 @@ __all__ = [
     "TlsWeightedSampler",
     "UniformSampler",
     "ZoneScanResult",
+    "LoadStats",
     "compile_scan_list",
     "coverage_bias",
     "dump_results",
+    "dump_results_path",
     "load_results",
+    "load_results_path",
 ]

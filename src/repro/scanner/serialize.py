@@ -5,12 +5,31 @@ analysed offline.  This module provides the same store-then-analyse
 workflow: a scan campaign can be dumped to JSON lines and re-analysed
 later without re-scanning — rdata round-trips through the master-file
 presentation format.
+
+Streaming semantics: :func:`dump_results` consumes any iterable (a
+generator works — nothing is materialised) and :func:`load_results` is
+a generator, so a store→re-analyse cycle runs in O(1) memory.  Files
+may be gzip-compressed; readers auto-detect by magic bytes, writers
+compress when the path ends in ``.gz`` (see :func:`open_results_write`).
+
+Crash tolerance: a process killed mid-write leaves a truncated final
+line.  By default :func:`load_results` skips undecodable lines with a
+warning (counted in :class:`LoadStats`); ``strict=True`` restores the
+raise-on-corruption behaviour.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
-from typing import Any, Dict, Iterable, Iterator, List, Optional, TextIO
+import logging
+from dataclasses import dataclass
+from typing import Any, BinaryIO, Dict, Iterable, Iterator, List, Optional, TextIO
+
+logger = logging.getLogger(__name__)
+
+GZIP_MAGIC = b"\x1f\x8b"
 
 from repro.dns.name import Name
 from repro.dns.rdata import RRSIG
@@ -180,7 +199,11 @@ def result_from_obj(obj: Dict[str, Any]) -> ZoneScanResult:
 
 
 def dump_results(results: Iterable[ZoneScanResult], fp: TextIO) -> int:
-    """Write results as JSON lines; returns the record count."""
+    """Write results as JSON lines; returns the record count.
+
+    *results* may be any iterable, including a generator — records are
+    written as they arrive, nothing is held back.
+    """
     count = 0
     for result in results:
         fp.write(json.dumps(result_to_obj(result), separators=(",", ":")))
@@ -189,9 +212,117 @@ def dump_results(results: Iterable[ZoneScanResult], fp: TextIO) -> int:
     return count
 
 
-def load_results(fp: TextIO) -> Iterator[ZoneScanResult]:
-    """Stream results back from JSON lines."""
-    for line in fp:
+@dataclass
+class LoadStats:
+    """Counters filled in by :func:`load_results`."""
+
+    records: int = 0
+    skipped: int = 0  # corrupt or truncated lines that were not parseable
+
+
+def load_results(
+    fp: TextIO,
+    strict: bool = False,
+    stats: Optional[LoadStats] = None,
+) -> Iterator[ZoneScanResult]:
+    """Stream results back from JSON lines.
+
+    A crash mid-write leaves a truncated final line; by default such
+    undecodable lines are skipped with a warning (and counted in
+    *stats* when given).  With ``strict=True`` corruption raises, as the
+    original loader did.
+    """
+    if stats is None:
+        stats = LoadStats()
+    for lineno, line in enumerate(fp, start=1):
         line = line.strip()
-        if line:
-            yield result_from_obj(json.loads(line))
+        if not line:
+            continue
+        try:
+            result = result_from_obj(json.loads(line))
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            if strict:
+                raise
+            stats.skipped += 1
+            logger.warning(
+                "skipping corrupt scan record at line %d (%d skipped so far)",
+                lineno,
+                stats.skipped,
+            )
+            continue
+        stats.records += 1
+        yield result
+
+
+# -- gzip-aware file access -------------------------------------------------
+
+
+def is_gzip(raw: BinaryIO) -> bool:
+    """True if the (seekable) binary stream starts with the gzip magic."""
+    pos = raw.tell()
+    magic = raw.read(2)
+    raw.seek(pos)
+    return magic == GZIP_MAGIC
+
+
+class _OwningTextWrapper(io.TextIOWrapper):
+    """TextIOWrapper that also closes the raw file under a GzipFile
+    (GzipFile never closes a fileobj it was handed)."""
+
+    def __init__(self, buffer, raw: BinaryIO, **kwargs):
+        super().__init__(buffer, **kwargs)
+        self._raw_file = raw
+
+    def close(self) -> None:
+        try:
+            super().close()
+        finally:
+            if not self._raw_file.closed:
+                self._raw_file.close()
+
+
+def open_results_read(path: str) -> TextIO:
+    """Open a results file for reading, auto-detecting gzip compression
+    by magic bytes (the ``.gz`` suffix is not required)."""
+    with open(path, "rb") as probe:
+        magic = probe.read(2)
+    if magic == GZIP_MAGIC:
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def open_results_write(path: str, compress: Optional[bool] = None) -> TextIO:
+    """Open a results file for writing; gzip when *compress* is true or
+    (if None) when the path ends in ``.gz``.
+
+    Compressed output is deterministic (``mtime=0``, no embedded
+    filename) so equal record streams produce byte-identical files —
+    shard content digests depend on it.
+    """
+    if compress is None:
+        compress = path.endswith(".gz")
+    if not compress:
+        return open(path, "w", encoding="utf-8", newline="\n")
+    raw = open(path, "wb")
+    try:
+        zfp = gzip.GzipFile(filename="", fileobj=raw, mode="wb", mtime=0)
+        return _OwningTextWrapper(zfp, raw, encoding="utf-8", newline="\n")
+    except Exception:
+        raw.close()
+        raise
+
+
+def load_results_path(
+    path: str, strict: bool = False, stats: Optional[LoadStats] = None
+) -> Iterator[ZoneScanResult]:
+    """Stream results from a (possibly gzipped) file path."""
+    with open_results_read(path) as fp:
+        yield from load_results(fp, strict=strict, stats=stats)
+
+
+def dump_results_path(
+    path: str, results: Iterable[ZoneScanResult], compress: Optional[bool] = None
+) -> int:
+    """Write results to a file path (gzipped for ``.gz``); returns the count."""
+    with open_results_write(path, compress=compress) as fp:
+        return dump_results(results, fp)

@@ -22,7 +22,7 @@ clock (50 qps, §3).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Container, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.dns.message import Message, make_query
 from repro.dns.name import Name
@@ -290,8 +290,37 @@ class Scanner:
         result.queries_used = self.network.queries_sent - queries_before
         return result
 
-    def scan_many(self, zones: Iterable[Name | str]) -> List[ZoneScanResult]:
-        return [self.scan_zone(zone) for zone in zones]
+    def scan_iter(
+        self,
+        zones: Iterable[Name | str],
+        skip: Optional[Container[str]] = None,
+        sink: Optional[Callable[[ZoneScanResult], None]] = None,
+    ) -> Iterator[ZoneScanResult]:
+        """Lazily scan *zones*, yielding each result as it completes.
+
+        *skip* holds dotted zone texts (``Name.to_text()`` form) that are
+        already persisted — a resumed campaign passes the store's
+        completed set and only the remainder is scanned.  *sink* is a
+        progress callback invoked with every fresh result before it is
+        yielded; a checkpointing store uses it to persist-as-you-scan so
+        an interrupted campaign keeps everything committed so far.
+        """
+        for zone in zones:
+            name = zone if isinstance(zone, Name) else Name.from_text(zone)
+            if skip is not None and name.to_text() in skip:
+                continue
+            result = self.scan_zone(name)
+            if sink is not None:
+                sink(result)
+            yield result
+
+    def scan_many(
+        self,
+        zones: Iterable[Name | str],
+        skip: Optional[Container[str]] = None,
+        sink: Optional[Callable[[ZoneScanResult], None]] = None,
+    ) -> List[ZoneScanResult]:
+        return list(self.scan_iter(zones, skip=skip, sink=sink))
 
     # -- signal-zone scanning --------------------------------------------------------------
 

@@ -1,0 +1,63 @@
+"""Sharded, crash-safe campaign warehouse (store-then-analyse at scale).
+
+The persistence layer under every long-running campaign: results are
+committed to zone-hash shard segments as the scan proceeds
+(:mod:`checkpoint`), described by an atomically-rewritten manifest
+(:mod:`manifest`), streamed back for O(1)-memory re-analysis
+(:mod:`reader`), and compared across epochs (:mod:`diff`).  A campaign
+killed at any point resumes from its manifest and finishes with the
+same report an uninterrupted run produces.
+"""
+
+from repro.store.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_NUM_SHARDS,
+    CampaignStore,
+)
+from repro.store.diff import (
+    CampaignDiff,
+    ZoneClassification,
+    classify_store,
+    diff_stores,
+    render_diff,
+)
+from repro.store.manifest import (
+    STATUS_COMPLETE,
+    STATUS_IN_PROGRESS,
+    CampaignManifest,
+    load_manifest,
+    save_manifest,
+)
+from repro.store.reader import StoreReader, StoreSummary
+from repro.store.shards import (
+    ShardCorruption,
+    ShardInfo,
+    StoreError,
+    shard_for_zone,
+    verify_shard,
+    write_shard,
+)
+
+__all__ = [
+    "CampaignDiff",
+    "CampaignManifest",
+    "CampaignStore",
+    "DEFAULT_CHECKPOINT_EVERY",
+    "DEFAULT_NUM_SHARDS",
+    "STATUS_COMPLETE",
+    "STATUS_IN_PROGRESS",
+    "ShardCorruption",
+    "ShardInfo",
+    "StoreError",
+    "StoreReader",
+    "StoreSummary",
+    "ZoneClassification",
+    "classify_store",
+    "diff_stores",
+    "load_manifest",
+    "render_diff",
+    "save_manifest",
+    "shard_for_zone",
+    "verify_shard",
+    "write_shard",
+]

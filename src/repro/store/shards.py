@@ -1,0 +1,186 @@
+"""Append-only, sharded scan-result storage.
+
+The paper archived every DNS message of a month-long scan (6.5 TiB,
+App. D) and analysed offline.  A flat file does not survive that shape
+of campaign: a crash loses everything since the last full dump, and a
+re-analysis must read one giant stream.  This module stores results as
+immutable *shard segments* instead:
+
+* records are routed to one of ``num_shards`` buckets by a stable hash
+  of the zone name, so any later parallel consumer (a re-analysis
+  fleet, a per-bucket merge) can partition work without coordination;
+* each checkpoint seals the buffered records of a bucket into one new
+  segment file, written crash-safely — temp file in the same directory,
+  flush + fsync, atomic rename, directory fsync;
+* segments are never modified after commit; the campaign manifest
+  (:mod:`repro.store.manifest`) lists the committed segments with
+  record counts and SHA-256 content digests, which is what makes a
+  half-written file detectable and ignorable.
+
+Segments are JSON-lines (:mod:`repro.scanner.serialize`), optionally
+gzip-compressed with deterministic framing so identical record streams
+give identical digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.scanner.results import ZoneScanResult
+from repro.scanner.serialize import (
+    LoadStats,
+    dump_results,
+    load_results,
+    open_results_read,
+    open_results_write,
+)
+
+SHARD_DIR = "shards"
+
+
+class StoreError(Exception):
+    """A campaign store is missing, malformed, or inconsistent."""
+
+
+class ShardCorruption(StoreError):
+    """A committed shard's bytes no longer match its manifest digest."""
+
+
+def shard_for_zone(zone: str, num_shards: int) -> int:
+    """Stable bucket index for a zone name.
+
+    SHA-256 over the lowercased dotted name — stable across processes,
+    platforms, and Python versions (unlike ``hash()``), so a resumed or
+    re-opened campaign routes every zone to the same bucket.
+    """
+    digest = hashlib.sha256(zone.lower().encode("ascii", "backslashreplace")).digest()
+    return int.from_bytes(digest[:4], "big") % num_shards
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """Manifest entry for one committed, immutable shard segment."""
+
+    path: str  # POSIX path relative to the store root
+    bucket: int  # zone-hash bucket the records belong to
+    sequence: int  # global commit order (checkpoint counter)
+    records: int
+    sha256: str  # digest of the file bytes as committed
+    compressed: bool
+
+    def to_obj(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "bucket": self.bucket,
+            "sequence": self.sequence,
+            "records": self.records,
+            "sha256": self.sha256,
+            "compressed": self.compressed,
+        }
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, Any]) -> "ShardInfo":
+        return cls(
+            path=obj["path"],
+            bucket=obj["bucket"],
+            sequence=obj["sequence"],
+            records=obj["records"],
+            sha256=obj["sha256"],
+            compressed=obj["compressed"],
+        )
+
+
+def shard_filename(bucket: int, sequence: int, compressed: bool) -> str:
+    suffix = ".jsonl.gz" if compressed else ".jsonl"
+    return f"b{bucket:03d}-{sequence:06d}{suffix}"
+
+
+def fsync_dir(path: Path) -> None:
+    """fsync a directory so a just-renamed entry survives power loss."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def write_shard(
+    root: Path,
+    bucket: int,
+    sequence: int,
+    results: Iterable[ZoneScanResult],
+    compress: bool = True,
+) -> ShardInfo:
+    """Commit *results* as one immutable shard segment.
+
+    The bytes land in a temp file first; only after flush + fsync is it
+    renamed into place (atomic on POSIX), then the directory entry is
+    fsynced.  A crash at any point leaves either no file or a stray
+    ``*.tmp`` — never a half-written segment under the final name.
+    """
+    shard_dir = root / SHARD_DIR
+    shard_dir.mkdir(parents=True, exist_ok=True)
+    name = shard_filename(bucket, sequence, compress)
+    final = shard_dir / name
+    tmp = shard_dir / (name + ".tmp")
+    fp = open_results_write(str(tmp), compress=compress)
+    try:
+        count = dump_results(results, fp)
+        fp.flush()
+    finally:
+        fp.close()
+    # fsync the committed bytes before the rename makes them visible.
+    with open(tmp, "rb") as raw:
+        os.fsync(raw.fileno())
+        digest = hashlib.sha256(raw.read()).hexdigest()
+    os.replace(tmp, final)
+    fsync_dir(shard_dir)
+    return ShardInfo(
+        path=f"{SHARD_DIR}/{name}",
+        bucket=bucket,
+        sequence=sequence,
+        records=count,
+        sha256=digest,
+        compressed=compress,
+    )
+
+
+def iter_shard(
+    root: Path,
+    info: ShardInfo,
+    strict: bool = False,
+    stats: Optional[LoadStats] = None,
+) -> Iterator[ZoneScanResult]:
+    """Stream one shard's records (gzip auto-detected by magic bytes)."""
+    path = root / info.path
+    if not path.exists():
+        raise StoreError(f"manifest references missing shard {info.path}")
+    with open_results_read(str(path)) as fp:
+        yield from load_results(fp, strict=strict, stats=stats)
+
+
+def verify_shard(root: Path, info: ShardInfo) -> None:
+    """Raise :class:`ShardCorruption` unless the shard's bytes match the
+    digest recorded at commit time."""
+    path = root / info.path
+    if not path.exists():
+        raise StoreError(f"manifest references missing shard {info.path}")
+    digest = hashlib.sha256(path.read_bytes()).hexdigest()
+    if digest != info.sha256:
+        raise ShardCorruption(
+            f"shard {info.path}: digest {digest[:12]}… != manifest {info.sha256[:12]}…"
+        )
+
+
+def orphan_files(root: Path, known: Iterable[ShardInfo]) -> List[Path]:
+    """Files in the shard directory the manifest does not reference —
+    debris from a crash between segment commit and manifest update."""
+    shard_dir = root / SHARD_DIR
+    if not shard_dir.exists():
+        return []
+    referenced = {root / info.path for info in known}
+    return sorted(p for p in shard_dir.iterdir() if p.is_file() and p not in referenced)

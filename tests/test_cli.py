@@ -71,3 +71,52 @@ class TestCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "accepted:  0" in out  # day-zero pass only observes
+
+    def test_scan_gzip_output_then_analyze(self, capsys, tmp_path):
+        out_file = str(tmp_path / "results.jsonl.gz")
+        rc = main(["scan", *SCALE_ARGS, "--output", out_file, "--limit", "10"])
+        assert rc == 0
+        capsys.readouterr()
+        assert open(out_file, "rb").read(2) == b"\x1f\x8b"
+        rc = main(["analyze", "--input", out_file])
+        assert rc == 0
+        assert "analysed 10 stored results" in capsys.readouterr().out
+
+
+class TestStoreCommands:
+    def test_init_interrupt_status_resume_diff_reanalyze(self, capsys, tmp_path):
+        """The full warehouse lifecycle through the CLI."""
+        store_a = str(tmp_path / "a")
+        rc = main(
+            ["store", "init", *SCALE_ARGS, "--dir", store_a, "--stop-after", "25",
+             "--checkpoint-every", "10"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "status:    in-progress" in out
+        assert "store resume" in out
+
+        rc = main(["store", "status", "--dir", store_a, "--verify"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "25/" in out
+        assert "all shard digests verified" in out
+
+        rc = main(["store", "resume", "--dir", store_a])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "status:    complete" in out
+
+        rc = main(["store", "reanalyze", "--dir", store_a])
+        assert rc == 0
+        assert "analysed" in capsys.readouterr().out
+
+        store_b = str(tmp_path / "b")
+        rc = main(["store", "init", *SCALE_ARGS, "--dir", store_b])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main(["store", "diff", "--old", store_a, "--new", store_b])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "campaign diff" in out
+        assert "+0 added, -0 removed" in out

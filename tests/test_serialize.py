@@ -1,14 +1,19 @@
 """Tests for scan-result JSON serialisation (store-then-analyse)."""
 
+import gzip
 import io
+import json
 
 import pytest
 
 from repro.core import assess_zone
 from repro.scanner import Scanner
 from repro.scanner.serialize import (
+    LoadStats,
     dump_results,
+    dump_results_path,
     load_results,
+    load_results_path,
     result_from_obj,
     result_to_obj,
     rrset_from_obj,
@@ -100,7 +105,84 @@ class TestStreamFormat:
         buffer = io.StringIO()
         dump_results(results, buffer)
         lines = [line for line in buffer.getvalue().splitlines() if line]
-        import json
-
         for line in lines:
             json.loads(line)
+
+    def test_dump_accepts_generator(self, results):
+        """Streaming contract: any iterable works, nothing materialised."""
+        buffer = io.StringIO()
+        count = dump_results((r for r in results), buffer)
+        assert count == len(results)
+
+
+class TestCorruptionTolerance:
+    """A crash mid-write truncates the final line; loading must survive."""
+
+    def _truncated_stream(self, results):
+        buffer = io.StringIO()
+        dump_results(results, buffer)
+        text = buffer.getvalue()
+        # Chop the last record in half, as a killed writer would.
+        return text[: len(text) - len(text.splitlines()[-1]) // 2 - 1]
+
+    def test_truncated_final_line_skipped_with_counter(self, results):
+        stats = LoadStats()
+        loaded = list(load_results(io.StringIO(self._truncated_stream(results)), stats=stats))
+        assert len(loaded) == len(results) - 1
+        assert stats.skipped == 1
+        assert stats.records == len(results) - 1
+
+    def test_strict_flag_restores_raise(self, results):
+        with pytest.raises(json.JSONDecodeError):
+            list(load_results(io.StringIO(self._truncated_stream(results)), strict=True))
+
+    def test_valid_json_with_missing_keys_is_skipped(self, results):
+        buffer = io.StringIO()
+        dump_results(results[:1], buffer)
+        buffer.write('{"zone": "half.example.", "resolved": true}\n')
+        buffer.seek(0)
+        stats = LoadStats()
+        assert len(list(load_results(buffer, stats=stats))) == 1
+        assert stats.skipped == 1
+
+
+class TestGzipSupport:
+    def test_gz_suffix_compresses(self, results, tmp_path):
+        path = tmp_path / "results.jsonl.gz"
+        count = dump_results_path(str(path), results)
+        assert count == len(results)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = list(load_results_path(str(path)))
+        assert [r.zone for r in loaded] == [r.zone for r in results]
+
+    def test_read_autodetects_by_magic_not_suffix(self, results, tmp_path):
+        """A gzipped file without the .gz suffix still loads."""
+        path = tmp_path / "results.jsonl"
+        dump_results_path(str(path), results, compress=True)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert len(list(load_results_path(str(path)))) == len(results)
+
+    def test_plain_write_stays_plain(self, results, tmp_path):
+        path = tmp_path / "results.jsonl"
+        dump_results_path(str(path), results)
+        json.loads(path.read_text().splitlines()[0])
+
+    def test_compressed_output_is_deterministic(self, results, tmp_path):
+        """mtime-free framing: equal records -> equal bytes (digests
+        recorded in store manifests rely on this)."""
+        a, b = tmp_path / "a.gz", tmp_path / "b.gz"
+        dump_results_path(str(a), results, compress=True)
+        dump_results_path(str(b), results, compress=True)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_torn_gzip_stream_raises(self, results, tmp_path):
+        """A gzip member truncated mid-flush is a transport-level error,
+        not a skippable line — it raises in both modes.  (Store shards
+        never hit this: segments are committed atomically.)"""
+        path = tmp_path / "torn.jsonl.gz"
+        payload = io.StringIO()
+        dump_results(results, payload)
+        blob = gzip.compress(payload.getvalue().encode())
+        path.write_bytes(blob[: len(blob) - 7])
+        with pytest.raises((EOFError, OSError)):
+            list(load_results_path(str(path), strict=True))
