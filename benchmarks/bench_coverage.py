@@ -46,7 +46,18 @@ def test_ctlog_sampling_bias(benchmark, campaign, full_fidelity, results_dir):
             f"{rep.sampler:<14} {100 * rep.coverage:>8.1f}% {rep.true_secured_pct:>7.2f} "
             f"{rep.sampled_secured_pct:>10.2f} {rep.bias_points:>+11.2f}"
         )
-    save_artifact(results_dir, "s31_coverage.txt", "\n".join(lines))
+    save_artifact(
+        results_dir,
+        "s31_coverage.txt",
+        "\n".join(lines),
+        metrics={
+            "population": len(zones),
+            "uniform_coverage": uniform.coverage,
+            "uniform_bias_points": uniform.bias_points,
+            "weighted_bias_points": weighted.bias_points,
+            "wall_seconds": benchmark.stats.stats.mean,
+        },
+    )
 
     # The paper's coverage band.
     assert 0.4 <= uniform.coverage <= 0.8

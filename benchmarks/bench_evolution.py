@@ -27,9 +27,19 @@ def test_deployment_trajectory(benchmark, results_dir):
             f"{point.year:<6} {point.secured_pct:>9.2f} {point.invalid_pct:>9.2f} "
             f"{point.islands_pct:>9.2f} {point.with_signal:>7}  {point.source}"
         )
-    save_artifact(results_dir, "s5_trend.txt", "\n".join(lines))
-
     by_year = {point.year: point for point in trend}
+    save_artifact(
+        results_dir,
+        "s5_trend.txt",
+        "\n".join(lines),
+        metrics={
+            "snapshots": len(trend),
+            "secured_2017_pct": by_year[2017].secured_pct,
+            "secured_2025_pct": by_year[2025].secured_pct,
+            "wall_seconds": benchmark.stats.stats.mean,
+        },
+    )
+
     secured = [point.secured_pct for point in trend]
     assert secured == sorted(secured), "adoption must grow monotonically"
     assert by_year[2017].secured_pct < 1.5  # Chung et al.: 0.6-1.0 %

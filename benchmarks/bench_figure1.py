@@ -17,6 +17,13 @@ def test_figure1(benchmark, campaign, full_fidelity, results_dir):
         results_dir,
         "figure1.txt",
         render_figure1(data, expected_figure1(campaign.world.targets)),
+        metrics={
+            "zones": data.total,
+            "unsigned": data.unsigned,
+            "islands": data.islands,
+            "possible_to_bootstrap": data.possible_to_bootstrap,
+            "compute_seconds": benchmark.stats.stats.mean,
+        },
     )
 
     # The breakdown is internally consistent.
@@ -52,6 +59,11 @@ def test_shape_checks(benchmark, campaign, full_fidelity, results_dir):
         results_dir,
         "shape_checks.txt",
         "\n".join(str(check) for check in checks),
+        metrics={
+            "checks": len(checks),
+            "passed": sum(1 for check in checks if check.passed),
+            "compute_seconds": benchmark.stats.stats.mean,
+        },
     )
     if full_fidelity:
         failed = [check for check in checks if not check.passed]

@@ -42,7 +42,20 @@ def test_fleet_sizing(benchmark, results_dir):
         f"287.6M zones; the paper finished in 'just over a month' with a fleet "
         f"(≈{paper_single_days / 35:,.0f} machines at this per-zone cost)"
     )
-    save_artifact(results_dir, "m3_fleet.txt", "\n".join(lines))
+    save_artifact(
+        results_dir,
+        "m3_fleet.txt",
+        "\n".join(lines),
+        metrics={
+            "zones": zones,
+            "queries": total_queries,
+            "simulated_seconds": {str(size): durations[size] for size in durations},
+            "speedup_vs_1": {
+                str(size): durations[1] / durations[size] for size in durations
+            },
+            "wall_seconds": benchmark.stats.stats.mean,
+        },
+    )
 
     # More machines → shorter campaign, near-linearly at this scale.
     assert durations[2] < durations[1]

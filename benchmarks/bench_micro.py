@@ -88,8 +88,10 @@ def test_nsec3_hash(benchmark):
     assert len(digest) == 20
 
 
-def test_query_round_trip(benchmark, campaign):
+def test_query_round_trip(benchmark, campaign, results_dir):
     """End-to-end cost of one query against the simulated fabric."""
+    from conftest import save_metrics
+
     network = campaign.world.network
     ip = campaign.world.root_ips[0]
     query = make_query("com", RRType.NS, msg_id=77)
@@ -99,3 +101,9 @@ def test_query_round_trip(benchmark, campaign):
 
     response = benchmark(round_trip)
     assert response.rcode.name in ("NOERROR", "NXDOMAIN")
+    mean = benchmark.stats.stats.mean
+    save_metrics(
+        results_dir,
+        "micro",
+        {"query_round_trip_seconds": mean, "queries_per_second": 1.0 / mean},
+    )

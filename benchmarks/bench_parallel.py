@@ -1,0 +1,112 @@
+"""Experiment P1 — multiprocess campaign throughput (repro.parallel).
+
+Runs the same store-backed campaign with 1, 2, and 4 worker processes
+and measures throughput two ways:
+
+* **campaign duration** — the fleet-model metric (App. D): the slowest
+  machine's simulated clock, which the parallel engine now derives from
+  *actual worker clocks*.  This is the paper's "scan duration of just
+  over a month" number, and it must drop near-linearly with workers on
+  any hardware because shard partitioning divides the per-machine scan
+  (and rate-limit wait) load;
+* **wall clock** — real elapsed seconds.  Every run goes through the
+  parallel engine (spawn, per-worker store, manifest merge, streamed
+  re-analysis), so the single-worker baseline already pays the full
+  orchestration overhead and the speedup is pure shard-partition
+  parallelism.  Wall speedup additionally requires actual CPUs: it is
+  asserted only when this machine has >= 4 usable cores (a 1-core
+  container cannot run 4 scanning processes faster than 1, no matter
+  how well the work is partitioned — the artifact records what was
+  measured either way).
+
+The merged report is byte-identical across worker counts (pinned by
+tests/test_parallel.py); this experiment records how much faster we
+get it.  Scale is controlled by ``REPRO_BENCH_PARALLEL_SCALE``
+(default 2e-5 ≈ 5 800 zones — large enough that scanning, not world
+building, dominates).
+"""
+
+import json
+import os
+import time
+
+from conftest import save_artifact
+
+from repro.campaign import run_campaign
+
+PARALLEL_SCALE = float(os.environ.get("REPRO_BENCH_PARALLEL_SCALE", "2e-5"))
+PARALLEL_SEED = 7
+WORKER_COUNTS = (1, 2, 4)
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def test_parallel_throughput(benchmark, results_dir, tmp_path):
+    wall = {}
+    campaigns = {}
+
+    def run_all():
+        for workers in WORKER_COUNTS:
+            start = time.perf_counter()
+            campaigns[workers] = run_campaign(
+                scale=PARALLEL_SCALE,
+                seed=PARALLEL_SEED,
+                recheck=False,
+                store_dir=tmp_path / f"campaign-w{workers}",
+                workers=workers,
+            )
+            wall[workers] = time.perf_counter() - start
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    zones = campaigns[1].report.total_scanned
+    cores = usable_cores()
+    simulated = {w: campaigns[w].simulated_duration for w in WORKER_COUNTS}
+    lines = [
+        f"{zones} zones at scale {PARALLEL_SCALE:g}, seed {PARALLEL_SEED}, "
+        f"{cores} usable core(s)",
+        f"{'workers':>7} {'campaign (sim s)':>16} {'speedup':>8} "
+        f"{'wall (s)':>9} {'speedup':>8} {'queries':>8}",
+    ]
+    metrics = {"zones": zones, "seed": PARALLEL_SEED, "cores": cores, "workers": {}}
+    for workers in WORKER_COUNTS:
+        campaign = campaigns[workers]
+        queries = sum(machine.queries for machine in campaign.machines)
+        campaign_speedup = simulated[1] / simulated[workers]
+        wall_speedup = wall[1] / wall[workers]
+        lines.append(
+            f"{workers:>7} {simulated[workers]:>16.1f} {campaign_speedup:>7.2f}x "
+            f"{wall[workers]:>9.2f} {wall_speedup:>7.2f}x {queries:>8}"
+        )
+        metrics["workers"][str(workers)] = {
+            "campaign_seconds_simulated": simulated[workers],
+            "campaign_speedup_vs_1_worker": campaign_speedup,
+            "wall_seconds": wall[workers],
+            "wall_speedup_vs_1_worker": wall_speedup,
+            "zones_per_wall_second": zones / wall[workers],
+            "zones_per_campaign_second": zones / simulated[workers],
+            "queries": queries,
+        }
+    metrics["parallel_scale"] = PARALLEL_SCALE
+    save_artifact(results_dir, "p1_parallel.txt", "\n".join(lines), metrics=metrics)
+
+    # Every worker count scanned the same population...
+    assert all(c.report.total_scanned == zones for c in campaigns.values())
+    # ... and classified it identically (byte-level report identity is
+    # pinned at a smaller scale in tests/test_parallel.py).
+    assert all(
+        c.report.status_counts == campaigns[1].report.status_counts
+        for c in campaigns.values()
+    )
+    # The acceptance bar: 4 workers deliver >= 2.5x campaign throughput.
+    detail = json.dumps(metrics["workers"], indent=2)
+    assert simulated[4] < simulated[1] / 2.5, detail
+    # Wall-clock parallelism needs hardware to run on; hold it to the
+    # same bar whenever this machine can actually host 4 workers.
+    if cores >= 4:
+        assert wall[4] < wall[1] / 2.5, detail

@@ -58,7 +58,16 @@ def test_policy_comparison(benchmark, campaign, full_fidelity, results_dir):
         f"(accept-after-delay first pass deferred {len(first_pass.deferred)} zones "
         f"for the 3-day hold)"
     )
-    save_artifact(results_dir, "a1_policies.txt", "\n".join(lines))
+    save_artifact(
+        results_dir,
+        "a1_policies.txt",
+        "\n".join(lines),
+        metrics={
+            "evaluated": runs["rfc9615"].evaluated,
+            "accepted": {name: len(run.accepted) for name, run in runs.items()},
+            "rfc9615_seconds": benchmark.stats.stats.mean,
+        },
+    )
 
     auth = runs["rfc9615"]
     delay_run = runs["delay"]
@@ -121,6 +130,13 @@ def test_rfc9615_provisioning_end_to_end(benchmark, campaign, results_dir):
         f"RFC 8078 delete processing (dry run): {deletes.evaluated} secured zones "
         f"with delete requests, {len(deletes.deleted)} would be honoured "
         f"(the paper found 3 289 such ignored requests)",
+        metrics={
+            "accepted": len(run.accepted),
+            "secured": len(run.secured),
+            "queries": run.queries_used,
+            "delete_requests": deletes.evaluated,
+            "wall_seconds": benchmark.stats.stats.mean,
+        },
     )
     assert deletes.evaluated >= 1
     assert deletes.deleted

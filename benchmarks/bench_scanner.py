@@ -56,6 +56,11 @@ def test_anycast_sampling_consistency(benchmark, campaign, results_dir):
         "m1_sampling.txt",
         f"validated {len(sampled)} sampled anycast zones against exhaustive "
         f"scans: 0 classification differences (paper: no inconsistencies)",
+        metrics={
+            "validated": len(sampled),
+            "mismatches": len(mismatches),
+            "wall_seconds": benchmark.stats.stats.mean,
+        },
     )
 
 
@@ -104,7 +109,18 @@ def test_query_volume_accounting(benchmark, campaign, results_dir):
         "registry-strategy feasibility (App. D):\n"
         + render_feasibility(feasibility, world.scale)
     )
-    save_artifact(results_dir, "m2_query_volume.txt", text)
+    save_artifact(
+        results_dir,
+        "m2_query_volume.txt",
+        text,
+        metrics={
+            "zones": total,
+            "queries": world.network.queries_sent,
+            "queries_per_zone": per_zone,
+            "simulated_seconds": campaign.simulated_duration,
+            "deep_scan_share": share,
+        },
+    )
 
 
 def test_rate_limiter_respected(benchmark):

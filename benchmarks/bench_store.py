@@ -42,6 +42,12 @@ def test_store_write_throughput(benchmark, campaign, results_dir, tmp_path):
         f"store write: {len(results)} zones in {duration:.3f}s "
         f"({len(results) / duration:.0f} zones/s, durable every 256 records)\n"
         f"on disk: {size} bytes gzip ({size / max(1, len(results)):.0f} B/zone)",
+        metrics={
+            "zones": len(results),
+            "wall_seconds": duration,
+            "zones_per_second": len(results) / duration,
+            "bytes_on_disk": size,
+        },
     )
 
 
@@ -64,6 +70,11 @@ def test_store_read_throughput(benchmark, campaign, campaign_store, results_dir)
         "store_read.txt",
         f"store re-analysis: {report.total_scanned} zones in {duration:.3f}s "
         f"({report.total_scanned / duration:.0f} zones/s, O(1) memory)",
+        metrics={
+            "zones": report.total_scanned,
+            "wall_seconds": duration,
+            "zones_per_second": report.total_scanned / duration,
+        },
     )
 
 
@@ -91,4 +102,9 @@ def test_resume_overhead(benchmark, campaign, campaign_store, results_dir):
         f"resume overhead: skip-set of {len(done)} zones built and scan list "
         f"drained in {duration:.3f}s ({len(done) / duration:.0f} zones/s) "
         f"before the first new query",
+        metrics={
+            "zones": len(done),
+            "wall_seconds": duration,
+            "zones_per_second": len(done) / duration,
+        },
     )

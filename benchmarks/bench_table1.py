@@ -17,6 +17,13 @@ def test_table1(benchmark, campaign, full_fidelity, results_dir):
         results_dir,
         "table1.txt",
         render_table1(rows, expected_table1(campaign.world.targets)),
+        metrics={
+            "zones": report.total_scanned,
+            "operators": len(rows),
+            "secured_total": sum(row.secured for row in rows),
+            "islands_total": sum(row.islands for row in rows),
+            "compute_seconds": benchmark.stats.stats.mean,
+        },
     )
 
     # GoDaddy is the largest operator; Cloudflare second.

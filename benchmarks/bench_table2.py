@@ -15,6 +15,13 @@ def test_table2(benchmark, campaign, full_fidelity, results_dir):
         results_dir,
         "table2.txt",
         render_table2(rows, expected_table2(campaign.world.targets)),
+        metrics={
+            "zones": report.total_scanned,
+            "cds_publishers": len(rows),
+            "cds_zones_total": sum(row.with_cds for row in rows),
+            "cds_query_failures": report.cds_query_failures,
+            "compute_seconds": benchmark.stats.stats.mean,
+        },
     )
 
     assert rows, "no CDS publishers found"

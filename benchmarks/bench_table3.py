@@ -21,6 +21,14 @@ def test_table3(benchmark, campaign, full_fidelity, results_dir):
         results_dir,
         "table3.txt",
         render_table3(data, expected_table3(campaign.world.targets)),
+        metrics={
+            "zones": report.total_scanned,
+            "with_signal": data.total("with_signal"),
+            "correct": data.total("correct"),
+            "incorrect": data.total("incorrect"),
+            "rechecked": len(campaign.rechecked),
+            "compute_seconds": benchmark.stats.stats.mean,
+        },
     )
 
     # Exactly the three AB operators have substantial signal populations.

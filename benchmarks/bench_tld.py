@@ -13,9 +13,18 @@ from repro.reports.tld import compute_tld_report, render_tld_report
 
 def test_incentive_effect(benchmark, campaign, full_fidelity, results_dir):
     rows = benchmark(compute_tld_report, campaign.report)
-    save_artifact(results_dir, "s6_tld.txt", render_tld_report(rows))
-
     by_suffix = {row.suffix: row for row in rows}
+    save_artifact(
+        results_dir,
+        "s6_tld.txt",
+        render_tld_report(rows),
+        metrics={
+            "suffixes": len(rows),
+            "com_cds_pct": by_suffix["com"].cds_pct if "com" in by_suffix else None,
+            "li_cds_pct": by_suffix["li"].cds_pct if "li" in by_suffix else None,
+            "compute_seconds": benchmark.stats.stats.mean,
+        },
+    )
     assert "com" in by_suffix and "ch" in by_suffix and "li" in by_suffix
 
     if not full_fidelity:

@@ -7,8 +7,10 @@ full-fidelity setting whose percentages match the paper to rounding).
 Set e.g. ``REPRO_BENCH_SCALE=2e-6`` for a quick smoke run.
 """
 
+import json
 import os
 import pathlib
+from typing import Any, Dict, Optional
 
 import pytest
 
@@ -55,7 +57,26 @@ def campaign_store(campaign, tmp_path_factory):
     return root
 
 
-def save_artifact(results_dir: pathlib.Path, name: str, text: str) -> None:
+def save_metrics(results_dir: pathlib.Path, stem: str, metrics: Dict[str, Any]) -> None:
+    """Write the machine-readable twin of a benchmark artifact:
+    ``BENCH_<stem>.json`` with the experiment's headline numbers, so
+    downstream tooling can track throughput without parsing the .txt."""
+    path = results_dir / f"BENCH_{stem}.json"
+    path.write_text(
+        json.dumps({"experiment": stem, "scale": SCALE, **metrics}, indent=2, sort_keys=True)
+        + "\n"
+    )
+    print(f"[metrics saved to {path}]")
+
+
+def save_artifact(
+    results_dir: pathlib.Path,
+    name: str,
+    text: str,
+    metrics: Optional[Dict[str, Any]] = None,
+) -> None:
     path = results_dir / name
     path.write_text(text + "\n")
     print(f"\n{text}\n[saved to {path}]")
+    if metrics is not None:
+        save_metrics(results_dir, pathlib.Path(name).stem, metrics)

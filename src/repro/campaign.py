@@ -24,6 +24,7 @@ from repro.core.bootstrap import INCORRECT_OUTCOMES, SignalOutcome, assess_zone
 from repro.core.pipeline import AnalysisPipeline, AnalysisReport
 from repro.ecosystem.world import World, build_world
 from repro.reports.table3 import apply_recheck
+from repro.scanner.fleet import MachineReport
 from repro.scanner.results import ZoneScanResult
 
 
@@ -38,11 +39,19 @@ class CampaignResult:
     # Set for store-backed campaigns; ``results`` is then empty — the
     # records live in the store and stream back via StoreReader.
     store_dir: Optional[Path] = None
+    # Set for parallel campaigns: one entry per worker process, with
+    # that machine's zone/query counts and simulated clock.
+    machines: Optional[List["MachineReport"]] = None
 
     @property
     def simulated_duration(self) -> float:
         """Seconds of simulated wall-clock the scan consumed (rate
-        limits included) — the analogue of the paper's month-long scan."""
+        limits included) — the analogue of the paper's month-long scan.
+
+        For a parallel campaign this is the slowest machine's clock (the
+        fleet model of App. D); otherwise the shared world clock."""
+        if self.machines:
+            return max(machine.duration for machine in self.machines)
         return self.world.network.clock.now()
 
 
@@ -100,6 +109,7 @@ def run_campaign(
     num_shards: Optional[int] = None,
     compress: bool = True,
     stop_after: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> CampaignResult:
     """Run one full measurement campaign.
 
@@ -120,7 +130,35 @@ def run_campaign(
     aborts the scan after N zones with the store left in-progress —
     the programmatic stand-in for a crash; finish it later with
     :func:`resume_campaign`.
+
+    With ``workers=N`` (N >= 1, requires ``store_dir``) the scan is
+    executed by N independent processes, each owning a shard-bucket
+    range of the zone list — see :mod:`repro.parallel`.  The resulting
+    report is byte-identical to the sequential one at the same
+    seed/scale.
     """
+    if workers is not None:
+        if store_dir is None:
+            raise ValueError("workers=N requires a store (store_dir=...)")
+        if world is not None:
+            raise ValueError(
+                "workers=N rebuilds the world per process; pass scale/seed, not world"
+            )
+        if stop_after is not None:
+            raise ValueError("stop_after is not supported with workers=N")
+        from repro.parallel import run_parallel_campaign
+
+        return run_parallel_campaign(
+            store_dir=Path(store_dir),
+            scale=scale,
+            seed=seed,
+            workers=workers,
+            recheck=recheck,
+            use_sources=use_sources,
+            num_shards=num_shards,
+            compress=compress,
+            checkpoint_every=checkpoint_every,
+        )
     if world is None:
         world = build_world(scale=scale, seed=seed)
     scanner = world.make_scanner()
@@ -184,6 +222,7 @@ def resume_campaign(
     store_dir: Path,
     world: Optional[World] = None,
     checkpoint_every: Optional[int] = None,
+    workers: Optional[int] = None,
 ) -> CampaignResult:
     """Finish an interrupted store-backed campaign.
 
@@ -192,8 +231,28 @@ def resume_campaign(
     (checkpointing as it goes), marks the store complete, and produces
     the report by streaming the whole store — byte-identical to the
     report of an uninterrupted campaign at the same seed/scale.
+
+    Campaigns started with ``workers=N`` are resumed in parallel
+    automatically (the worker count is recorded in the manifest); pass
+    ``workers`` explicitly to repartition the remainder across a
+    different number of processes, or to parallelise the remainder of a
+    campaign that began sequentially.  Any subset of crashed workers is
+    tolerated — completed worker stores are skipped wholesale.
     """
     from repro.store import DEFAULT_CHECKPOINT_EVERY, CampaignStore, StoreError
+    from repro.store.manifest import load_manifest
+
+    if workers is not None or load_manifest(Path(store_dir)).config.get("workers"):
+        if world is not None:
+            raise ValueError(
+                "parallel resume rebuilds the world per process; do not pass world"
+            )
+        from repro.parallel import resume_parallel_campaign
+
+        return resume_parallel_campaign(
+            Path(store_dir), workers=workers, checkpoint_every=checkpoint_every
+        )
+
     from repro.store.reader import StoreReader
 
     store = CampaignStore.open(

@@ -36,7 +36,25 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    campaign = run_campaign(scale=args.scale, seed=args.seed, recheck=not args.no_recheck)
+    if args.workers:
+        # Parallel execution needs a store for the workers to commit
+        # into; the report itself is byte-identical to the sequential
+        # one, so a throwaway directory is all we need.
+        import tempfile
+        from pathlib import Path
+
+        with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+            campaign = run_campaign(
+                scale=args.scale,
+                seed=args.seed,
+                recheck=not args.no_recheck,
+                store_dir=Path(tmp) / "store",
+                workers=args.workers,
+            )
+    else:
+        campaign = run_campaign(
+            scale=args.scale, seed=args.seed, recheck=not args.no_recheck
+        )
     report, targets = campaign.report, campaign.world.targets
     wanted = ARTIFACTS if args.artifact == "all" else (args.artifact,)
     sections: List[str] = []
@@ -53,12 +71,23 @@ def cmd_report(args: argparse.Namespace) -> int:
 
         sections.append(render_tld_report(compute_tld_report(report)))
     print("\n\n".join(sections))
+    queries = campaign.world.network.queries_sent
+    if campaign.machines:
+        # Worker scan queries live on the worker networks; the parent
+        # world only saw the re-check traffic.
+        queries += sum(machine.queries for machine in campaign.machines)
     print(
         f"\nScanned {report.total_scanned} zones "
-        f"({campaign.world.network.queries_sent} queries, "
+        f"({queries} queries, "
         f"{campaign.simulated_duration:.0f}s simulated scan time, "
         f"{len(campaign.rechecked)} transient failures resolved on re-check)"
     )
+    if campaign.machines:
+        for machine in campaign.machines:
+            print(
+                f"  machine {machine.index}: {machine.zones} zones, "
+                f"{machine.queries} queries, {machine.duration:.0f}s"
+            )
     return 0
 
 
@@ -154,17 +183,24 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 def cmd_store_init(args: argparse.Namespace) -> int:
     """Start a store-backed campaign: scan and persist shard by shard."""
     from repro.campaign import run_campaign
+    from repro.parallel import ParallelCampaignError
 
-    campaign = run_campaign(
-        scale=args.scale,
-        seed=args.seed,
-        recheck=not args.no_recheck,
-        store_dir=args.dir,
-        checkpoint_every=args.checkpoint_every,
-        num_shards=args.shards,
-        compress=not args.no_gzip,
-        stop_after=args.stop_after or None,
-    )
+    try:
+        campaign = run_campaign(
+            scale=args.scale,
+            seed=args.seed,
+            recheck=not args.no_recheck,
+            store_dir=args.dir,
+            checkpoint_every=args.checkpoint_every,
+            num_shards=args.shards,
+            compress=not args.no_gzip,
+            stop_after=args.stop_after or None,
+            workers=args.workers or None,
+        )
+    except ParallelCampaignError as exc:
+        print(exc)
+        print(f"\nfinish with: repro-dnssec store resume --dir {args.dir}")
+        return 1
     from repro.store import StoreReader
 
     summary = StoreReader(args.dir).summary()
@@ -189,11 +225,16 @@ def cmd_store_status(args: argparse.Namespace) -> int:
 
 
 def cmd_store_resume(args: argparse.Namespace) -> int:
-    """Finish an interrupted campaign from its manifest."""
+    """Finish an interrupted campaign from its manifest.
+
+    Campaigns started with ``--workers`` resume in parallel with the
+    recorded worker count; ``--workers`` here overrides it (any subset
+    of crashed workers is tolerated — finished shares are skipped).
+    """
     from repro.campaign import resume_campaign
     from repro.store import StoreReader
 
-    campaign = resume_campaign(args.dir)
+    campaign = resume_campaign(args.dir, workers=args.workers or None)
     print(StoreReader(args.dir).summary().render())
     print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
     return 0
@@ -270,6 +311,12 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(report)
     report.add_argument("--artifact", choices=(*ARTIFACTS, "all"), default="all")
     report.add_argument("--no-recheck", action="store_true", help="skip the transient re-check pass")
+    report.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="scan with N worker processes (same report, less wall-clock)",
+    )
     report.set_defaults(func=cmd_report)
 
     checks = sub.add_parser("checks", help="run the shape checks against the paper")
@@ -321,6 +368,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="abort after N zones, leaving the store resumable (crash stand-in)",
     )
+    store_init.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="scan with N worker processes, each committing its shard range",
+    )
     store_init.set_defaults(func=cmd_store_init)
 
     store_status = store_sub.add_parser("status", help="inspect a campaign store")
@@ -334,6 +387,12 @@ def build_parser() -> argparse.ArgumentParser:
         "resume", help="finish an interrupted campaign from its manifest"
     )
     store_resume.add_argument("--dir", required=True)
+    store_resume.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="resume with N worker processes (default: the campaign's recorded count)",
+    )
     store_resume.set_defaults(func=cmd_store_resume)
 
     store_diff = store_sub.add_parser(

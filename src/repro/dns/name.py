@@ -35,7 +35,7 @@ class Name:
     The root name has zero labels.
     """
 
-    __slots__ = ("_labels", "_folded")
+    __slots__ = ("_labels", "_folded", "_hash", "_key", "_text")
 
     def __init__(self, labels: Iterable[bytes] = ()):
         labels = tuple(_validate_label(bytes(label)) for label in labels)
@@ -44,6 +44,9 @@ class Name:
             raise NameError_(f"name too long ({wire_len} > {MAX_NAME_LENGTH} octets)")
         object.__setattr__(self, "_labels", labels)
         object.__setattr__(self, "_folded", tuple(label.lower() for label in labels))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_key", None)
+        object.__setattr__(self, "_text", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Name is immutable")
@@ -67,6 +70,9 @@ class Name:
         self = object.__new__(cls)
         object.__setattr__(self, "_labels", labels)
         object.__setattr__(self, "_folded", tuple(label.lower() for label in labels))
+        object.__setattr__(self, "_hash", None)
+        object.__setattr__(self, "_key", None)
+        object.__setattr__(self, "_text", None)
         return self
 
     @classmethod
@@ -98,10 +104,20 @@ class Name:
         return self._labels
 
     def to_text(self) -> str:
-        """Return the absolute textual form (always with trailing dot)."""
-        if not self._labels:
-            return "."
-        return ".".join(label.decode("ascii") for label in self._labels) + "."
+        """Return the absolute textual form (always with trailing dot).
+
+        Memoised: names are interned all over the scanner and store hot
+        paths (shard routing, serialisation, skip-sets), so the textual
+        form is computed once per instance.
+        """
+        text = self._text
+        if text is None:
+            if not self._labels:
+                text = "."
+            else:
+                text = ".".join(label.decode("ascii") for label in self._labels) + "."
+            object.__setattr__(self, "_text", text)
+        return text
 
     def __str__(self) -> str:
         return self.to_text()
@@ -175,8 +191,13 @@ class Name:
     def canonical_key(self) -> Tuple[bytes, ...]:
         """Sort key implementing RFC 4034 §6.1 canonical name order:
         compare label-by-label starting from the rightmost (root-most)
-        label, case folded."""
-        return tuple(reversed(self._folded))
+        label, case folded.  Memoised — scan lists, NSEC chains, and the
+        sampling policy sort by this key constantly."""
+        key = self._key
+        if key is None:
+            key = tuple(reversed(self._folded))
+            object.__setattr__(self, "_key", key)
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Name):
@@ -189,7 +210,11 @@ class Name:
         return self.canonical_key() < other.canonical_key()
 
     def __hash__(self) -> int:
-        return hash(self._folded)
+        h = self._hash
+        if h is None:
+            h = hash(self._folded)
+            object.__setattr__(self, "_hash", h)
+        return h
 
     # -- wire -----------------------------------------------------------------
 

@@ -1,0 +1,37 @@
+"""Multiprocess shard-partitioned campaign execution.
+
+See :mod:`repro.parallel.engine` for the architecture: workers own
+contiguous shard-bucket ranges of the deterministic scan list, commit
+into per-worker stores, and the parent merges manifests into one
+campaign whose streamed report is byte-identical to a sequential run.
+"""
+
+from repro.parallel.engine import (
+    ParallelCampaignError,
+    merge_worker_manifests,
+    resume_parallel_campaign,
+    run_parallel_campaign,
+    worker_dir,
+)
+from repro.parallel.partition import (
+    bucket_ranges,
+    partition_zones,
+    stored_zones_for_buckets,
+    zones_for_buckets,
+)
+from repro.parallel.worker import EXIT_SIMULATED_CRASH, WorkerSpec, run_worker
+
+__all__ = [
+    "EXIT_SIMULATED_CRASH",
+    "ParallelCampaignError",
+    "WorkerSpec",
+    "bucket_ranges",
+    "merge_worker_manifests",
+    "partition_zones",
+    "resume_parallel_campaign",
+    "run_parallel_campaign",
+    "run_worker",
+    "stored_zones_for_buckets",
+    "worker_dir",
+    "zones_for_buckets",
+]

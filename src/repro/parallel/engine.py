@@ -1,0 +1,344 @@
+"""The parent half of the parallel campaign engine.
+
+``run_parallel_campaign`` turns one measurement campaign into N worker
+processes plus a deterministic merge:
+
+1. the parent creates the campaign root store and spawns one process
+   per worker, each owning a contiguous range of shard buckets
+   (:mod:`repro.parallel.partition`);
+2. while the workers scan, the parent rebuilds its own copy of the
+   world (needed for the operator database and the §4.4 re-check), so
+   the build cost overlaps the scan instead of preceding it;
+3. each worker commits checkpointed shard segments into its own store
+   under ``<root>/workers/wNN``;
+4. the parent merges the worker *manifests* — not the files — into the
+   root manifest: every segment keeps its bytes and digest, its path
+   simply points into the worker subdirectory, and global sequence
+   numbers are reassigned in ``(bucket, origin, sequence)`` order.  The
+   merge is therefore a single atomic manifest rewrite, crash-safe by
+   the same argument as any other checkpoint, and the merged stream
+   order is a pure function of the data — never of worker timing.
+
+Determinism invariant: the streamed analysis of the merged store, and
+the report after the re-check pass, are byte-identical (Tables 1–3,
+Figure 1) to a sequential run at the same seed and scale.  Aggregates
+do not depend on record order, the record *set* is exactly the scan
+list, and the re-check gives every transiently-failing zone the same
+observation budget a sequential campaign gives it (see
+:func:`repro.campaign._recheck_pass`).
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+from dataclasses import replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.scanner.fleet import MachineReport
+from repro.store.checkpoint import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_NUM_SHARDS,
+    CampaignStore,
+)
+from repro.store.manifest import load_manifest, manifest_path, save_manifest
+from repro.store.reader import StoreReader
+from repro.store.shards import StoreError
+
+from repro.parallel.partition import bucket_ranges
+from repro.parallel.worker import WorkerSpec, run_worker, worker_stats_path
+
+WORKERS_DIR = "workers"
+
+
+class ParallelCampaignError(StoreError):
+    """One or more workers did not finish; the store remains resumable."""
+
+    def __init__(self, message: str, failed: Dict[int, Optional[int]]):
+        super().__init__(message)
+        # worker index -> exit code (None if the process died signal-less).
+        self.failed = failed
+
+
+def worker_dir(root: Path, index: int) -> Path:
+    return Path(root) / WORKERS_DIR / f"w{index:02d}"
+
+
+def _existing_worker_roots(root: Path) -> List[Path]:
+    """Worker stores already on disk, in deterministic (name) order."""
+    base = Path(root) / WORKERS_DIR
+    if not base.exists():
+        return []
+    return sorted(
+        child for child in base.iterdir() if manifest_path(child).exists()
+    )
+
+
+def _ensure_children_can_import() -> None:
+    """Spawned workers re-import :mod:`repro`; make sure they can.
+
+    The tier-1 invocation (``PYTHONPATH=src pytest``) already covers
+    this, but a caller who put ``src`` on ``sys.path`` by hand would
+    otherwise spawn workers that die on import.
+    """
+    import repro
+
+    package_root = str(Path(repro.__file__).resolve().parent.parent)
+    existing = os.environ.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        os.environ["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+
+
+def _spawn_workers(specs: Sequence[WorkerSpec]) -> List[multiprocessing.Process]:
+    # spawn (not fork): workers must prove they can rebuild the world
+    # from (seed, scale) alone — the property the determinism argument
+    # rests on — and must not inherit the parent's interpreter state.
+    _ensure_children_can_import()
+    context = multiprocessing.get_context("spawn")
+    processes = []
+    for spec in specs:
+        process = context.Process(target=run_worker, args=(spec,), name=f"repro-w{spec.index:02d}")
+        process.start()
+        processes.append(process)
+    return processes
+
+
+def _join_workers(
+    root: Path, specs: Sequence[WorkerSpec], processes: Sequence[multiprocessing.Process]
+) -> None:
+    failed: Dict[int, Optional[int]] = {}
+    for spec, process in zip(specs, processes):
+        process.join()
+        if process.exitcode != 0:
+            failed[spec.index] = process.exitcode
+    if failed:
+        detail = ", ".join(f"w{index:02d} (exit {code})" for index, code in sorted(failed.items()))
+        raise ParallelCampaignError(
+            f"{len(failed)}/{len(specs)} workers did not finish: {detail}; "
+            f"the store at {root} is resumable with resume_campaign(workers=...)",
+            failed,
+        )
+
+
+def merge_worker_manifests(store: CampaignStore, worker_roots: Sequence[Path]) -> None:
+    """Fold completed worker stores into the root manifest and mark the
+    campaign complete.
+
+    Segments are referenced in place (paths relative to the root point
+    into the worker subdirectories); bytes, record counts, and digests
+    are untouched.  Global sequence numbers are reassigned in
+    ``(bucket, origin, worker_sequence)`` order — a pure function of the
+    stored data, so two runs that scanned the same zones produce the
+    same manifest ordering no matter which worker finished first.
+    """
+    entries = []
+    # Pre-existing root-owned segments (a sequential store finished in
+    # parallel) sort before any worker's segments of the same bucket.
+    for info in store.manifest.shards:
+        entries.append((info.bucket, "", info.sequence, info))
+    for wroot in sorted(worker_roots):
+        wmanifest = load_manifest(wroot)
+        if not wmanifest.complete:
+            raise StoreError(f"worker store {wroot} is still in progress; cannot merge")
+        if wmanifest.num_shards != store.manifest.num_shards:
+            raise StoreError(
+                f"worker store {wroot} has {wmanifest.num_shards} shards, "
+                f"campaign has {store.manifest.num_shards}"
+            )
+        origin = wroot.relative_to(store.root).as_posix()
+        for info in wmanifest.shards:
+            entries.append(
+                (info.bucket, origin, info.sequence, replace(info, path=f"{origin}/{info.path}"))
+            )
+    entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+    store.manifest.shards = [
+        replace(info, sequence=sequence) for sequence, (_, _, _, info) in enumerate(entries)
+    ]
+    store.complete()
+
+
+def _machine_reports(root: Path) -> List[MachineReport]:
+    reports: List[MachineReport] = []
+    for wroot in _existing_worker_roots(root):
+        stats_file = worker_stats_path(wroot)
+        if not stats_file.exists():
+            continue
+        stats = json.loads(stats_file.read_text(encoding="utf-8"))
+        reports.append(
+            MachineReport(
+                index=stats["index"],
+                zones=stats["zones"],
+                queries=stats["queries"],
+                duration=stats["duration"],
+            )
+        )
+    return reports
+
+
+def _finish(store: CampaignStore, world, recheck: bool):
+    """Stream the merged store through the pipeline and re-check.
+
+    Every stored observation came from a *worker's* world, so every
+    suspicious zone gets the resumed-campaign double-check budget — the
+    parent's fresh world will replay the transient failure once before
+    resolving (see :func:`repro.campaign._recheck_pass`).
+    """
+    from repro.campaign import CampaignResult, _recheck_pass
+
+    reader = StoreReader(store.root)
+    report = reader.reanalyze(world.operator_db)
+    rechecked = {}
+    if recheck:
+        scanner = world.make_scanner()
+        done = frozenset(assessment.zone for assessment in report.assessments)
+        rechecked = _recheck_pass(scanner, report, double_check=done)
+    return CampaignResult(
+        world=world,
+        results=[],
+        report=report,
+        rechecked=rechecked,
+        store_dir=store.root,
+        machines=_machine_reports(store.root),
+    )
+
+
+def run_parallel_campaign(
+    store_dir: Path,
+    scale: float = 1 / 100_000,
+    seed: int = 1,
+    workers: int = 2,
+    recheck: bool = True,
+    use_sources: bool = False,
+    num_shards: Optional[int] = None,
+    compress: bool = True,
+    checkpoint_every: Optional[int] = None,
+    faults: Optional[Dict[int, int]] = None,
+):
+    """Run one campaign across *workers* processes (see module docs).
+
+    *faults* is a testing hook: ``{worker_index: crash_after_n_zones}``
+    hard-kills the given workers mid-scan, leaving a resumable store.
+    """
+    from repro.campaign import _scan_list
+    from repro.ecosystem.world import build_world
+
+    num_shards = num_shards or DEFAULT_NUM_SHARDS
+    checkpoint_every = checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+    root = Path(store_dir)
+    ranges = bucket_ranges(num_shards, workers)  # validates workers vs shards
+
+    store = CampaignStore.create(
+        root,
+        seed=seed,
+        scale=scale,
+        num_shards=num_shards,
+        compress=compress,
+        config={"recheck": recheck, "use_sources": use_sources, "workers": workers},
+        checkpoint_every=checkpoint_every,
+    )
+    specs = [
+        WorkerSpec(
+            index=index,
+            seed=seed,
+            scale=scale,
+            num_shards=num_shards,
+            buckets=tuple(bucket_range),
+            store_dir=str(worker_dir(root, index)),
+            compress=compress,
+            checkpoint_every=checkpoint_every,
+            use_sources=use_sources,
+            crash_after=(faults or {}).get(index),
+        )
+        for index, bucket_range in enumerate(ranges)
+    ]
+    processes = _spawn_workers(specs)
+
+    # Overlap: the parent rebuilds its world while the workers scan.
+    world = build_world(scale=scale, seed=seed)
+    store.manifest.zones_total = len(_scan_list(world, use_sources))
+    save_manifest(root, store.manifest)
+
+    _join_workers(root, specs, processes)
+    merge_worker_manifests(store, [Path(spec.store_dir) for spec in specs])
+    return _finish(store, world, recheck)
+
+
+def resume_parallel_campaign(
+    store_dir: Path,
+    workers: Optional[int] = None,
+    checkpoint_every: Optional[int] = None,
+):
+    """Finish an interrupted parallel campaign (or parallelise the
+    remainder of a sequential one).
+
+    Tolerates a crash of any subset of workers: completed worker stores
+    are recognised by their manifests and skipped wholesale, crashed
+    ones resume from their last checkpoint, and missing ones start
+    fresh.  *workers* defaults to the count recorded in the campaign
+    manifest; a different count repartitions only the remaining zones
+    (every already-stored zone is skipped wherever it lives, so shares
+    stay disjoint).
+    """
+    from repro.campaign import _scan_list
+    from repro.ecosystem.world import build_world
+
+    root = Path(store_dir)
+    checkpoint_every = checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+    store = CampaignStore.open(root, checkpoint_every=checkpoint_every)
+    manifest = store.manifest
+    workers = workers or manifest.config.get("workers")
+    if not workers:
+        raise StoreError(
+            f"{root} is not a parallel campaign; pass workers=N to parallelise it"
+        )
+    recheck = bool(manifest.config.get("recheck", True))
+    use_sources = bool(manifest.config.get("use_sources", False))
+
+    if manifest.complete:
+        world = build_world(scale=manifest.scale, seed=manifest.seed)
+        return _finish(store, world, recheck)
+
+    ranges = bucket_ranges(manifest.num_shards, workers)
+    skip_roots = tuple(
+        str(path)
+        for path in ([root] if manifest.shards else []) + _existing_worker_roots(root)
+    )
+    specs = [
+        WorkerSpec(
+            index=index,
+            seed=manifest.seed,
+            scale=manifest.scale,
+            num_shards=manifest.num_shards,
+            buckets=tuple(bucket_range),
+            store_dir=str(worker_dir(root, index)),
+            skip_roots=skip_roots,
+            compress=manifest.compress,
+            checkpoint_every=checkpoint_every,
+            use_sources=use_sources,
+        )
+        for index, bucket_range in enumerate(ranges)
+    ]
+    # A resume with a different worker count can strand worker stores of
+    # the old partition: nobody reopens them, but their committed zones
+    # are in every new worker's skip-set.  Seal them (orphan sweep +
+    # complete) so the merge can reference their segments.
+    owned = {Path(spec.store_dir) for spec in specs}
+    for wroot in _existing_worker_roots(root):
+        if wroot not in owned and not load_manifest(wroot).complete:
+            CampaignStore.open(wroot, checkpoint_every=checkpoint_every).complete()
+
+    processes = _spawn_workers(specs)
+    world = build_world(scale=manifest.scale, seed=manifest.seed)
+    _join_workers(root, specs, processes)
+
+    manifest.config["workers"] = workers
+    if manifest.zones_total is None:
+        manifest.zones_total = len(_scan_list(world, use_sources))
+    # Merge every worker store on disk — including leftovers from an
+    # earlier run with a different worker count.
+    merge_worker_manifests(store, _existing_worker_roots(root))
+    return _finish(store, world, recheck)

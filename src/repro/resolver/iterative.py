@@ -121,16 +121,23 @@ class IterativeResolver:
         return self._msg_id
 
     def _ask(self, ips: Sequence[str], name: Name, rrtype: RRType) -> Tuple[Message, str]:
-        """Query the given server addresses in order until one answers."""
+        """Query the given server addresses in order until one answers.
+
+        The question is identical for every address, so it is encoded
+        once and the same wire bytes are retried down the server list.
+        """
         last_error: Optional[Exception] = None
+        query = make_query(name, rrtype, msg_id=self._next_id())
+        wire = query.to_wire()
         for ip in ips:
-            query = make_query(name, rrtype, msg_id=self._next_id())
             try:
                 if self.limiter is not None:
                     self.limiter.acquire(ip)
-                response = self.network.query(ip, query, timeout=self.timeout)
+                response = self.network.query(ip, query, timeout=self.timeout, wire=wire)
                 if response.truncated:
-                    response = self.network.query(ip, query, timeout=self.timeout, tcp=True)
+                    response = self.network.query(
+                        ip, query, timeout=self.timeout, tcp=True, wire=wire
+                    )
                 return response, ip
             except NetworkTimeout as exc:
                 last_error = exc

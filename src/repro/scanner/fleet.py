@@ -35,6 +35,26 @@ class MachineReport:
     duration: float  # simulated seconds on this machine's clock
 
 
+def make_machine_scanner(
+    world, config: Optional[ScannerConfig] = None
+) -> tuple[Scanner, SimulatedClock]:
+    """Build one scan machine: a full scanner whose rate limiter waits on
+    its *own* simulated clock.
+
+    This is the shared machine model of the paper's fleet (App. D): both
+    the in-process :class:`ScanFleet` simulation and the multiprocess
+    workers of :mod:`repro.parallel` construct their scanners here, so
+    per-machine durations always come from an independent clock —
+    rate-limit stalls on one machine never advance another machine's
+    time.
+    """
+    scanner = Scanner(world.network, world.root_ips, config or world.scanner_config())
+    clock = SimulatedClock()
+    scanner.limiter = RateLimiter(clock, qps=scanner.config.qps_per_ns)
+    scanner.resolver.limiter = scanner.limiter
+    return scanner, clock
+
+
 @dataclass
 class FleetReport:
     """Campaign outcome across the whole fleet."""
@@ -72,16 +92,7 @@ class ScanFleet:
         self._scanners: List[Scanner] = []
         self._clocks: List[SimulatedClock] = []
         for _ in range(machines):
-            scanner = Scanner(
-                world.network,
-                world.root_ips,
-                config or world.scanner_config(),
-            )
-            # Each machine waits on its own clock: rate-limit stalls on
-            # machine A must not advance machine B's time.
-            clock = SimulatedClock()
-            scanner.limiter = RateLimiter(clock, qps=scanner.config.qps_per_ns)
-            scanner.resolver.limiter = scanner.limiter
+            scanner, clock = make_machine_scanner(world, config)
             self._scanners.append(scanner)
             self._clocks.append(clock)
 

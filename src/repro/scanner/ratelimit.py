@@ -44,12 +44,12 @@ class RateLimiter:
         tokens = self._refill(ip)
         waited = 0.0
         if tokens < 1.0:
-            deficit = 1.0 - tokens
-            waited = deficit / self.qps
+            waited = (1.0 - tokens) / self.qps
             self.clock.advance(waited)
             self.waits += 1
             self.total_wait_time += waited
-            tokens = self._refill(ip)
-        tokens, last = self._buckets[ip]
-        self._buckets[ip] = (tokens - 1.0, last)
+            # Waiting exactly the deficit refills the bucket to one whole
+            # token (or to the burst ceiling when burst < 1).
+            tokens = min(1.0, self.burst)
+        self._buckets[ip] = (tokens - 1.0, self.clock.now())
         return waited

@@ -69,7 +69,12 @@ class SimulatedNetwork:
     # -- data plane --------------------------------------------------------------
 
     def query(
-        self, ip: str, query: Message, timeout: float = 2.0, tcp: bool = False
+        self,
+        ip: str,
+        query: Message,
+        timeout: float = 2.0,
+        tcp: bool = False,
+        wire: Optional[bytes] = None,
     ) -> Message:
         """Send *query* to *ip* and return the response message.
 
@@ -78,10 +83,14 @@ class SimulatedNetwork:
         same way they would on a real socket.  UDP responses are subject
         to the EDNS payload limit and may come back truncated (TC bit);
         pass ``tcp=True`` to retry without the size limit (RFC 7766).
+        Callers that ask the same question of many addresses may pass a
+        pre-encoded *wire* (it must be ``query.to_wire()``) to skip
+        re-encoding — the receiving side still decodes the actual bytes.
         Raises :class:`NetworkTimeout` for dark addresses, drop
         behaviours, and loss-hook hits.
         """
-        wire = query.to_wire()
+        if wire is None:
+            wire = query.to_wire()
         self.queries_sent += 1
         self.bytes_sent += len(wire)
         self.per_ip_queries[ip] = self.per_ip_queries.get(ip, 0) + 1

@@ -181,6 +181,19 @@ class TestScanZone:
         results = scanner.scan_many(["example.com", "unsigned.com"])
         assert [r.zone.to_text() for r in results] == ["example.com.", "unsigned.com."]
 
+    def test_scan_many_delegates_to_scan_iter(self, scanner):
+        """scan_many is the eager twin of scan_iter: same skip semantics,
+        same sink callback, same results in the same order."""
+        zones = ["example.com", "unsigned.com", "island.com"]
+        skip = {"unsigned.com."}
+        sunk = []
+        eager = scanner.scan_many(zones, skip=skip, sink=sunk.append)
+        lazy = list(scanner.scan_iter(zones, skip=skip))
+        assert [r.zone.to_text() for r in eager] == ["example.com.", "island.com."]
+        assert sunk == eager
+        assert [r.zone for r in lazy] == [r.zone for r in eager]
+        assert [r.cds_by_ns for r in lazy] == [r.cds_by_ns for r in eager]
+
     def test_rate_limit_advances_clock(self, mini_world):
         # A cold scanner with a tiny rate limit must advance the clock.
         config = ScannerConfig(qps_per_ns=5.0)
