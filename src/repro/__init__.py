@@ -8,6 +8,15 @@ ecosystem calibrated to the paper's published measurements.
 
 Typical use::
 
+    from repro import CampaignConfig, run_campaign
+
+    campaign = run_campaign(
+        CampaignConfig(scale=1 / 100_000, seed=1, telemetry=True)
+    )
+    print(campaign.report.total_scanned, campaign.simulated_duration)
+
+Lower-level pieces compose the same way the campaign does::
+
     from repro import build_world, AnalysisPipeline
 
     world = build_world(scale=1 / 100_000, seed=1)
@@ -27,6 +36,10 @@ __all__ = [
     "Scanner",
     "AnalysisPipeline",
     "build_world",
+    "run_campaign",
+    "resume_campaign",
+    "CampaignConfig",
+    "Telemetry",
 ]
 
 _API = {
@@ -37,6 +50,10 @@ _API = {
     "Scanner": ("repro.scanner", "Scanner"),
     "AnalysisPipeline": ("repro.core", "AnalysisPipeline"),
     "build_world": ("repro.ecosystem", "build_world"),
+    "run_campaign": ("repro.campaign", "run_campaign"),
+    "resume_campaign": ("repro.campaign", "resume_campaign"),
+    "CampaignConfig": ("repro.campaign", "CampaignConfig"),
+    "Telemetry": ("repro.obs", "Telemetry"),
 }
 
 

@@ -5,27 +5,124 @@ the benchmark harness.  It mirrors the paper's methodology, including
 the re-check pass for zones whose signal errors might be transient
 (§4.4: "following further checks, these were transient errors").
 
+The campaign API is config-first: a frozen :class:`CampaignConfig`
+carries every knob (scale, seed, store, workers, telemetry, …),
+validates the mutually-exclusive combinations in one place, and
+round-trips losslessly through the store manifest so a resume rebuilds
+the exact configuration the campaign started with.  The historical
+keyword form (``run_campaign(scale=..., seed=...)``) keeps working via
+a thin shim.
+
 Campaigns can run fully in memory (the default, results returned as a
 list) or against a :mod:`repro.store` warehouse (``store_dir=...``):
 results are then committed shard-by-shard as the scan proceeds, a
 killed campaign resumes from its manifest via :func:`resume_campaign`,
 and the report is computed by streaming the store back through the
 pipeline — the same store-then-analyse discipline as the paper's
-6.5 TiB archive.
+6.5 TiB archive.  With ``telemetry=True`` the campaign additionally
+streams deterministic counters/spans/progress events into
+``<store>/events/`` (see :mod:`repro.obs`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, fields
 from pathlib import Path
-from typing import Dict, FrozenSet, List, Optional
+from typing import Any, Dict, FrozenSet, List, Optional, Union
 
 from repro.core.bootstrap import INCORRECT_OUTCOMES, SignalOutcome, assess_zone
 from repro.core.pipeline import AnalysisPipeline, AnalysisReport
 from repro.ecosystem.world import World, build_world
+from repro.obs.events import events_path
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, as_telemetry
 from repro.reports.table3 import apply_recheck
 from repro.scanner.fleet import MachineReport
 from repro.scanner.results import ZoneScanResult
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Everything that defines one measurement campaign.
+
+    Frozen so a config can be hashed, reused, and recorded without
+    surprise mutation.  ``validate()`` centralises the combination
+    rules; ``manifest_config()`` / ``from_manifest()`` give a lossless
+    round-trip through a store manifest (the manifest's own top-level
+    seed/scale/num_shards/compress fields carry those four).
+    """
+
+    scale: float = 1 / 100_000
+    seed: int = 1
+    recheck: bool = True
+    use_sources: bool = False
+    store_dir: Optional[Path] = None
+    checkpoint_every: Optional[int] = None
+    num_shards: Optional[int] = None
+    compress: bool = True
+    stop_after: Optional[int] = None
+    workers: Optional[int] = None
+    # False (default) → zero-overhead NullTelemetry; True → a fresh
+    # hub; or pass a configured Telemetry instance directly.
+    telemetry: Union[bool, Telemetry] = False
+
+    def __post_init__(self):
+        if self.store_dir is not None and not isinstance(self.store_dir, Path):
+            object.__setattr__(self, "store_dir", Path(self.store_dir))
+
+    def validate(self, world: Optional[World] = None) -> None:
+        """Reject impossible combinations (one place, one message each)."""
+        if self.workers is not None:
+            if self.store_dir is None:
+                raise ValueError("workers=N requires a store (store_dir=...)")
+            if world is not None:
+                raise ValueError(
+                    "workers=N rebuilds the world per process; pass scale/seed, not world"
+                )
+            if self.stop_after is not None:
+                raise ValueError("stop_after is not supported with workers=N")
+        elif self.stop_after is not None and self.store_dir is None:
+            raise ValueError("stop_after requires a store (store_dir=...)")
+
+    # -- manifest round-trip ----------------------------------------------
+
+    def manifest_config(self) -> Dict[str, Any]:
+        """The ``config`` dict recorded in the store manifest.
+
+        Keys with default values are omitted (except the two the
+        analysis layer always reads), so the stored dict stays minimal
+        and byte-stable across versions.
+        """
+        config: Dict[str, Any] = {
+            "recheck": self.recheck,
+            "use_sources": self.use_sources,
+        }
+        if self.workers is not None:
+            config["workers"] = self.workers
+        if self.checkpoint_every is not None:
+            config["checkpoint_every"] = self.checkpoint_every
+        if self.telemetry:
+            config["telemetry"] = True
+        return config
+
+    @classmethod
+    def from_manifest(cls, manifest, store_dir: Optional[Path] = None) -> "CampaignConfig":
+        """Rebuild the config a stored campaign was started with."""
+        config = manifest.config
+        return cls(
+            scale=manifest.scale,
+            seed=manifest.seed,
+            recheck=bool(config.get("recheck", True)),
+            use_sources=bool(config.get("use_sources", False)),
+            store_dir=Path(store_dir) if store_dir is not None else None,
+            checkpoint_every=config.get("checkpoint_every"),
+            num_shards=manifest.num_shards,
+            compress=manifest.compress,
+            workers=config.get("workers"),
+            telemetry=bool(config.get("telemetry", False)),
+        )
+
+
+_CONFIG_FIELDS = frozenset(f.name for f in fields(CampaignConfig))
 
 
 @dataclass
@@ -42,6 +139,9 @@ class CampaignResult:
     # Set for parallel campaigns: one entry per worker process, with
     # that machine's zone/query counts and simulated clock.
     machines: Optional[List["MachineReport"]] = None
+    # Set when the campaign ran with telemetry enabled: the (closed)
+    # hub, with all counters and in-memory events still attached.
+    telemetry: Optional[Telemetry] = None
 
     @property
     def simulated_duration(self) -> float:
@@ -67,6 +167,7 @@ def _recheck_pass(
     scanner,
     report: AnalysisReport,
     double_check: FrozenSet[str] = frozenset(),
+    telemetry=NULL_TELEMETRY,
 ) -> Dict[str, SignalOutcome]:
     """The §4.4 re-check: rescan zones with incorrect signal outcomes.
 
@@ -77,41 +178,43 @@ def _recheck_pass(
     observation budget (initial scan + re-check) every other zone has —
     which keeps a resumed report identical to an uninterrupted one.
     """
-    suspicious = [
-        assessment.zone
-        for assessment in report.assessments
-        if assessment.signal_outcome in INCORRECT_OUTCOMES
-    ]
-    updates: Dict[str, SignalOutcome] = {}
-    for zone in suspicious:
-        rescan = scanner.scan_zone(zone)
-        outcome = assess_zone(rescan).signal_outcome
-        if outcome in INCORRECT_OUTCOMES and zone in double_check:
+    with telemetry.span("recheck") as span:
+        suspicious = [
+            assessment.zone
+            for assessment in report.assessments
+            if assessment.signal_outcome in INCORRECT_OUTCOMES
+        ]
+        updates: Dict[str, SignalOutcome] = {}
+        for zone in suspicious:
             rescan = scanner.scan_zone(zone)
             outcome = assess_zone(rescan).signal_outcome
-        updates[zone] = outcome
-    apply_recheck(report, updates)
-    return {
-        zone: outcome
-        for zone, outcome in updates.items()
-        if outcome not in INCORRECT_OUTCOMES
-    }
+            if outcome in INCORRECT_OUTCOMES and zone in double_check:
+                rescan = scanner.scan_zone(zone)
+                outcome = assess_zone(rescan).signal_outcome
+            updates[zone] = outcome
+        apply_recheck(report, updates)
+        resolved = {
+            zone: outcome
+            for zone, outcome in updates.items()
+            if outcome not in INCORRECT_OUTCOMES
+        }
+        span["suspicious"] = len(suspicious)
+        span["resolved"] = len(resolved)
+    return resolved
 
 
-def run_campaign(
-    scale: float = 1 / 100_000,
-    seed: int = 1,
-    recheck: bool = True,
-    world: Optional[World] = None,
-    use_sources: bool = False,
-    store_dir: Optional[Path] = None,
-    checkpoint_every: Optional[int] = None,
-    num_shards: Optional[int] = None,
-    compress: bool = True,
-    stop_after: Optional[int] = None,
-    workers: Optional[int] = None,
-) -> CampaignResult:
+def run_campaign(config: Optional[CampaignConfig] = None, /, world=None, **kwargs) -> CampaignResult:
     """Run one full measurement campaign.
+
+    Config-first form::
+
+        run_campaign(CampaignConfig(scale=1e-4, seed=7, telemetry=True))
+
+    The historical keyword form (``run_campaign(scale=..., seed=...,
+    store_dir=..., workers=...)``) still works — the keywords are the
+    fields of :class:`CampaignConfig`, collected into one behind the
+    scenes.  A pre-built *world* may accompany either form for
+    sequential campaigns (parallel ones rebuild worlds per process).
 
     With ``recheck=True``, zones classified with incorrect signal zones
     are scanned a second time and the report updated with the outcome —
@@ -136,45 +239,78 @@ def run_campaign(
     range of the zone list — see :mod:`repro.parallel`.  The resulting
     report is byte-identical to the sequential one at the same
     seed/scale.
+
+    With ``telemetry=True`` (or a :class:`repro.obs.Telemetry`
+    instance) the campaign emits deterministic counters, simulated-clock
+    spans, and progress events — streamed into ``<store>/events/`` for
+    store-backed campaigns, kept on ``result.telemetry.events``
+    otherwise.
     """
-    if workers is not None:
-        if store_dir is None:
-            raise ValueError("workers=N requires a store (store_dir=...)")
-        if world is not None:
-            raise ValueError(
-                "workers=N rebuilds the world per process; pass scale/seed, not world"
+    if config is not None:
+        if not isinstance(config, CampaignConfig):
+            raise TypeError(
+                "run_campaign() takes a CampaignConfig as its only "
+                "positional argument; use keywords for individual settings"
             )
-        if stop_after is not None:
-            raise ValueError("stop_after is not supported with workers=N")
+        if kwargs:
+            unknown = ", ".join(sorted(kwargs))
+            raise TypeError(
+                f"run_campaign() got both a CampaignConfig and keyword settings ({unknown}); "
+                "put everything in the config"
+            )
+    else:
+        unknown = set(kwargs) - _CONFIG_FIELDS
+        if unknown:
+            raise TypeError(
+                f"run_campaign() got unexpected keyword arguments: {', '.join(sorted(unknown))}"
+            )
+        config = CampaignConfig(**kwargs)
+    config.validate(world=world)
+    return _run_validated(config, world)
+
+
+def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignResult:
+    if config.workers is not None:
         from repro.parallel import run_parallel_campaign
 
         return run_parallel_campaign(
-            store_dir=Path(store_dir),
-            scale=scale,
-            seed=seed,
-            workers=workers,
-            recheck=recheck,
-            use_sources=use_sources,
-            num_shards=num_shards,
-            compress=compress,
-            checkpoint_every=checkpoint_every,
+            store_dir=config.store_dir,
+            scale=config.scale,
+            seed=config.seed,
+            workers=config.workers,
+            recheck=config.recheck,
+            use_sources=config.use_sources,
+            num_shards=config.num_shards,
+            compress=config.compress,
+            checkpoint_every=config.checkpoint_every,
+            telemetry=config.telemetry,
+            manifest_config=config.manifest_config(),
         )
-    if world is None:
-        world = build_world(scale=scale, seed=seed)
-    scanner = world.make_scanner()
-    scan_list = _scan_list(world, use_sources)
 
-    if store_dir is None:
-        if stop_after is not None:
-            raise ValueError("stop_after requires a store (store_dir=...)")
-        results = scanner.scan_many(scan_list)
+    telemetry = as_telemetry(config.telemetry)
+    if world is None:
+        world = build_world(scale=config.scale, seed=config.seed)
+    telemetry.bind_clock(world.network.clock)
+    scanner = world.make_scanner(telemetry=telemetry)
+    scan_list = _scan_list(world, config.use_sources)
+
+    if config.store_dir is None:
+        results = []
+        for result in scanner.scan_iter(scan_list):
+            results.append(result)
+            if telemetry.enabled:
+                telemetry.maybe_progress(len(results), len(scan_list))
         pipeline = AnalysisPipeline(world.operator_db)
         report = pipeline.analyze(results)
         rechecked: Dict[str, SignalOutcome] = {}
-        if recheck:
-            rechecked = _recheck_pass(scanner, report)
+        if config.recheck:
+            rechecked = _recheck_pass(scanner, report, telemetry=telemetry)
         return CampaignResult(
-            world=world, results=results, report=report, rechecked=rechecked
+            world=world,
+            results=results,
+            report=report,
+            rechecked=rechecked,
+            telemetry=_seal(telemetry, scanner),
         )
 
     # -- store-backed campaign: persist-as-you-scan ------------------------
@@ -182,19 +318,26 @@ def run_campaign(
     from repro.store.reader import StoreReader
 
     store = CampaignStore.create(
-        Path(store_dir),
+        config.store_dir,
         seed=world.seed,
         scale=world.scale,
-        num_shards=num_shards or DEFAULT_NUM_SHARDS,
-        compress=compress,
+        num_shards=config.num_shards or DEFAULT_NUM_SHARDS,
+        compress=config.compress,
         zones_total=len(scan_list),
-        config={"recheck": recheck, "use_sources": use_sources},
-        checkpoint_every=checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+        config=config.manifest_config(),
+        checkpoint_every=config.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
+        telemetry=telemetry,
     )
+    if telemetry.enabled:
+        telemetry.open_sink(events_path(store.root))
     interrupted = False
+    scanned = 0
     with store:
-        for index, _ in enumerate(scanner.scan_iter(scan_list, sink=store.append), 1):
-            if stop_after is not None and index >= stop_after:
+        for result in scanner.scan_iter(scan_list, sink=store.append):
+            scanned += 1
+            if telemetry.enabled:
+                telemetry.maybe_progress(scanned, len(scan_list))
+            if config.stop_after is not None and scanned >= config.stop_after:
                 interrupted = True
                 break
     if interrupted:
@@ -204,18 +347,38 @@ def run_campaign(
         reader = StoreReader(store.root)
         report = AnalysisPipeline(world.operator_db).analyze(reader.iter_results())
         return CampaignResult(
-            world=world, results=[], report=report, rechecked={}, store_dir=store.root
+            world=world,
+            results=[],
+            report=report,
+            rechecked={},
+            store_dir=store.root,
+            telemetry=_seal(telemetry, scanner),
         )
     store.complete()
 
     reader = StoreReader(store.root)
     report = reader.reanalyze(world.operator_db)
     rechecked = {}
-    if recheck:
-        rechecked = _recheck_pass(scanner, report)
+    if config.recheck:
+        rechecked = _recheck_pass(scanner, report, telemetry=telemetry)
     return CampaignResult(
-        world=world, results=[], report=report, rechecked=rechecked, store_dir=store.root
+        world=world,
+        results=[],
+        report=report,
+        rechecked=rechecked,
+        store_dir=store.root,
+        telemetry=_seal(telemetry, scanner),
     )
+
+
+def _seal(telemetry, scanner) -> Optional[Telemetry]:
+    """Final counter snapshot + flush + close; None when disabled."""
+    if not telemetry.enabled:
+        return None
+    telemetry.capture_scanner(scanner)
+    telemetry.flush_counters()
+    telemetry.close()
+    return telemetry
 
 
 def resume_campaign(
@@ -223,6 +386,7 @@ def resume_campaign(
     world: Optional[World] = None,
     checkpoint_every: Optional[int] = None,
     workers: Optional[int] = None,
+    telemetry=None,
 ) -> CampaignResult:
     """Finish an interrupted store-backed campaign.
 
@@ -238,11 +402,22 @@ def resume_campaign(
     different number of processes, or to parallelise the remainder of a
     campaign that began sequentially.  Any subset of crashed workers is
     tolerated — completed worker stores are skipped wholesale.
+
+    Campaigns started with telemetry resume with telemetry: the flag
+    round-trips through the manifest (:meth:`CampaignConfig.from_manifest`),
+    and the resumed process appends to the same event stream.
     """
     from repro.store import DEFAULT_CHECKPOINT_EVERY, CampaignStore, StoreError
-    from repro.store.manifest import load_manifest
 
-    if workers is not None or load_manifest(Path(store_dir)).config.get("workers"):
+    root = Path(store_dir)
+    # The store is opened exactly once; both the parallel and the
+    # sequential route work from this one loaded manifest.
+    store = CampaignStore.open(
+        root, checkpoint_every=checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+    )
+    stored = CampaignConfig.from_manifest(store.manifest, store_dir=root)
+
+    if workers is not None or stored.workers:
         if world is not None:
             raise ValueError(
                 "parallel resume rebuilds the world per process; do not pass world"
@@ -250,15 +425,20 @@ def resume_campaign(
         from repro.parallel import resume_parallel_campaign
 
         return resume_parallel_campaign(
-            Path(store_dir), workers=workers, checkpoint_every=checkpoint_every
+            root,
+            workers=workers,
+            checkpoint_every=checkpoint_every,
+            telemetry=telemetry,
+            store=store,
         )
 
     from repro.store.reader import StoreReader
 
-    store = CampaignStore.open(
-        Path(store_dir), checkpoint_every=checkpoint_every or DEFAULT_CHECKPOINT_EVERY
-    )
     manifest = store.manifest
+    hub = as_telemetry(telemetry if telemetry is not None else stored.telemetry)
+    store.telemetry = hub
+    if hub.enabled:
+        hub.open_sink(events_path(root))
     if world is None:
         world = build_world(scale=manifest.scale, seed=manifest.seed)
     elif (world.seed, world.scale) != (manifest.seed, manifest.scale):
@@ -266,21 +446,31 @@ def resume_campaign(
             f"world (seed={world.seed}, scale={world.scale:g}) does not match "
             f"the store's campaign (seed={manifest.seed}, scale={manifest.scale:g})"
         )
-    scanner = world.make_scanner()
-    scan_list = _scan_list(world, bool(manifest.config.get("use_sources")))
+    hub.bind_clock(world.network.clock)
+    scanner = world.make_scanner(telemetry=hub)
+    scan_list = _scan_list(world, stored.use_sources)
 
     done = frozenset(store.completed_zones())
     if not manifest.complete:
+        scanned = 0
+        remaining = len(scan_list) - len(done)
         with store:
             for _ in scanner.scan_iter(scan_list, skip=done, sink=store.append):
-                pass
+                scanned += 1
+                if hub.enabled:
+                    hub.maybe_progress(scanned, remaining)
         store.complete()
 
     reader = StoreReader(store.root)
     report = reader.reanalyze(world.operator_db)
     rechecked: Dict[str, SignalOutcome] = {}
-    if manifest.config.get("recheck", True):
-        rechecked = _recheck_pass(scanner, report, double_check=done)
+    if stored.recheck:
+        rechecked = _recheck_pass(scanner, report, double_check=done, telemetry=hub)
     return CampaignResult(
-        world=world, results=[], report=report, rechecked=rechecked, store_dir=store.root
+        world=world,
+        results=[],
+        report=report,
+        rechecked=rechecked,
+        store_dir=store.root,
+        telemetry=_seal(hub, scanner),
     )

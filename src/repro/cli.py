@@ -180,13 +180,32 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 # -- campaign warehouse ------------------------------------------------------
 
 
+def _heartbeat_printer(stats: dict) -> None:
+    """Live worker-liveness line (parallel runs with --telemetry)."""
+    worker = stats.get("worker", stats.get("index", "?"))
+    if stats.get("heartbeat"):
+        done, total = stats.get("zones_done", 0), stats.get("zones_total", "?")
+        print(f"  [w{worker:02d}] {done}/{total} zones", flush=True)
+    elif "duration" in stats:
+        print(
+            f"  [w{worker:02d}] finished: {stats.get('zones', '?')} zones, "
+            f"{stats.get('queries', '?')} queries",
+            flush=True,
+        )
+
+
 def cmd_store_init(args: argparse.Namespace) -> int:
     """Start a store-backed campaign: scan and persist shard by shard."""
-    from repro.campaign import run_campaign
+    from repro.campaign import CampaignConfig, run_campaign
+    from repro.obs import Telemetry
     from repro.parallel import ParallelCampaignError
 
+    telemetry: object = False
+    if args.telemetry:
+        telemetry = Telemetry()
+        telemetry.on_heartbeat = _heartbeat_printer
     try:
-        campaign = run_campaign(
+        config = CampaignConfig(
             scale=args.scale,
             seed=args.seed,
             recheck=not args.no_recheck,
@@ -196,7 +215,14 @@ def cmd_store_init(args: argparse.Namespace) -> int:
             compress=not args.no_gzip,
             stop_after=args.stop_after or None,
             workers=args.workers or None,
+            telemetry=telemetry,
         )
+        config.validate()
+    except ValueError as exc:
+        print(f"invalid campaign configuration: {exc}", file=sys.stderr)
+        return 2
+    try:
+        campaign = run_campaign(config)
     except ParallelCampaignError as exc:
         print(exc)
         print(f"\nfinish with: repro-dnssec store resume --dir {args.dir}")
@@ -234,9 +260,29 @@ def cmd_store_resume(args: argparse.Namespace) -> int:
     from repro.campaign import resume_campaign
     from repro.store import StoreReader
 
-    campaign = resume_campaign(args.dir, workers=args.workers or None)
+    telemetry = None
+    if args.telemetry:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        telemetry.on_heartbeat = _heartbeat_printer
+    campaign = resume_campaign(args.dir, workers=args.workers or None, telemetry=telemetry)
     print(StoreReader(args.dir).summary().render())
     print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Render a campaign telemetry report from a store's event streams."""
+    from repro.obs import collect_stats, render_stats
+    from repro.store import StoreError
+
+    try:
+        stats = collect_stats(args.dir)
+    except StoreError as exc:
+        print(f"cannot read campaign telemetry: {exc}", file=sys.stderr)
+        return 2
+    print(render_stats(stats))
     return 0
 
 
@@ -374,6 +420,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="scan with N worker processes, each committing its shard range",
     )
+    store_init.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="stream deterministic telemetry events into <store>/events/",
+    )
     store_init.set_defaults(func=cmd_store_init)
 
     store_status = store_sub.add_parser("status", help="inspect a campaign store")
@@ -393,6 +444,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="resume with N worker processes (default: the campaign's recorded count)",
     )
+    store_resume.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="stream telemetry for the resumed remainder (implied when the "
+        "campaign was started with --telemetry)",
+    )
     store_resume.set_defaults(func=cmd_store_resume)
 
     store_diff = store_sub.add_parser(
@@ -408,6 +465,12 @@ def build_parser() -> argparse.ArgumentParser:
     store_reanalyze.add_argument("--dir", required=True)
     store_reanalyze.add_argument("--verify", action="store_true")
     store_reanalyze.set_defaults(func=cmd_store_reanalyze)
+
+    stats = sub.add_parser(
+        "stats", help="render a campaign telemetry report from a store"
+    )
+    stats.add_argument("dir", help="campaign store directory")
+    stats.set_defaults(func=cmd_stats)
 
     bootstrap = sub.add_parser("bootstrap", help="run a registry acceptance policy")
     _add_common(bootstrap)

@@ -52,10 +52,10 @@ class World:
 
         return ScannerConfig(anycast_ns_suffixes=list(self.anycast_ns_suffixes))
 
-    def make_scanner(self):
+    def make_scanner(self, telemetry=None):
         from repro.scanner.yodns import Scanner
 
-        return Scanner(self.network, self.root_ips, self.scanner_config())
+        return Scanner(self.network, self.root_ips, self.scanner_config(), telemetry=telemetry)
 
 
 # Operators whose NS hostnames are not in the operator database (the

@@ -1,0 +1,72 @@
+"""Event-stream persistence and the deterministic merge rule.
+
+Each telemetry producer appends JSONL events to its *own* stream at
+``<store>/events/stream.jsonl`` — the sequential campaign (or the
+parallel parent) under the campaign root, each parallel worker under
+its worker store (``<root>/workers/wNN/events/stream.jsonl``).  Nothing
+is ever merged byte-wise; like shard segments, the streams stay in
+place and the *read order* is the merge: streams sort by origin (the
+root first, then workers in directory order) and events within a
+stream are already in per-producer ``seq`` order — so the merged
+iteration order is ``(origin, seq)``, a pure function of the stored
+data, the same discipline the manifest merge applies to
+``(bucket, origin, sequence)``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Tuple
+
+EVENTS_DIR = "events"
+EVENT_STREAM_FILENAME = "stream.jsonl"
+
+# The parallel engine's worker-store directory (defined here, at the
+# bottom of the dependency graph, so the observability reader needs no
+# import from repro.parallel).
+WORKERS_DIR = "workers"
+
+
+def events_path(store_root: Path) -> Path:
+    """Where a store's own event stream lives."""
+    return Path(store_root) / EVENTS_DIR / EVENT_STREAM_FILENAME
+
+
+def read_events(path: Path) -> List[Dict[str, Any]]:
+    """Parse one stream file into event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fp:
+        for line in fp:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def campaign_event_streams(store_root: Path) -> List[Tuple[str, Path]]:
+    """Every event stream under a campaign store, in merge order.
+
+    Returns ``(origin, path)`` pairs: origin ``""`` for the campaign
+    root's own stream, ``workers/wNN`` for each worker's — sorted, so
+    the order is deterministic no matter which worker finished first.
+    """
+    root = Path(store_root)
+    streams: List[Tuple[str, Path]] = []
+    own = events_path(root)
+    if own.exists():
+        streams.append(("", own))
+    workers = root / WORKERS_DIR
+    if workers.is_dir():
+        for child in sorted(workers.iterdir()):
+            stream = events_path(child)
+            if stream.exists():
+                streams.append((child.relative_to(root).as_posix(), stream))
+    return streams
+
+
+def iter_campaign_events(store_root: Path) -> Iterator[Tuple[str, Dict[str, Any]]]:
+    """Stream every event of a campaign in ``(origin, seq)`` order."""
+    for origin, path in campaign_event_streams(store_root):
+        for event in read_events(path):
+            yield origin, event

@@ -1,0 +1,245 @@
+"""Aggregate a campaign's telemetry streams into a readable report.
+
+This is the offline half of the observability layer: given a store, it
+reads the manifest, every event stream (root + workers, in the
+deterministic merge order), and the per-worker ``worker.json`` machine
+stats, then renders query volume, cache effectiveness, span timings,
+checkpoint cadence, and per-machine durations — the numbers the paper's
+fleet had to be monitored for continuously (App. D).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.obs.events import WORKERS_DIR, campaign_event_streams, read_events
+from repro.reports.render import format_count, format_duration, render_table
+from repro.store.manifest import load_manifest
+
+
+@dataclass
+class SpanStats:
+    """Aggregate over every span of one name."""
+
+    count: int = 0
+    total: float = 0.0
+    longest: float = 0.0
+    records: int = 0  # sum of the per-span "records" field, if present
+
+    def add(self, duration: float, records: Optional[int]) -> None:
+        self.count += 1
+        self.total += duration
+        self.longest = max(self.longest, duration)
+        if records is not None:
+            self.records += records
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class CampaignStats:
+    """Everything ``repro-dnssec stats`` reports."""
+
+    root: str
+    status: str
+    seed: int
+    scale: float
+    records: int
+    zones_total: Optional[int]
+    events: int = 0
+    streams: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+    spans: Dict[str, SpanStats] = field(default_factory=dict)
+    last_progress: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    machines: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _machine_stats(root: Path) -> List[Dict[str, Any]]:
+    """Final per-worker machine stats (heartbeat-only files — a worker
+    killed mid-scan — are skipped: they carry no duration yet)."""
+    machines: List[Dict[str, Any]] = []
+    workers = root / WORKERS_DIR
+    if not workers.is_dir():
+        return machines
+    for child in sorted(workers.iterdir()):
+        stats_file = child / "worker.json"
+        if not stats_file.exists():
+            continue
+        try:
+            stats = json.loads(stats_file.read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            continue
+        if "duration" in stats:
+            machines.append(stats)
+    return machines
+
+
+def collect_stats(store_root: Path) -> CampaignStats:
+    """Read manifest + event streams + machine stats for one campaign.
+
+    Raises :class:`repro.store.StoreError` when *store_root* holds no
+    campaign (the CLI turns that into a nonzero exit).
+    """
+    root = Path(store_root)
+    manifest = load_manifest(root)
+    stats = CampaignStats(
+        root=str(root),
+        status=manifest.status,
+        seed=manifest.seed,
+        scale=manifest.scale,
+        records=manifest.records,
+        zones_total=manifest.zones_total,
+    )
+    for origin, path in campaign_event_streams(root):
+        stats.streams += 1
+        for event in read_events(path):
+            stats.events += 1
+            kind = event.get("kind")
+            if kind == "counters":
+                # Each producer's counters event carries *absolute*
+                # totals for that machine; summing across origins gives
+                # the campaign-wide figure.  The last event per origin
+                # wins within a stream (they are cumulative).
+                pass
+            if kind == "span":
+                agg = stats.spans.setdefault(event["name"], SpanStats())
+                agg.add(event["t1"] - event["t0"], event.get("records"))
+            elif kind == "progress":
+                stats.last_progress[origin] = event
+        # Fold in the final counters event of this stream (cumulative
+        # within a producer, additive across producers).
+        for event in reversed(read_events(path)):
+            if event.get("kind") == "counters":
+                for name, value in event["counters"].items():
+                    stats.counters[name] = stats.counters.get(name, 0) + value
+                break
+    stats.machines = _machine_stats(root)
+    return stats
+
+
+def _rate(hits: float, misses: float) -> str:
+    total = hits + misses
+    if not total:
+        return "-"
+    return f"{100.0 * hits / total:.1f}%"
+
+
+def render_stats(stats: CampaignStats) -> str:
+    """The campaign telemetry report, paper-style plain text."""
+    counters = stats.counters
+    planned = "?" if stats.zones_total is None else format_count(stats.zones_total)
+    lines = [
+        f"campaign telemetry: {stats.root}",
+        f"status:    {stats.status}",
+        f"campaign:  seed={stats.seed} scale={stats.scale:g}",
+        f"zones:     {format_count(stats.records)}/{planned} persisted",
+        f"events:    {format_count(stats.events)} across {stats.streams} stream(s)",
+    ]
+    if not stats.events:
+        lines.append(
+            "\nno telemetry events recorded — run the campaign with "
+            "telemetry enabled (--telemetry / CampaignConfig(telemetry=True))"
+        )
+        return "\n".join(lines)
+
+    queries = counters.get("net.queries", 0)
+    per_zone = f"{queries / stats.records:.1f}" if stats.records else "-"
+    lines += [
+        "",
+        "query volume",
+        f"  queries:      {format_count(int(queries))} ({per_zone}/zone)",
+        f"  bytes:        {format_count(int(counters.get('net.bytes_sent', 0)))} sent, "
+        f"{format_count(int(counters.get('net.bytes_received', 0)))} received",
+        f"  timeouts:     {format_count(int(counters.get('net.timeouts', 0)))}",
+        f"  truncations:  {format_count(int(counters.get('net.truncations', 0)))} "
+        f"({format_count(int(counters.get('scan.tcp_fallbacks', 0)))} TCP fallbacks, "
+        f"{format_count(int(counters.get('net.tcp_queries', 0)))} TCP queries)",
+        f"  rate limit:   {format_count(int(counters.get('ratelimit.waits', 0)))} waits, "
+        f"{format_duration(counters.get('ratelimit.wait_seconds', 0.0))} waited (simulated)",
+    ]
+
+    cache_rows = []
+    for label, key in (
+        ("dns", "cache.dns"),
+        ("addresses", "cache.address"),
+        ("signal zones", "cache.signal_zone"),
+        ("chains", "cache.chain"),
+    ):
+        hits = counters.get(f"{key}.hits", 0)
+        misses = counters.get(f"{key}.misses", 0)
+        cache_rows.append(
+            [label, format_count(int(hits)), format_count(int(misses)), _rate(hits, misses)]
+        )
+    lines += ["", render_table(["cache", "hits", "misses", "hit rate"], cache_rows)]
+
+    if stats.spans:
+        span_rows = [
+            [
+                name,
+                format_count(agg.count),
+                format_duration(agg.total),
+                format_duration(agg.mean),
+                format_duration(agg.longest),
+            ]
+            for name, agg in sorted(stats.spans.items())
+        ]
+        lines += [
+            "",
+            render_table(
+                ["span (simulated)", "count", "total", "mean", "max"], span_rows
+            ),
+        ]
+
+    commits = stats.spans.get("segment_commit")
+    checkpoints = counters.get("store.checkpoints", 0)
+    if commits or checkpoints:
+        count = commits.count if commits else int(checkpoints)
+        records = commits.records if commits else 0
+        cadence = f" (~{records / count:.0f} records/commit)" if count and records else ""
+        lines += [
+            "",
+            f"checkpoints: {format_count(count)} commits, "
+            f"{format_count(int(counters.get('store.segments', 0)))} segments{cadence}",
+        ]
+
+    if stats.machines:
+        machine_rows = [
+            [
+                f"w{m.get('index', 0):02d}",
+                format_count(m.get("zones", 0)),
+                format_count(m.get("queries", 0)),
+                format_duration(m.get("duration", 0.0)),
+            ]
+            for m in stats.machines
+        ]
+        lines += [
+            "",
+            render_table(
+                ["machine", "zones", "queries", "duration (simulated)"], machine_rows
+            ),
+        ]
+    return "\n".join(lines)
+
+
+def write_benchmark_metrics(
+    results_dir: Path,
+    stem: str,
+    payload: Dict[str, Any],
+    telemetry=None,
+) -> Path:
+    """Write one ``BENCH_<stem>.json`` metrics twin through the hub.
+
+    The shared emission path for every benchmark artifact: the payload
+    is recorded as a ``metric`` event on *telemetry* (when given) and
+    written as the machine-readable JSON twin downstream tooling reads.
+    """
+    if telemetry is not None:
+        telemetry.metric(stem, payload)
+    path = Path(results_dir) / f"BENCH_{stem}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path

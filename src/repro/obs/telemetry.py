@@ -1,0 +1,323 @@
+"""The campaign telemetry hub.
+
+A :class:`Telemetry` object is the single instrumentation surface every
+campaign layer writes into: **counters** (query volume and cache
+effectiveness, accumulated in memory and flushed as one event),
+**spans** (named intervals stamped with the *simulated* clock — the
+same clock that produces the paper's scan-duration figures), and
+**progress events** (zones done / total).  The default is
+:data:`NULL_TELEMETRY`, a :class:`NullTelemetry` whose every method is
+a no-op, so instrumented hot paths cost one attribute load and a branch
+when observability is off.
+
+Determinism is the design invariant, mirroring the store's
+byte-identical-results discipline: every emitted field is a pure
+function of (seed, scale, config), timestamps come from simulated
+clocks, and event sequence numbers count emissions per producer.  Two
+campaigns at the same seed and scale therefore write byte-identical
+event streams — telemetry is diffable across epochs exactly like
+results.  Wall-clock time is the one exception and is *opt-in*
+(``wall_clock=True`` adds a ``wall`` field); it is excluded from the
+determinism contract.
+
+Events stream append-only into ``<store>/events/stream.jsonl`` when a
+sink is bound (:meth:`Telemetry.open_sink`); campaigns without a store
+keep them in memory on ``Telemetry.events``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+DEFAULT_PROGRESS_EVERY = 100
+
+
+class _ZeroClock:
+    """Stand-in clock before a simulated clock is bound (always 0.0)."""
+
+    @staticmethod
+    def now() -> float:
+        return 0.0
+
+
+class _NullSpan:
+    """Context manager returned by :meth:`NullTelemetry.span`."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> Dict[str, Any]:
+        # A fresh dict so callers may attach fields unconditionally; it
+        # is simply discarded.
+        return {}
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        return None
+
+
+class NullTelemetry:
+    """The zero-overhead default: every method is a no-op.
+
+    Instrumented code gates per-record work on ``telemetry.enabled``;
+    coarser call sites (once per zone, per checkpoint) may call methods
+    directly — a no-op method call at that granularity is far below
+    benchmark noise.
+    """
+
+    enabled = False
+    on_heartbeat: Optional[Callable[[Dict[str, Any]], None]] = None
+
+    def bind_clock(self, clock) -> None:
+        pass
+
+    def open_sink(self, path) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def count(self, name: str, value: float = 1) -> None:
+        pass
+
+    def set_counters(self, values: Mapping[str, float]) -> None:
+        pass
+
+    def flush_counters(self) -> None:
+        pass
+
+    def event(self, kind: str, **fields) -> None:
+        pass
+
+    def span(self, name: str, **fields) -> _NullSpan:
+        return _NULL_SPAN
+
+    def progress(self, done: int, total: Optional[int] = None) -> None:
+        pass
+
+    def maybe_progress(self, done: int, total: Optional[int] = None) -> None:
+        pass
+
+    def live(self, **fields) -> None:
+        pass
+
+    def metric(self, experiment: str, values: Mapping[str, Any]) -> None:
+        pass
+
+    def capture_network(self, network) -> None:
+        pass
+
+    def capture_scanner(self, scanner) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+NULL_TELEMETRY = NullTelemetry()
+
+
+class _Span:
+    """One named interval on the simulated clock.
+
+    ``__enter__`` returns a mutable field dict; whatever the caller
+    puts there rides along on the emitted span event.
+    """
+
+    __slots__ = ("_telemetry", "_name", "_fields", "_t0")
+
+    def __init__(self, telemetry: "Telemetry", name: str, fields: Dict[str, Any]):
+        self._telemetry = telemetry
+        self._name = name
+        self._fields = fields
+        self._t0 = 0.0
+
+    def __enter__(self) -> Dict[str, Any]:
+        self._t0 = self._telemetry.now()
+        return self._fields
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is None:
+            self._telemetry.event(
+                "span",
+                name=self._name,
+                t0=self._t0,
+                t1=self._telemetry.now(),
+                **self._fields,
+            )
+
+
+class Telemetry:
+    """Collecting (and optionally streaming) telemetry hub.
+
+    One hub observes one producer — the sequential campaign process, a
+    parallel worker, or the parallel parent.  Counters accumulate in
+    :attr:`counters` until :meth:`flush_counters` emits them as a
+    single ``counters`` event (so the stream carries one deterministic
+    totals record instead of per-query noise); spans and progress are
+    emitted immediately.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        clock=None,
+        wall_clock: bool = False,
+        progress_every: int = DEFAULT_PROGRESS_EVERY,
+    ):
+        if progress_every < 1:
+            raise ValueError("progress_every must be >= 1")
+        self._clock = clock or _ZeroClock()
+        self.wall_clock = wall_clock
+        self.progress_every = progress_every
+        self.counters: Dict[str, float] = {}
+        self.events: List[Dict[str, Any]] = []
+        self._seq = 0
+        self._sink = None
+        self.sink_path: Optional[Path] = None
+        # Live-display callback for transient signals (worker heartbeats
+        # observed by the parent).  Deliberately *not* persisted: what
+        # the parent sees depends on process timing, and the event
+        # stream must stay a pure function of the campaign config.
+        self.on_heartbeat: Optional[Callable[[Dict[str, Any]], None]] = None
+
+    # -- wiring ------------------------------------------------------------
+
+    def now(self) -> float:
+        return self._clock.now()
+
+    def bind_clock(self, clock) -> None:
+        """Attach the simulated clock that stamps events from now on."""
+        self._clock = clock
+
+    def open_sink(self, path: Path) -> None:
+        """Stream events to *path* (append-only JSONL) from now on.
+
+        Events already collected in memory are written first, so a hub
+        may be created before its store exists.
+        """
+        self.close()
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        self._sink = open(path, "a", encoding="utf-8")
+        self.sink_path = path
+        for event in self.events:
+            self._write(event)
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    # -- emission ----------------------------------------------------------
+
+    def _write(self, event: Dict[str, Any]) -> None:
+        self._sink.write(json.dumps(event, sort_keys=True) + "\n")
+        self._sink.flush()
+
+    def event(self, kind: str, **fields) -> None:
+        """Emit one event (stamped with seq and the simulated clock)."""
+        event: Dict[str, Any] = {"kind": kind, "seq": self._seq}
+        if "t0" not in fields and "t1" not in fields:
+            event["t"] = self.now()
+        event.update(fields)
+        if self.wall_clock:
+            event["wall"] = time.time()
+        self._seq += 1
+        self.events.append(event)
+        if self._sink is not None:
+            self._write(event)
+
+    def span(self, name: str, **fields) -> _Span:
+        """Time a named interval on the simulated clock::
+
+            with telemetry.span("scan_zone", zone=name) as span:
+                ...
+                span["queries"] = used
+        """
+        return _Span(self, name, fields)
+
+    def progress(self, done: int, total: Optional[int] = None) -> None:
+        self.event("progress", done=done, total=total)
+
+    def maybe_progress(self, done: int, total: Optional[int] = None) -> None:
+        """Emit progress every ``progress_every`` records (and at the
+        end, when *total* is known) — a deterministic cadence."""
+        if done % self.progress_every == 0 or done == total:
+            self.progress(done, total)
+
+    def live(self, **fields) -> None:
+        """Forward a transient signal to :attr:`on_heartbeat`; never
+        recorded (see the determinism note in ``__init__``)."""
+        if self.on_heartbeat is not None:
+            self.on_heartbeat(dict(fields))
+
+    def metric(self, experiment: str, values: Mapping[str, Any]) -> None:
+        """Record one benchmark/experiment metrics payload as an event —
+        the shared emission path behind every ``BENCH_*.json`` twin."""
+        self.event("metric", experiment=experiment, values=dict(values))
+
+    # -- counters ----------------------------------------------------------
+
+    def count(self, name: str, value: float = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + value
+
+    def set_counters(self, values: Mapping[str, float]) -> None:
+        """Overwrite absolute counter values (snapshot-style sources)."""
+        self.counters.update(values)
+
+    def flush_counters(self) -> None:
+        """Emit all accumulated counters as one ``counters`` event."""
+        if self.counters:
+            self.event(
+                "counters", counters={k: self.counters[k] for k in sorted(self.counters)}
+            )
+
+    # -- snapshot sources --------------------------------------------------
+
+    def capture_network(self, network) -> None:
+        """Absorb a :class:`SimulatedNetwork`'s accounting counters."""
+        self.set_counters(
+            {
+                "net.queries": network.queries_sent,
+                "net.bytes_sent": network.bytes_sent,
+                "net.bytes_received": network.bytes_received,
+                "net.timeouts": network.timeouts,
+                "net.truncations": network.truncations,
+                "net.tcp_queries": network.tcp_queries,
+            }
+        )
+
+    def capture_scanner(self, scanner) -> None:
+        """Absorb a :class:`Scanner`'s counters: its network, its three
+        memo caches, the shared DNS cache, and the rate limiter."""
+        self.capture_network(scanner.network)
+        self.set_counters(
+            {
+                "scan.tcp_fallbacks": scanner.tcp_fallbacks,
+                "cache.dns.hits": scanner.cache.hits,
+                "cache.dns.misses": scanner.cache.misses,
+                "cache.address.hits": scanner.address_cache_hits,
+                "cache.address.misses": scanner.address_cache_misses,
+                "cache.signal_zone.hits": scanner.signal_cache_hits,
+                "cache.signal_zone.misses": scanner.signal_cache_misses,
+                "cache.chain.hits": scanner.chain_cache_hits,
+                "cache.chain.misses": scanner.chain_cache_misses,
+                "ratelimit.waits": scanner.limiter.waits,
+                "ratelimit.wait_seconds": round(scanner.limiter.total_wait_time, 6),
+            }
+        )
+
+
+def as_telemetry(value) -> "Telemetry | NullTelemetry":
+    """Normalise the public ``telemetry=`` argument.
+
+    ``None``/``False`` → the shared :data:`NULL_TELEMETRY`; ``True`` →
+    a fresh hub; a hub instance passes through unchanged.
+    """
+    if value is None or value is False:
+        return NULL_TELEMETRY
+    if value is True:
+        return Telemetry()
+    return value

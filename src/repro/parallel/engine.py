@@ -35,8 +35,10 @@ import multiprocessing
 import os
 from dataclasses import replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
+from repro.obs.events import WORKERS_DIR, events_path
+from repro.obs.telemetry import NULL_TELEMETRY, as_telemetry
 from repro.scanner.fleet import MachineReport
 from repro.store.checkpoint import (
     DEFAULT_CHECKPOINT_EVERY,
@@ -50,7 +52,12 @@ from repro.store.shards import StoreError
 from repro.parallel.partition import bucket_ranges
 from repro.parallel.worker import WorkerSpec, run_worker, worker_stats_path
 
-WORKERS_DIR = "workers"
+__all__ = [
+    "WORKERS_DIR",  # re-exported; defined in repro.obs.events
+    "ParallelCampaignError",
+    "run_parallel_campaign",
+    "resume_parallel_campaign",
+]
 
 
 class ParallelCampaignError(StoreError):
@@ -108,8 +115,13 @@ def _spawn_workers(specs: Sequence[WorkerSpec]) -> List[multiprocessing.Process]
 
 
 def _join_workers(
-    root: Path, specs: Sequence[WorkerSpec], processes: Sequence[multiprocessing.Process]
+    root: Path,
+    specs: Sequence[WorkerSpec],
+    processes: Sequence[multiprocessing.Process],
+    telemetry=NULL_TELEMETRY,
 ) -> None:
+    if telemetry.enabled and telemetry.on_heartbeat is not None:
+        _join_with_heartbeats(specs, processes, telemetry)
     failed: Dict[int, Optional[int]] = {}
     for spec, process in zip(specs, processes):
         process.join()
@@ -124,7 +136,42 @@ def _join_workers(
         )
 
 
-def merge_worker_manifests(store: CampaignStore, worker_roots: Sequence[Path]) -> None:
+def _join_with_heartbeats(
+    specs: Sequence[WorkerSpec],
+    processes: Sequence[multiprocessing.Process],
+    telemetry,
+    poll_interval: float = 0.25,
+) -> None:
+    """Surface worker liveness while waiting (live display only).
+
+    Heartbeats go to ``telemetry.on_heartbeat`` and are never recorded:
+    what the parent happens to observe depends on process timing, and
+    the persisted event stream must stay a pure function of the config.
+    """
+    pending = {spec.index: process for spec, process in zip(specs, processes)}
+    roots = {spec.index: Path(spec.store_dir) for spec in specs}
+    last_seen: Dict[int, object] = {}
+    while pending:
+        for index, process in list(pending.items()):
+            process.join(timeout=poll_interval)
+            if not process.is_alive():
+                del pending[index]
+            stats_file = worker_stats_path(roots[index])
+            if not stats_file.exists():
+                continue
+            try:
+                stats = json.loads(stats_file.read_text(encoding="utf-8"))
+            except json.JSONDecodeError:
+                continue  # caught mid-replace; the next poll rereads
+            key = (stats.get("heartbeat"), stats.get("zones_done"), stats.get("duration"))
+            if last_seen.get(index) != key:
+                last_seen[index] = key
+                telemetry.live(worker=index, **stats)
+
+
+def merge_worker_manifests(
+    store: CampaignStore, worker_roots: Sequence[Path], telemetry=NULL_TELEMETRY
+) -> None:
     """Fold completed worker stores into the root manifest and mark the
     campaign complete.
 
@@ -135,30 +182,33 @@ def merge_worker_manifests(store: CampaignStore, worker_roots: Sequence[Path]) -
     stored data, so two runs that scanned the same zones produce the
     same manifest ordering no matter which worker finished first.
     """
-    entries = []
-    # Pre-existing root-owned segments (a sequential store finished in
-    # parallel) sort before any worker's segments of the same bucket.
-    for info in store.manifest.shards:
-        entries.append((info.bucket, "", info.sequence, info))
-    for wroot in sorted(worker_roots):
-        wmanifest = load_manifest(wroot)
-        if not wmanifest.complete:
-            raise StoreError(f"worker store {wroot} is still in progress; cannot merge")
-        if wmanifest.num_shards != store.manifest.num_shards:
-            raise StoreError(
-                f"worker store {wroot} has {wmanifest.num_shards} shards, "
-                f"campaign has {store.manifest.num_shards}"
-            )
-        origin = wroot.relative_to(store.root).as_posix()
-        for info in wmanifest.shards:
-            entries.append(
-                (info.bucket, origin, info.sequence, replace(info, path=f"{origin}/{info.path}"))
-            )
-    entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
-    store.manifest.shards = [
-        replace(info, sequence=sequence) for sequence, (_, _, _, info) in enumerate(entries)
-    ]
-    store.complete()
+    with telemetry.span("manifest_merge") as span:
+        entries = []
+        # Pre-existing root-owned segments (a sequential store finished in
+        # parallel) sort before any worker's segments of the same bucket.
+        for info in store.manifest.shards:
+            entries.append((info.bucket, "", info.sequence, info))
+        for wroot in sorted(worker_roots):
+            wmanifest = load_manifest(wroot)
+            if not wmanifest.complete:
+                raise StoreError(f"worker store {wroot} is still in progress; cannot merge")
+            if wmanifest.num_shards != store.manifest.num_shards:
+                raise StoreError(
+                    f"worker store {wroot} has {wmanifest.num_shards} shards, "
+                    f"campaign has {store.manifest.num_shards}"
+                )
+            origin = wroot.relative_to(store.root).as_posix()
+            for info in wmanifest.shards:
+                entries.append(
+                    (info.bucket, origin, info.sequence, replace(info, path=f"{origin}/{info.path}"))
+                )
+        entries.sort(key=lambda entry: (entry[0], entry[1], entry[2]))
+        store.manifest.shards = [
+            replace(info, sequence=sequence) for sequence, (_, _, _, info) in enumerate(entries)
+        ]
+        store.complete()
+        span["workers"] = len(worker_roots)
+        span["segments"] = len(entries)
 
 
 def _machine_reports(root: Path) -> List[MachineReport]:
@@ -168,6 +218,10 @@ def _machine_reports(root: Path) -> List[MachineReport]:
         if not stats_file.exists():
             continue
         stats = json.loads(stats_file.read_text(encoding="utf-8"))
+        if "duration" not in stats:
+            # A heartbeat snapshot from a worker that never finished —
+            # liveness data, not a machine report.
+            continue
         reports.append(
             MachineReport(
                 index=stats["index"],
@@ -179,7 +233,7 @@ def _machine_reports(root: Path) -> List[MachineReport]:
     return reports
 
 
-def _finish(store: CampaignStore, world, recheck: bool):
+def _finish(store: CampaignStore, world, recheck: bool, telemetry=NULL_TELEMETRY):
     """Stream the merged store through the pipeline and re-check.
 
     Every stored observation came from a *worker's* world, so every
@@ -193,9 +247,14 @@ def _finish(store: CampaignStore, world, recheck: bool):
     report = reader.reanalyze(world.operator_db)
     rechecked = {}
     if recheck:
-        scanner = world.make_scanner()
+        scanner = world.make_scanner(telemetry=telemetry)
         done = frozenset(assessment.zone for assessment in report.assessments)
-        rechecked = _recheck_pass(scanner, report, double_check=done)
+        rechecked = _recheck_pass(scanner, report, double_check=done, telemetry=telemetry)
+        if telemetry.enabled:
+            telemetry.capture_scanner(scanner)
+    if telemetry.enabled:
+        telemetry.flush_counters()
+        telemetry.close()
     return CampaignResult(
         world=world,
         results=[],
@@ -203,6 +262,7 @@ def _finish(store: CampaignStore, world, recheck: bool):
         rechecked=rechecked,
         store_dir=store.root,
         machines=_machine_reports(store.root),
+        telemetry=telemetry if telemetry.enabled else None,
     )
 
 
@@ -217,29 +277,41 @@ def run_parallel_campaign(
     compress: bool = True,
     checkpoint_every: Optional[int] = None,
     faults: Optional[Dict[int, int]] = None,
+    telemetry=None,
+    manifest_config: Optional[Dict[str, Any]] = None,
 ):
     """Run one campaign across *workers* processes (see module docs).
 
     *faults* is a testing hook: ``{worker_index: crash_after_n_zones}``
     hard-kills the given workers mid-scan, leaving a resumable store.
+    *manifest_config* overrides the ``config`` dict recorded in the root
+    manifest (the :class:`repro.campaign.CampaignConfig` serialization).
     """
     from repro.campaign import _scan_list
     from repro.ecosystem.world import build_world
 
+    telemetry = as_telemetry(telemetry)
     num_shards = num_shards or DEFAULT_NUM_SHARDS
     checkpoint_every = checkpoint_every or DEFAULT_CHECKPOINT_EVERY
     root = Path(store_dir)
     ranges = bucket_ranges(num_shards, workers)  # validates workers vs shards
 
+    if manifest_config is None:
+        manifest_config = {"recheck": recheck, "use_sources": use_sources, "workers": workers}
+        if telemetry.enabled:
+            manifest_config["telemetry"] = True
     store = CampaignStore.create(
         root,
         seed=seed,
         scale=scale,
         num_shards=num_shards,
         compress=compress,
-        config={"recheck": recheck, "use_sources": use_sources, "workers": workers},
+        config=manifest_config,
         checkpoint_every=checkpoint_every,
+        telemetry=telemetry,
     )
+    if telemetry.enabled:
+        telemetry.open_sink(events_path(root))
     specs = [
         WorkerSpec(
             index=index,
@@ -251,6 +323,7 @@ def run_parallel_campaign(
             compress=compress,
             checkpoint_every=checkpoint_every,
             use_sources=use_sources,
+            telemetry=telemetry.enabled,
             crash_after=(faults or {}).get(index),
         )
         for index, bucket_range in enumerate(ranges)
@@ -259,18 +332,23 @@ def run_parallel_campaign(
 
     # Overlap: the parent rebuilds its world while the workers scan.
     world = build_world(scale=scale, seed=seed)
+    telemetry.bind_clock(world.network.clock)
     store.manifest.zones_total = len(_scan_list(world, use_sources))
     save_manifest(root, store.manifest)
 
-    _join_workers(root, specs, processes)
-    merge_worker_manifests(store, [Path(spec.store_dir) for spec in specs])
-    return _finish(store, world, recheck)
+    _join_workers(root, specs, processes, telemetry=telemetry)
+    merge_worker_manifests(
+        store, [Path(spec.store_dir) for spec in specs], telemetry=telemetry
+    )
+    return _finish(store, world, recheck, telemetry=telemetry)
 
 
 def resume_parallel_campaign(
     store_dir: Path,
     workers: Optional[int] = None,
     checkpoint_every: Optional[int] = None,
+    telemetry=None,
+    store: Optional[CampaignStore] = None,
 ):
     """Finish an interrupted parallel campaign (or parallelise the
     remainder of a sequential one).
@@ -287,9 +365,20 @@ def resume_parallel_campaign(
     from repro.ecosystem.world import build_world
 
     root = Path(store_dir)
+    telemetry = as_telemetry(telemetry)
     checkpoint_every = checkpoint_every or DEFAULT_CHECKPOINT_EVERY
-    store = CampaignStore.open(root, checkpoint_every=checkpoint_every)
+    if store is None:
+        # Callers that already opened the store (resume_campaign routing
+        # on the manifest) pass it in so it is loaded exactly once.
+        store = CampaignStore.open(root, checkpoint_every=checkpoint_every, telemetry=telemetry)
+    else:
+        store.telemetry = telemetry
     manifest = store.manifest
+    if not telemetry.enabled and manifest.config.get("telemetry"):
+        # The campaign was started with telemetry on; keep the resumed
+        # half observable too so the merged streams stay coherent.
+        telemetry = as_telemetry(True)
+        store.telemetry = telemetry
     workers = workers or manifest.config.get("workers")
     if not workers:
         raise StoreError(
@@ -298,9 +387,13 @@ def resume_parallel_campaign(
     recheck = bool(manifest.config.get("recheck", True))
     use_sources = bool(manifest.config.get("use_sources", False))
 
+    if telemetry.enabled:
+        telemetry.open_sink(events_path(root))
+
     if manifest.complete:
         world = build_world(scale=manifest.scale, seed=manifest.seed)
-        return _finish(store, world, recheck)
+        telemetry.bind_clock(world.network.clock)
+        return _finish(store, world, recheck, telemetry=telemetry)
 
     ranges = bucket_ranges(manifest.num_shards, workers)
     skip_roots = tuple(
@@ -319,6 +412,7 @@ def resume_parallel_campaign(
             compress=manifest.compress,
             checkpoint_every=checkpoint_every,
             use_sources=use_sources,
+            telemetry=telemetry.enabled,
         )
         for index, bucket_range in enumerate(ranges)
     ]
@@ -333,12 +427,13 @@ def resume_parallel_campaign(
 
     processes = _spawn_workers(specs)
     world = build_world(scale=manifest.scale, seed=manifest.seed)
-    _join_workers(root, specs, processes)
+    telemetry.bind_clock(world.network.clock)
+    _join_workers(root, specs, processes, telemetry=telemetry)
 
     manifest.config["workers"] = workers
     if manifest.zones_total is None:
         manifest.zones_total = len(_scan_list(world, use_sources))
     # Merge every worker store on disk — including leftovers from an
     # earlier run with a different worker count.
-    merge_worker_manifests(store, _existing_worker_roots(root))
-    return _finish(store, world, recheck)
+    merge_worker_manifests(store, _existing_worker_roots(root), telemetry=telemetry)
+    return _finish(store, world, recheck, telemetry=telemetry)

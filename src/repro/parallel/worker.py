@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro.obs.events import events_path
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.store.checkpoint import DEFAULT_CHECKPOINT_EVERY, CampaignStore
 from repro.store.manifest import load_manifest, manifest_path
 from repro.store.shards import StoreError
@@ -50,6 +52,10 @@ class WorkerSpec:
     compress: bool = True
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
     use_sources: bool = False
+    # Observability: a plain bool (the hub itself is not picklable-by-
+    # contract); the worker builds its own hub bound to its machine
+    # clock, streaming into ``<worker store>/events/``.
+    telemetry: bool = False
     # Fault injection for tests: hard-exit (no checkpoint, no stats)
     # after committing results for this many zones.
     crash_after: Optional[int] = field(default=None)
@@ -113,8 +119,9 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
     from repro.ecosystem.world import build_world
     from repro.scanner.fleet import make_machine_scanner
 
+    telemetry = Telemetry() if spec.telemetry else NULL_TELEMETRY
     world = build_world(scale=spec.scale, seed=spec.seed)
-    scanner, clock = make_machine_scanner(world)
+    scanner, clock = make_machine_scanner(world, telemetry=telemetry)
     scan_list = _scan_list(world, spec.use_sources)
     mine = zones_for_buckets(scan_list, spec.num_shards, buckets)
 
@@ -128,9 +135,14 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
             zones_total=len(mine),
             config={"worker": spec.index, "buckets": buckets},
             checkpoint_every=spec.checkpoint_every,
+            telemetry=telemetry,
         )
     else:
-        store = CampaignStore.open(root, checkpoint_every=spec.checkpoint_every)
+        store = CampaignStore.open(
+            root, checkpoint_every=spec.checkpoint_every, telemetry=telemetry
+        )
+    if telemetry.enabled:
+        telemetry.open_sink(events_path(root))
 
     skip: set[str] = set()
     for skip_root in dict.fromkeys((str(root), *spec.skip_roots)):
@@ -149,6 +161,23 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
         with store:
             for _ in scanner.scan_iter(remainder, sink=store.append):
                 scanned += 1
+                if telemetry.enabled:
+                    telemetry.maybe_progress(scanned, len(remainder))
+                    if scanned % telemetry.progress_every == 0:
+                        # Transient liveness signal for the parent (the
+                        # parent polls worker.json): deliberately *not*
+                        # part of the persisted event stream, which must
+                        # stay timing-independent.
+                        _write_stats(
+                            root,
+                            {
+                                "index": spec.index,
+                                "heartbeat": True,
+                                "buckets": buckets,
+                                "zones_done": scanned,
+                                "zones_total": len(remainder),
+                            },
+                        )
                 if spec.crash_after is not None and scanned >= spec.crash_after:
                     # Hard exit: skips the context manager's checkpoint,
                     # so buffered-but-uncommitted records are lost —
@@ -164,5 +193,9 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
         "queries": world.network.queries_sent - queries_before,
         "duration": clock.now(),
     }
+    if telemetry.enabled:
+        telemetry.capture_scanner(scanner)
+        telemetry.flush_counters()
+        telemetry.close()
     _write_stats(root, stats)
     return stats

@@ -10,6 +10,21 @@ def format_count(value: int) -> str:
     return f"{value:,}".replace(",", " ")
 
 
+def format_duration(seconds: float) -> str:
+    """Compact duration: ``950ms``, ``12.3s``, ``4m05s``, ``3h02m``."""
+    if seconds < 0:
+        return "-" + format_duration(-seconds)
+    if seconds < 1:
+        return f"{seconds * 1000:.0f}ms"
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
 def format_pct(numerator: int, denominator: int) -> str:
     if denominator == 0:
         return "-"

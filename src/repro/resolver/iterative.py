@@ -106,7 +106,9 @@ class IterativeResolver:
     ):
         self.network = network
         self.root_ips = list(root_ips)
-        self.cache = cache or DnsCache(now=network.clock.now)
+        # `cache or ...` would discard a shared cache: DnsCache defines
+        # __len__, so a freshly created (empty) cache is falsy.
+        self.cache = cache if cache is not None else DnsCache(now=network.clock.now)
         self.timeout = timeout
         # Optional token bucket (see repro.scanner.ratelimit): when set,
         # every outgoing query is paced — the scanner shares its limiter

@@ -36,7 +36,7 @@ class MachineReport:
 
 
 def make_machine_scanner(
-    world, config: Optional[ScannerConfig] = None
+    world, config: Optional[ScannerConfig] = None, telemetry=None
 ) -> tuple[Scanner, SimulatedClock]:
     """Build one scan machine: a full scanner whose rate limiter waits on
     its *own* simulated clock.
@@ -48,10 +48,14 @@ def make_machine_scanner(
     rate-limit stalls on one machine never advance another machine's
     time.
     """
-    scanner = Scanner(world.network, world.root_ips, config or world.scanner_config())
+    scanner = Scanner(
+        world.network, world.root_ips, config or world.scanner_config(), telemetry=telemetry
+    )
     clock = SimulatedClock()
     scanner.limiter = RateLimiter(clock, qps=scanner.config.qps_per_ns)
     scanner.resolver.limiter = scanner.limiter
+    # Spans on this machine are stamped with the machine's own clock.
+    scanner.telemetry.bind_clock(clock)
     return scanner, clock
 
 

@@ -29,6 +29,7 @@ from repro.dns.name import Name
 from repro.dns.rdata import RRSIG
 from repro.dns.rrset import RRset
 from repro.dns.types import Rcode, RRType
+from repro.obs.telemetry import as_telemetry
 from repro.resolver.cache import DnsCache
 from repro.resolver.iterative import IterativeResolver, ResolutionError
 from repro.scanner.ratelimit import DEFAULT_QPS, RateLimiter
@@ -76,9 +77,11 @@ class Scanner:
         network: SimulatedNetwork,
         root_ips: Sequence[str],
         config: Optional[ScannerConfig] = None,
+        telemetry=None,
     ):
         self.network = network
         self.config = config or ScannerConfig()
+        self.telemetry = as_telemetry(telemetry)
         self.cache = DnsCache(now=network.clock.now)
         self.limiter = RateLimiter(network.clock, qps=self.config.qps_per_ns)
         self.resolver = IterativeResolver(
@@ -96,6 +99,14 @@ class Scanner:
         self._signal_info_cache: Dict[Name, _SignalZoneInfo] = {}
         self._chain_cache: Dict[Name, List[ChainLink]] = {}
         self._address_cache: Dict[Name, List[str]] = {}
+        # Memo-cache effectiveness counters (plain ints — cheap enough
+        # to keep unconditionally; telemetry snapshots them at the end).
+        self.address_cache_hits = 0
+        self.address_cache_misses = 0
+        self.signal_cache_hits = 0
+        self.signal_cache_misses = 0
+        self.chain_cache_hits = 0
+        self.chain_cache_misses = 0
         # (qname, qtype) -> (query message, encoded wire with msg_id 0).
         # The same question is asked of every selected server address, so
         # encoding once and patching the 2-byte id saves a full wire
@@ -163,8 +174,11 @@ class Scanner:
     def _addresses_for(self, ns_host: Name) -> List[str]:
         cached = self._address_cache.get(ns_host)
         if cached is None:
+            self.address_cache_misses += 1
             cached = self.resolver.resolve_addresses(ns_host)
             self._address_cache[ns_host] = cached
+        else:
+            self.address_cache_hits += 1
         return cached
 
     # -- chain collection ------------------------------------------------------------
@@ -178,7 +192,16 @@ class Scanner:
         """
         cached = self._chain_cache.get(apex)
         if cached is not None:
+            self.chain_cache_hits += 1
             return cached
+        self.chain_cache_misses += 1
+        with self.telemetry.span("chain_validate", apex=apex.to_text()) as span:
+            links = self._collect_chain_uncached(apex)
+            span["links"] = len(links)
+        self._chain_cache[apex] = links
+        return links
+
+    def _collect_chain_uncached(self, apex: Name) -> List[ChainLink]:
         links: List[ChainLink] = []
         servers = list(self.resolver.root_ips)
         current = Name.root()
@@ -227,7 +250,6 @@ class Scanner:
             )
             current = cut
             depth = len(cut) + 1
-        self._chain_cache[apex] = links
         return links
 
     def _first_ok(
@@ -325,11 +347,17 @@ class Scanner:
         yielded; a checkpointing store uses it to persist-as-you-scan so
         an interrupted campaign keeps everything committed so far.
         """
+        tel = self.telemetry
         for zone in zones:
             name = zone if isinstance(zone, Name) else Name.from_text(zone)
             if skip is not None and name.to_text() in skip:
                 continue
-            result = self.scan_zone(name)
+            if tel.enabled:
+                with tel.span("scan_zone", zone=name.to_text()) as span:
+                    result = self.scan_zone(name)
+                    span["queries"] = result.queries_used
+            else:
+                result = self.scan_zone(name)
             if sink is not None:
                 sink(result)
             yield result
@@ -349,7 +377,9 @@ class Scanner:
     def _signal_zone_info(self, ns_host: Name) -> _SignalZoneInfo:
         info = self._signal_info_cache.get(ns_host)
         if info is not None:
+            self.signal_cache_hits += 1
             return info
+        self.signal_cache_misses += 1
         signal_root = Name((b"_signal",)).concatenate(ns_host)
         apex: Optional[Name] = None
         server_pairs: List[Tuple[Name, str]] = []

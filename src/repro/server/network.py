@@ -47,6 +47,8 @@ class SimulatedNetwork:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.timeouts = 0
+        self.truncations = 0
+        self.tcp_queries = 0
         self.per_ip_queries: Dict[str, int] = {}
         # Optional hook: (ip, query) -> True to drop this datagram.
         self.loss_hook: Optional[Callable[[str, Message], bool]] = None
@@ -92,6 +94,8 @@ class SimulatedNetwork:
         if wire is None:
             wire = query.to_wire()
         self.queries_sent += 1
+        if tcp:
+            self.tcp_queries += 1
         self.bytes_sent += len(wire)
         self.per_ip_queries[ip] = self.per_ip_queries.get(ip, 0) + 1
         if self.query_cost:
@@ -118,7 +122,10 @@ class SimulatedNetwork:
             limit = decoded.edns_payload if decoded.edns else 512
             response_wire = response.to_wire(max_size=limit)
         self.bytes_received += len(response_wire)
-        return Message.from_wire(response_wire)
+        reply = Message.from_wire(response_wire)
+        if reply.truncated:
+            self.truncations += 1
+        return reply
 
     def __repr__(self) -> str:
         return (

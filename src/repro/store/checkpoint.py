@@ -21,6 +21,7 @@ import logging
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set
 
+from repro.obs.telemetry import as_telemetry
 from repro.scanner.results import ZoneScanResult
 from repro.scanner.serialize import open_results_read
 from repro.store.manifest import (
@@ -53,12 +54,14 @@ class CampaignStore:
         root: Path,
         manifest: CampaignManifest,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        telemetry=None,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
         self.root = Path(root)
         self.manifest = manifest
         self.checkpoint_every = checkpoint_every
+        self.telemetry = as_telemetry(telemetry)
         self._buffers: Dict[int, List[ZoneScanResult]] = {}
         self._buffered = 0
         self.checkpoints = 0  # commits performed through this handle
@@ -77,6 +80,7 @@ class CampaignStore:
         zones_total: Optional[int] = None,
         config: Optional[Dict[str, Any]] = None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        telemetry=None,
     ) -> "CampaignStore":
         """Initialise a fresh store directory (refuses to clobber one)."""
         root = Path(root)
@@ -93,11 +97,14 @@ class CampaignStore:
             zones_total=zones_total,
         )
         save_manifest(root, manifest)
-        return cls(root, manifest, checkpoint_every=checkpoint_every)
+        return cls(root, manifest, checkpoint_every=checkpoint_every, telemetry=telemetry)
 
     @classmethod
     def open(
-        cls, root: Path, checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+        cls,
+        root: Path,
+        checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+        telemetry=None,
     ) -> "CampaignStore":
         """Open an existing store for appending (the resume path).
 
@@ -107,12 +114,14 @@ class CampaignStore:
         """
         root = Path(root)
         manifest = load_manifest(root)
-        store = cls(root, manifest, checkpoint_every=checkpoint_every)
+        store = cls(root, manifest, checkpoint_every=checkpoint_every, telemetry=telemetry)
         swept = orphan_files(root, manifest.shards)
         for path in swept:
             path.unlink()
             logger.warning("swept uncommitted shard debris %s", path.name)
         store.swept_orphans = len(swept)
+        if swept:
+            store.telemetry.count("store.orphans_swept", len(swept))
         return store
 
     # -- writing -----------------------------------------------------------
@@ -139,29 +148,37 @@ class CampaignStore:
         """
         if not self._buffered:
             return 0
-        committed = 0
-        sequence = self.manifest.next_sequence
-        new_infos = []
-        for bucket in sorted(self._buffers):
-            batch = self._buffers[bucket]
-            if not batch:
-                continue
-            info = write_shard(
-                self.root, bucket, sequence, batch, compress=self.manifest.compress
-            )
-            sequence += 1
-            committed += info.records
-            new_infos.append(info)
-        # Buffers drop and the in-memory manifest extends *before* the
-        # durable manifest rewrite: if the rewrite fails transiently, a
-        # later checkpoint re-saves the same (already durable) segments
-        # with no duplicate records; if the process dies instead, the
-        # unreferenced segments are swept as orphans on the next open.
-        self._buffers.clear()
-        self._buffered = 0
-        self.manifest.shards.extend(new_infos)
-        save_manifest(self.root, self.manifest)
-        self.checkpoints += 1
+        with self.telemetry.span("segment_commit") as span:
+            committed = 0
+            sequence = self.manifest.next_sequence
+            new_infos = []
+            for bucket in sorted(self._buffers):
+                batch = self._buffers[bucket]
+                if not batch:
+                    continue
+                info = write_shard(
+                    self.root, bucket, sequence, batch, compress=self.manifest.compress
+                )
+                sequence += 1
+                committed += info.records
+                new_infos.append(info)
+            # Buffers drop and the in-memory manifest extends *before* the
+            # durable manifest rewrite: if the rewrite fails transiently, a
+            # later checkpoint re-saves the same (already durable) segments
+            # with no duplicate records; if the process dies instead, the
+            # unreferenced segments are swept as orphans on the next open.
+            self._buffers.clear()
+            self._buffered = 0
+            self.manifest.shards.extend(new_infos)
+            save_manifest(self.root, self.manifest)
+            self.checkpoints += 1
+            span["segments"] = len(new_infos)
+            span["records"] = committed
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("store.checkpoints")
+            tel.count("store.segments", len(new_infos))
+            tel.count("store.records", committed)
         return committed
 
     def complete(self) -> None:
