@@ -40,6 +40,8 @@ __all__ = [
     "resume_campaign",
     "CampaignConfig",
     "Telemetry",
+    "ChaosConfig",
+    "RetryPolicy",
 ]
 
 _API = {
@@ -54,6 +56,8 @@ _API = {
     "resume_campaign": ("repro.campaign", "resume_campaign"),
     "CampaignConfig": ("repro.campaign", "CampaignConfig"),
     "Telemetry": ("repro.obs", "Telemetry"),
+    "ChaosConfig": ("repro.chaos", "ChaosConfig"),
+    "RetryPolicy": ("repro.chaos", "RetryPolicy"),
 }
 
 

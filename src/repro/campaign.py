@@ -30,6 +30,7 @@ from dataclasses import dataclass, fields
 from pathlib import Path
 from typing import Any, Dict, FrozenSet, List, Optional, Union
 
+from repro.chaos import ChaosConfig, RetryPolicy
 from repro.core.bootstrap import INCORRECT_OUTCOMES, SignalOutcome, assess_zone
 from repro.core.pipeline import AnalysisPipeline, AnalysisReport
 from repro.ecosystem.world import World, build_world
@@ -64,13 +65,38 @@ class CampaignConfig:
     # False (default) → zero-overhead NullTelemetry; True → a fresh
     # hub; or pass a configured Telemetry instance directly.
     telemetry: Union[bool, Telemetry] = False
+    # Fault injection (repro.chaos): None → fault-free network.  A
+    # chaotic campaign implies a retry policy (see effective_retry) so
+    # the differential convergence invariant holds by construction.
+    chaos: Optional[ChaosConfig] = None
+    # Scanner/resolver retry policy; None → the legacy single-retry
+    # behaviour (or the chaos default when chaos is enabled).
+    retry: Optional[RetryPolicy] = None
 
     def __post_init__(self):
         if self.store_dir is not None and not isinstance(self.store_dir, Path):
             object.__setattr__(self, "store_dir", Path(self.store_dir))
 
+    def effective_retry(self) -> Optional[RetryPolicy]:
+        """The retry policy the campaign actually runs with: the
+        configured one, or the chaos default when chaos is on (a chaotic
+        scan without retries cannot converge)."""
+        if self.retry is not None:
+            return self.retry
+        if self.chaos is not None and self.chaos.enabled:
+            return RetryPolicy.default()
+        return None
+
     def validate(self, world: Optional[World] = None) -> None:
         """Reject impossible combinations (one place, one message each)."""
+        if self.chaos is not None and self.chaos.enabled and self.chaos.max_consecutive:
+            retry = self.effective_retry()
+            if retry is None or retry.attempts <= self.chaos.max_consecutive:
+                raise ValueError(
+                    "chaos convergence needs retry attempts > chaos.max_consecutive "
+                    f"(got attempts={retry.attempts if retry else 1}, "
+                    f"max_consecutive={self.chaos.max_consecutive})"
+                )
         if self.workers is not None:
             if self.store_dir is None:
                 raise ValueError("workers=N requires a store (store_dir=...)")
@@ -102,12 +128,18 @@ class CampaignConfig:
             config["checkpoint_every"] = self.checkpoint_every
         if self.telemetry:
             config["telemetry"] = True
+        if self.chaos is not None:
+            config["chaos"] = self.chaos.to_dict()
+        if self.retry is not None:
+            config["retry"] = self.retry.to_dict()
         return config
 
     @classmethod
     def from_manifest(cls, manifest, store_dir: Optional[Path] = None) -> "CampaignConfig":
         """Rebuild the config a stored campaign was started with."""
         config = manifest.config
+        chaos = config.get("chaos")
+        retry = config.get("retry")
         return cls(
             scale=manifest.scale,
             seed=manifest.seed,
@@ -119,6 +151,8 @@ class CampaignConfig:
             compress=manifest.compress,
             workers=config.get("workers"),
             telemetry=bool(config.get("telemetry", False)),
+            chaos=ChaosConfig.from_dict(chaos) if chaos is not None else None,
+            retry=RetryPolicy.from_dict(retry) if retry is not None else None,
         )
 
 
@@ -284,14 +318,18 @@ def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignRe
             compress=config.compress,
             checkpoint_every=config.checkpoint_every,
             telemetry=config.telemetry,
+            chaos=config.chaos,
+            retry=config.effective_retry(),
             manifest_config=config.manifest_config(),
         )
 
     telemetry = as_telemetry(config.telemetry)
     if world is None:
         world = build_world(scale=config.scale, seed=config.seed)
+    if config.chaos is not None and config.chaos.enabled:
+        world.network.install_chaos(config.chaos)
     telemetry.bind_clock(world.network.clock)
-    scanner = world.make_scanner(telemetry=telemetry)
+    scanner = world.make_scanner(telemetry=telemetry, retry=config.effective_retry())
     scan_list = _scan_list(world, config.use_sources)
 
     if config.store_dir is None:
@@ -387,6 +425,8 @@ def resume_campaign(
     checkpoint_every: Optional[int] = None,
     workers: Optional[int] = None,
     telemetry=None,
+    chaos: Optional[ChaosConfig] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> CampaignResult:
     """Finish an interrupted store-backed campaign.
 
@@ -405,7 +445,11 @@ def resume_campaign(
 
     Campaigns started with telemetry resume with telemetry: the flag
     round-trips through the manifest (:meth:`CampaignConfig.from_manifest`),
-    and the resumed process appends to the same event stream.
+    and the resumed process appends to the same event stream.  Likewise
+    a chaotic campaign resumes chaotic — the :class:`ChaosConfig` and
+    :class:`RetryPolicy` round-trip losslessly through the manifest, so
+    the resumed remainder sees the same per-query fault stream the
+    uninterrupted campaign would have.
     """
     from repro.store import DEFAULT_CHECKPOINT_EVERY, CampaignStore, StoreError
 
@@ -416,6 +460,17 @@ def resume_campaign(
         root, checkpoint_every=checkpoint_every or DEFAULT_CHECKPOINT_EVERY
     )
     stored = CampaignConfig.from_manifest(store.manifest, store_dir=root)
+    if chaos is not None or retry is not None:
+        # Explicit overrides (the CLI's --chaos/--retries on resume)
+        # replace the recorded model for the remainder of the scan.
+        from dataclasses import replace as _replace
+
+        stored = _replace(
+            stored,
+            chaos=chaos if chaos is not None else stored.chaos,
+            retry=retry if retry is not None else stored.retry,
+        )
+        stored.validate()
 
     if workers is not None or stored.workers:
         if world is not None:
@@ -430,6 +485,8 @@ def resume_campaign(
             checkpoint_every=checkpoint_every,
             telemetry=telemetry,
             store=store,
+            chaos=chaos,
+            retry=retry,
         )
 
     from repro.store.reader import StoreReader
@@ -446,8 +503,10 @@ def resume_campaign(
             f"world (seed={world.seed}, scale={world.scale:g}) does not match "
             f"the store's campaign (seed={manifest.seed}, scale={manifest.scale:g})"
         )
+    if stored.chaos is not None and stored.chaos.enabled:
+        world.network.install_chaos(stored.chaos)
     hub.bind_clock(world.network.clock)
-    scanner = world.make_scanner(telemetry=hub)
+    scanner = world.make_scanner(telemetry=hub, retry=stored.effective_retry())
     scan_list = _scan_list(world, stored.use_sources)
 
     done = frozenset(store.completed_zones())

@@ -1,0 +1,127 @@
+"""The fault model: which faults, how often, how bounded.
+
+:class:`ChaosConfig` is the frozen, manifest-serialisable description of
+one chaos campaign's fault intensities.  The taxonomy maps directly to
+the failure modes the paper's scan contended with:
+
+=================  ====================================================
+``loss``           i.i.d. UDP packet loss (queries silently dropped)
+``tcp_loss``       flaky TCP — the RFC 7766 fallback path itself fails
+``servfail``       SERVFAIL bursts (deSEC's §4.4 transient episodes)
+``truncation``     truncation storms: TC=1 answers forcing TCP retries
+``latency``        added per-query latency on the simulated clock
+``brownout_*``     per-NS outage windows — an address goes dark for
+                   ``brownout_duration`` s every ``brownout_period`` s
+=================  ====================================================
+
+``max_consecutive`` is the **fairness bound** that makes the
+differential invariant a theorem instead of a probability: the plane
+never injects more than this many consecutive faults for any one query
+key ``(ip, qname, qtype)``.  With a retry policy whose ``attempts``
+exceeds the bound, every chaotic query therefore converges to the same
+answer the fault-free network gives — residual failures can only come
+from servers that are *really* dead.  Set it to ``0`` to lift the bound
+(total-loss tests do).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional
+
+from repro.chaos.retry import _non_default_fields, _parse_fields, derive_seed
+
+# Default intensities for `--chaos default`: every fault kind active at
+# rates aggressive enough to fire thousands of times in a small
+# campaign, yet bounded by the fairness cap so retries always converge.
+_DEFAULT_INTENSITIES = dict(
+    loss=0.08,
+    tcp_loss=0.05,
+    servfail=0.05,
+    truncation=0.03,
+    latency=0.02,
+    brownout_period=120.0,
+    brownout_duration=10.0,
+    brownout_fraction=0.2,
+)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault intensities for one campaign (all probabilities per query)."""
+
+    loss: float = 0.0
+    tcp_loss: float = 0.0
+    servfail: float = 0.0
+    truncation: float = 0.0
+    latency: float = 0.0  # mean added seconds per affected query
+    brownout_period: float = 0.0  # 0 disables brownouts
+    brownout_duration: float = 0.0
+    brownout_fraction: float = 0.0  # fraction of addresses subject to them
+    max_consecutive: int = 2  # fairness bound; 0 = unbounded
+    seed: int = 0
+
+    def __post_init__(self):
+        for name in ("loss", "tcp_loss", "servfail", "truncation", "brownout_fraction"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be a probability in [0, 1], got {value}")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.brownout_period < 0 or self.brownout_duration < 0:
+            raise ValueError("brownout period/duration must be non-negative")
+        if self.brownout_duration > self.brownout_period > 0:
+            raise ValueError("brownout_duration cannot exceed brownout_period")
+        if self.max_consecutive < 0:
+            raise ValueError("max_consecutive must be >= 0 (0 = unbounded)")
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def default(cls, seed: int = 0) -> "ChaosConfig":
+        """Every fault kind on at moderate intensity (see module docs)."""
+        return cls(seed=seed, **_DEFAULT_INTENSITIES)
+
+    @classmethod
+    def from_spec(cls, spec: str) -> Optional["ChaosConfig"]:
+        """Parse a CLI ``--chaos`` value.
+
+        ``off``/``none`` → ``None``; ``default`` → :meth:`default`;
+        otherwise ``field=value`` pairs over the dataclass fields,
+        applied on top of an all-zero config (``loss=0.1,servfail=0.05``).
+        """
+        text = spec.strip().lower()
+        if text in ("off", "none", ""):
+            return None
+        if text == "default":
+            return cls.default()
+        return cls(**_parse_fields(cls, spec))
+
+    def derive(self, *parts: object) -> "ChaosConfig":
+        """The same fault model on an independent fault stream — parallel
+        workers derive theirs from ``(seed, bucket)``."""
+        return replace(self, seed=derive_seed(self.seed, "chaos", *parts))
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """True when any fault kind has a non-zero intensity."""
+        return bool(
+            self.loss
+            or self.tcp_loss
+            or self.servfail
+            or self.truncation
+            or self.latency
+            or (self.brownout_period and self.brownout_duration and self.brownout_fraction)
+        )
+
+    # -- manifest round-trip -----------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Lossless dict form for the store manifest (non-defaults only)."""
+        return _non_default_fields(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ChaosConfig":
+        return cls(**data)

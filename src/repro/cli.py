@@ -35,6 +35,45 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="world seed (default 1)")
 
 
+def _chaos_spec(value: str):
+    """argparse type for --chaos: 'off', 'default', or 'field=value,...'."""
+    from repro.chaos import ChaosConfig
+
+    try:
+        return ChaosConfig.from_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _retry_spec(value: str):
+    """argparse type for --retries: 'off', 'default', N, or 'field=value,...'."""
+    from repro.chaos import RetryPolicy
+
+    try:
+        return RetryPolicy.from_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_chaos(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chaos",
+        type=_chaos_spec,
+        default=None,
+        metavar="SPEC",
+        help="inject faults: 'default', or 'loss=0.1,servfail=0.05,...' "
+        "(seeded and replayable; the report still matches the fault-free run)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=_retry_spec,
+        default=None,
+        metavar="SPEC",
+        help="retry/backoff policy: 'default', a max attempt count, or "
+        "'attempts=4,base=0.25,...' (implied by --chaos)",
+    )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     if args.workers:
         # Parallel execution needs a store for the workers to commit
@@ -50,10 +89,16 @@ def cmd_report(args: argparse.Namespace) -> int:
                 recheck=not args.no_recheck,
                 store_dir=Path(tmp) / "store",
                 workers=args.workers,
+                chaos=args.chaos,
+                retry=args.retries,
             )
     else:
         campaign = run_campaign(
-            scale=args.scale, seed=args.seed, recheck=not args.no_recheck
+            scale=args.scale,
+            seed=args.seed,
+            recheck=not args.no_recheck,
+            chaos=args.chaos,
+            retry=args.retries,
         )
     report, targets = campaign.report, campaign.world.targets
     wanted = ARTIFACTS if args.artifact == "all" else (args.artifact,)
@@ -216,6 +261,8 @@ def cmd_store_init(args: argparse.Namespace) -> int:
             stop_after=args.stop_after or None,
             workers=args.workers or None,
             telemetry=telemetry,
+            chaos=args.chaos,
+            retry=args.retries,
         )
         config.validate()
     except ValueError as exc:
@@ -266,7 +313,13 @@ def cmd_store_resume(args: argparse.Namespace) -> int:
 
         telemetry = Telemetry()
         telemetry.on_heartbeat = _heartbeat_printer
-    campaign = resume_campaign(args.dir, workers=args.workers or None, telemetry=telemetry)
+    campaign = resume_campaign(
+        args.dir,
+        workers=args.workers or None,
+        telemetry=telemetry,
+        chaos=args.chaos,
+        retry=args.retries,
+    )
     print(StoreReader(args.dir).summary().render())
     print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
     return 0
@@ -363,6 +416,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="scan with N worker processes (same report, less wall-clock)",
     )
+    _add_chaos(report)
     report.set_defaults(func=cmd_report)
 
     checks = sub.add_parser("checks", help="run the shape checks against the paper")
@@ -425,6 +479,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream deterministic telemetry events into <store>/events/",
     )
+    _add_chaos(store_init)
     store_init.set_defaults(func=cmd_store_init)
 
     store_status = store_sub.add_parser("status", help="inspect a campaign store")
@@ -450,6 +505,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream telemetry for the resumed remainder (implied when the "
         "campaign was started with --telemetry)",
     )
+    _add_chaos(store_resume)
     store_resume.set_defaults(func=cmd_store_resume)
 
     store_diff = store_sub.add_parser(

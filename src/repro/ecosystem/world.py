@@ -52,10 +52,15 @@ class World:
 
         return ScannerConfig(anycast_ns_suffixes=list(self.anycast_ns_suffixes))
 
-    def make_scanner(self, telemetry=None):
+    def make_scanner(self, telemetry=None, retry=None):
+        from dataclasses import replace
+
         from repro.scanner.yodns import Scanner
 
-        return Scanner(self.network, self.root_ips, self.scanner_config(), telemetry=telemetry)
+        config = self.scanner_config()
+        if retry is not None:
+            config = replace(config, retry_policy=retry)
+        return Scanner(self.network, self.root_ips, config, telemetry=telemetry)
 
 
 # Operators whose NS hostnames are not in the operator database (the

@@ -195,6 +195,28 @@ def render_stats(stats: CampaignStats) -> str:
             ),
         ]
 
+    fault_counters = {
+        name: value for name, value in counters.items() if name.startswith("chaos.faults.")
+    }
+    if fault_counters or counters.get("chaos.decisions"):
+        fault_rows = [
+            [name.removeprefix("chaos.faults."), format_count(int(value))]
+            for name, value in sorted(fault_counters.items())
+        ]
+        fault_rows.append(["(suppressed by fairness cap)",
+                           format_count(int(counters.get("chaos.suppressed", 0)))])
+        lines += [
+            "",
+            "fault injection "
+            f"({format_count(int(counters.get('chaos.decisions', 0)))} decisions)",
+            render_table(["fault", "injected"], fault_rows),
+            f"  retries:      {format_count(int(counters.get('retry.attempts', 0)))} scanner "
+            f"+ {format_count(int(counters.get('retry.resolver_attempts', 0)))} resolver attempts, "
+            f"{format_duration(counters.get('retry.backoff_seconds', 0.0) + counters.get('retry.resolver_backoff_seconds', 0.0))} backoff (simulated)",
+            f"  abandoned:    {format_count(int(counters.get('retry.abandoned', 0)))} "
+            "queries dead after full retry budget",
+        ]
+
     commits = stats.spans.get("segment_commit")
     checkpoints = counters.get("store.checkpoints", 0)
     if commits or checkpoints:

@@ -291,7 +291,8 @@ class Telemetry:
 
     def capture_scanner(self, scanner) -> None:
         """Absorb a :class:`Scanner`'s counters: its network, its three
-        memo caches, the shared DNS cache, and the rate limiter."""
+        memo caches, the shared DNS cache, the rate limiter, and — when
+        a chaos plane is installed — the retry loop and fault plane."""
         self.capture_network(scanner.network)
         self.set_counters(
             {
@@ -306,8 +307,18 @@ class Telemetry:
                 "cache.chain.misses": scanner.chain_cache_misses,
                 "ratelimit.waits": scanner.limiter.waits,
                 "ratelimit.wait_seconds": round(scanner.limiter.total_wait_time, 6),
+                "retry.attempts": scanner.retry_attempts,
+                "retry.backoff_seconds": round(scanner.retry_backoff_seconds, 6),
+                "retry.abandoned": scanner.retry_abandoned,
+                "retry.resolver_attempts": scanner.resolver.retry_attempts,
+                "retry.resolver_backoff_seconds": round(
+                    scanner.resolver.retry_backoff_seconds, 6
+                ),
             }
         )
+        chaos = getattr(scanner.network, "chaos", None)
+        if chaos is not None:
+            self.set_counters(chaos.counters())
 
 
 def as_telemetry(value) -> "Telemetry | NullTelemetry":

@@ -233,13 +233,22 @@ def _machine_reports(root: Path) -> List[MachineReport]:
     return reports
 
 
-def _finish(store: CampaignStore, world, recheck: bool, telemetry=NULL_TELEMETRY):
+def _finish(
+    store: CampaignStore,
+    world,
+    recheck: bool,
+    telemetry=NULL_TELEMETRY,
+    chaos=None,
+    retry=None,
+):
     """Stream the merged store through the pipeline and re-check.
 
     Every stored observation came from a *worker's* world, so every
     suspicious zone gets the resumed-campaign double-check budget — the
     parent's fresh world will replay the transient failure once before
-    resolving (see :func:`repro.campaign._recheck_pass`).
+    resolving (see :func:`repro.campaign._recheck_pass`).  A chaotic
+    campaign re-checks under chaos too (the parent derives its own
+    decision stream), with the same retry policy the workers ran.
     """
     from repro.campaign import CampaignResult, _recheck_pass
 
@@ -247,7 +256,9 @@ def _finish(store: CampaignStore, world, recheck: bool, telemetry=NULL_TELEMETRY
     report = reader.reanalyze(world.operator_db)
     rechecked = {}
     if recheck:
-        scanner = world.make_scanner(telemetry=telemetry)
+        if chaos is not None and chaos.enabled:
+            world.network.install_chaos(chaos.derive("recheck"))
+        scanner = world.make_scanner(telemetry=telemetry, retry=retry)
         done = frozenset(assessment.zone for assessment in report.assessments)
         rechecked = _recheck_pass(scanner, report, double_check=done, telemetry=telemetry)
         if telemetry.enabled:
@@ -278,12 +289,18 @@ def run_parallel_campaign(
     checkpoint_every: Optional[int] = None,
     faults: Optional[Dict[int, int]] = None,
     telemetry=None,
+    chaos=None,
+    retry=None,
     manifest_config: Optional[Dict[str, Any]] = None,
 ):
     """Run one campaign across *workers* processes (see module docs).
 
     *faults* is a testing hook: ``{worker_index: crash_after_n_zones}``
     hard-kills the given workers mid-scan, leaving a resumable store.
+    *chaos* / *retry* (a :class:`repro.chaos.ChaosConfig` /
+    :class:`repro.chaos.RetryPolicy`) switch on fault injection: every
+    worker derives its own decision stream from (campaign seed, first
+    bucket) and the report still matches the fault-free campaign.
     *manifest_config* overrides the ``config`` dict recorded in the root
     manifest (the :class:`repro.campaign.CampaignConfig` serialization).
     """
@@ -300,6 +317,10 @@ def run_parallel_campaign(
         manifest_config = {"recheck": recheck, "use_sources": use_sources, "workers": workers}
         if telemetry.enabled:
             manifest_config["telemetry"] = True
+        if chaos is not None:
+            manifest_config["chaos"] = chaos.to_dict()
+        if retry is not None:
+            manifest_config["retry"] = retry.to_dict()
     store = CampaignStore.create(
         root,
         seed=seed,
@@ -324,6 +345,8 @@ def run_parallel_campaign(
             checkpoint_every=checkpoint_every,
             use_sources=use_sources,
             telemetry=telemetry.enabled,
+            chaos=chaos,
+            retry=retry,
             crash_after=(faults or {}).get(index),
         )
         for index, bucket_range in enumerate(ranges)
@@ -340,7 +363,7 @@ def run_parallel_campaign(
     merge_worker_manifests(
         store, [Path(spec.store_dir) for spec in specs], telemetry=telemetry
     )
-    return _finish(store, world, recheck, telemetry=telemetry)
+    return _finish(store, world, recheck, telemetry=telemetry, chaos=chaos, retry=retry)
 
 
 def resume_parallel_campaign(
@@ -349,6 +372,8 @@ def resume_parallel_campaign(
     checkpoint_every: Optional[int] = None,
     telemetry=None,
     store: Optional[CampaignStore] = None,
+    chaos=None,
+    retry=None,
 ):
     """Finish an interrupted parallel campaign (or parallelise the
     remainder of a sequential one).
@@ -386,6 +411,20 @@ def resume_parallel_campaign(
         )
     recheck = bool(manifest.config.get("recheck", True))
     use_sources = bool(manifest.config.get("use_sources", False))
+    # A chaotic campaign resumes chaotic: the fault model and retry
+    # policy round-trip through the manifest like every other knob.
+    # Explicit *chaos*/*retry* arguments override the recorded model.
+    from repro.campaign import CampaignConfig
+
+    stored = CampaignConfig.from_manifest(manifest)
+    if chaos is not None or retry is not None:
+        stored = replace(
+            stored,
+            chaos=chaos if chaos is not None else stored.chaos,
+            retry=retry if retry is not None else stored.retry,
+        )
+    chaos = stored.chaos
+    retry = stored.effective_retry()
 
     if telemetry.enabled:
         telemetry.open_sink(events_path(root))
@@ -393,7 +432,7 @@ def resume_parallel_campaign(
     if manifest.complete:
         world = build_world(scale=manifest.scale, seed=manifest.seed)
         telemetry.bind_clock(world.network.clock)
-        return _finish(store, world, recheck, telemetry=telemetry)
+        return _finish(store, world, recheck, telemetry=telemetry, chaos=chaos, retry=retry)
 
     ranges = bucket_ranges(manifest.num_shards, workers)
     skip_roots = tuple(
@@ -413,6 +452,8 @@ def resume_parallel_campaign(
             checkpoint_every=checkpoint_every,
             use_sources=use_sources,
             telemetry=telemetry.enabled,
+            chaos=chaos,
+            retry=retry,
         )
         for index, bucket_range in enumerate(ranges)
     ]
@@ -436,4 +477,4 @@ def resume_parallel_campaign(
     # Merge every worker store on disk — including leftovers from an
     # earlier run with a different worker count.
     merge_worker_manifests(store, _existing_worker_roots(root), telemetry=telemetry)
-    return _finish(store, world, recheck, telemetry=telemetry)
+    return _finish(store, world, recheck, telemetry=telemetry, chaos=chaos, retry=retry)

@@ -17,10 +17,11 @@ from __future__ import annotations
 
 import json
 import os
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
+from repro.chaos import ChaosConfig, RetryPolicy
 from repro.obs.events import events_path
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.store.checkpoint import DEFAULT_CHECKPOINT_EVERY, CampaignStore
@@ -56,6 +57,12 @@ class WorkerSpec:
     # contract); the worker builds its own hub bound to its machine
     # clock, streaming into ``<worker store>/events/``.
     telemetry: bool = False
+    # Fault injection (repro.chaos): the campaign-level config; each
+    # worker derives its own decision stream from (seed, first bucket)
+    # so fault patterns are independent across machines yet replayable.
+    chaos: Optional[ChaosConfig] = None
+    # Scanner/resolver retry policy; None → legacy single-retry.
+    retry: Optional[RetryPolicy] = None
     # Fault injection for tests: hard-exit (no checkpoint, no stats)
     # after committing results for this many zones.
     crash_after: Optional[int] = field(default=None)
@@ -121,7 +128,15 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
 
     telemetry = Telemetry() if spec.telemetry else NULL_TELEMETRY
     world = build_world(scale=spec.scale, seed=spec.seed)
-    scanner, clock = make_machine_scanner(world, telemetry=telemetry)
+    if spec.chaos is not None and spec.chaos.enabled:
+        # Each machine gets its own decision stream: derived, not
+        # shared, so no two workers replay identical fault patterns,
+        # yet each stream is a pure function of (campaign seed, bucket).
+        world.network.install_chaos(spec.chaos.derive("worker", buckets[0]))
+    config = world.scanner_config()
+    if spec.retry is not None:
+        config = replace(config, retry_policy=spec.retry.derive("worker", buckets[0]))
+    scanner, clock = make_machine_scanner(world, config=config, telemetry=telemetry)
     scan_list = _scan_list(world, spec.use_sources)
     mine = zones_for_buckets(scan_list, spec.num_shards, buckets)
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.chaos.retry import RetryPolicy
 from repro.dns.message import Message, make_query
 from repro.dns.name import Name
 from repro.dns.rrset import RRset
@@ -103,6 +104,7 @@ class IterativeResolver:
         cache: Optional[DnsCache] = None,
         timeout: float = 2.0,
         limiter=None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.network = network
         self.root_ips = list(root_ips)
@@ -114,6 +116,11 @@ class IterativeResolver:
         # every outgoing query is paced — the scanner shares its limiter
         # so *all* measurement traffic honours the per-NS budget.
         self.limiter = limiter
+        # Per-address retry/backoff (repro.chaos).  The legacy default is
+        # a single attempt per address — exactly the historical walk.
+        self.retry = retry or RetryPolicy.legacy(0)
+        self.retry_attempts = 0
+        self.retry_backoff_seconds = 0.0
         self._msg_id = 0
 
     # -- plumbing ----------------------------------------------------------
@@ -127,22 +134,54 @@ class IterativeResolver:
 
         The question is identical for every address, so it is encoded
         once and the same wire bytes are retried down the server list.
+        Each address is given the resolver's full retry budget
+        (:attr:`retry`) before the walk moves on: timeouts — and
+        SERVFAILs, when the policy retries them — back off on the
+        simulated clock exactly like the scanner's own queries, so the
+        delegation walk converges under the same fault model.
         """
         last_error: Optional[Exception] = None
+        policy = self.retry
         query = make_query(name, rrtype, msg_id=self._next_id())
         wire = query.to_wire()
+        clock = self.limiter.clock if self.limiter is not None else self.network.clock
         for ip in ips:
-            try:
-                if self.limiter is not None:
-                    self.limiter.acquire(ip)
-                response = self.network.query(ip, query, timeout=self.timeout, wire=wire)
-                if response.truncated:
-                    response = self.network.query(
-                        ip, query, timeout=self.timeout, tcp=True, wire=wire
-                    )
+            key: Optional[str] = None
+            waited = 0.0
+            response: Optional[Message] = None
+            for attempt in range(policy.attempts):
+                if attempt:
+                    if key is None:
+                        key = f"resolver/{ip}/{name.to_text()}/{int(rrtype)}"
+                    wait = policy.backoff(attempt, key, waited)
+                    if wait is None:
+                        break  # per-query backoff budget exhausted
+                    if wait:
+                        clock.advance(wait)
+                        waited += wait
+                        self.retry_backoff_seconds += wait
+                    self.retry_attempts += 1
+                try:
+                    if self.limiter is not None:
+                        self.limiter.acquire(ip)
+                    response = self.network.query(ip, query, timeout=self.timeout, wire=wire)
+                    if response.truncated:
+                        response = self.network.query(
+                            ip, query, timeout=self.timeout, tcp=True, wire=wire
+                        )
+                except NetworkTimeout as exc:
+                    last_error = exc
+                    response = None
+                    continue
+                if (
+                    policy.retry_servfail
+                    and response.rcode == Rcode.SERVFAIL
+                    and attempt + 1 < policy.attempts
+                ):
+                    continue  # transient-SERVFAIL model: retry this address
+                break
+            if response is not None:
                 return response, ip
-            except NetworkTimeout as exc:
-                last_error = exc
         raise ResolutionError(f"all servers failed for {name} {rrtype.name}: {last_error}")
 
     @staticmethod

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Container, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.chaos.retry import RetryPolicy
 from repro.dns.message import Message, make_query
 from repro.dns.name import Name
 from repro.dns.rdata import RRSIG
@@ -56,6 +57,10 @@ class ScannerConfig:
     probe_zone_cuts: bool = True
     anycast_ns_suffixes: List[Name] = field(default_factory=list)
     full_scan_fraction: float = 0.05
+    # Full retry/backoff policy (repro.chaos).  None keeps the legacy
+    # behaviour: `retries` immediate re-attempts, no backoff, so
+    # pre-chaos campaigns keep their exact simulated durations.
+    retry_policy: Optional[RetryPolicy] = None
 
 
 @dataclass
@@ -84,12 +89,14 @@ class Scanner:
         self.telemetry = as_telemetry(telemetry)
         self.cache = DnsCache(now=network.clock.now)
         self.limiter = RateLimiter(network.clock, qps=self.config.qps_per_ns)
+        self.retry = self.config.retry_policy or RetryPolicy.legacy(self.config.retries)
         self.resolver = IterativeResolver(
             network,
             root_ips,
             cache=self.cache,
             timeout=self.config.timeout,
             limiter=self.limiter,
+            retry=self.retry,
         )
         self.sampling = AnycastSamplingPolicy(
             self.config.anycast_ns_suffixes, self.config.full_scan_fraction
@@ -107,6 +114,13 @@ class Scanner:
         self.signal_cache_misses = 0
         self.chain_cache_hits = 0
         self.chain_cache_misses = 0
+        # Retry accounting (repro.chaos): attempts beyond the first,
+        # simulated seconds spent backing off, and queries abandoned
+        # with every attempt timed out — the residual-failure counter
+        # the differential chaos suite pins between run layouts.
+        self.retry_attempts = 0
+        self.retry_backoff_seconds = 0.0
+        self.retry_abandoned = 0
         # (qname, qtype) -> (query message, encoded wire with msg_id 0).
         # The same question is asked of every selected server address, so
         # encoding once and patching the 2-byte id saves a full wire
@@ -143,14 +157,52 @@ class Scanner:
         return response
 
     def query_one(self, ip: str, qname: Name, qtype: RRType) -> RRQueryResult:
-        """Ask one server one question; classify the outcome."""
-        for _ in range(self.config.retries + 1):
+        """Ask one server one question; classify the outcome.
+
+        Retries follow :attr:`retry` (a :class:`repro.chaos.RetryPolicy`):
+        timeouts — and, when the policy says so, SERVFAILs — are retried
+        with capped exponential backoff on the simulated clock, bounded
+        by the policy's per-query budget.  A query whose every attempt
+        timed out is *counted* (``retry_abandoned``), never silently
+        dropped.
+        """
+        policy = self.retry
+        key: Optional[str] = None
+        waited = 0.0
+        # `last` holds the most recent *response-bearing* outcome: a
+        # trailing timeout never shadows an earlier SERVFAIL, so a query
+        # is "abandoned" exactly when every attempt timed out — a
+        # property of the server being dead, not of fault interleaving.
+        last = RRQueryResult(QueryStatus.TIMEOUT)
+        for attempt in range(policy.attempts):
+            if attempt:
+                if key is None:
+                    key = f"{ip}/{qname.to_text()}/{int(qtype)}"
+                wait = policy.backoff(attempt, key, waited)
+                if wait is None:
+                    break  # per-query backoff budget exhausted
+                if wait:
+                    self.limiter.clock.advance(wait)
+                    waited += wait
+                    self.retry_backoff_seconds += wait
+                self.retry_attempts += 1
             try:
                 response = self._query_raw(ip, qname, qtype)
-                return self._classify(response, qname, qtype)
             except NetworkTimeout:
                 continue
-        return RRQueryResult(QueryStatus.TIMEOUT)
+            result = self._classify(response, qname, qtype)
+            if (
+                policy.retry_servfail
+                and result.status == QueryStatus.ERROR
+                and result.rcode == Rcode.SERVFAIL
+                and attempt + 1 < policy.attempts
+            ):
+                last = result
+                continue
+            return result
+        if last.status == QueryStatus.TIMEOUT:
+            self.retry_abandoned += 1
+        return last
 
     @staticmethod
     def _classify(response: Message, qname: Name, qtype: RRType) -> RRQueryResult:

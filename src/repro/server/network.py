@@ -5,15 +5,27 @@ that is precisely how anycast providers like Cloudflare appear from the
 outside), moves whole wire-format messages, counts queries and bytes per
 destination, and advances a simulated clock so that rate limiters behave
 deterministically without real sleeping.
+
+Failure injection is delegated to the chaos plane
+(:mod:`repro.chaos`): install one with :meth:`SimulatedNetwork.install_chaos`
+and every exchange is first offered to it — packet loss, brownouts,
+SERVFAIL bursts, truncation storms, flaky TCP, and added latency, all
+seeded and replayable.  The historical ``loss_hook`` attribute remains
+as a deprecated shim for one release.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+import warnings
+from typing import Callable, Dict, Optional, TYPE_CHECKING
 
-from repro.dns.message import Message
+from repro.dns.message import Message, make_response
+from repro.dns.types import Rcode
 from repro.server.behaviors import DropQueriesBehavior
 from repro.server.nameserver import AuthoritativeServer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos import ChaosConfig, ChaosPlane
 
 
 class NetworkTimeout(Exception):
@@ -50,8 +62,41 @@ class SimulatedNetwork:
         self.truncations = 0
         self.tcp_queries = 0
         self.per_ip_queries: Dict[str, int] = {}
-        # Optional hook: (ip, query) -> True to drop this datagram.
-        self.loss_hook: Optional[Callable[[str, Message], bool]] = None
+        # The fault-injection plane (None = fault-free network).
+        self.chaos: Optional["ChaosPlane"] = None
+        # Deprecated predecessor of the chaos plane; see the property below.
+        self._loss_hook: Optional[Callable[[str, Message], bool]] = None
+
+    # -- failure injection -------------------------------------------------
+
+    def install_chaos(self, config: "ChaosConfig") -> "ChaosPlane":
+        """Attach a chaos plane driven by this network's clock."""
+        from repro.chaos import ChaosPlane
+
+        self.chaos = ChaosPlane(config, clock=self.clock)
+        return self.chaos
+
+    @property
+    def loss_hook(self) -> Optional[Callable[[str, Message], bool]]:
+        """Deprecated: (ip, query) -> True to drop this datagram.
+
+        Superseded by the chaos plane (``install_chaos`` /
+        :class:`repro.chaos.ChaosConfig` with a ``loss`` intensity),
+        which is seeded, composable, and budget-aware.  Setting a hook
+        still works for one release and emits a DeprecationWarning.
+        """
+        return self._loss_hook
+
+    @loss_hook.setter
+    def loss_hook(self, hook: Optional[Callable[[str, Message], bool]]) -> None:
+        if hook is not None:
+            warnings.warn(
+                "SimulatedNetwork.loss_hook is deprecated; use "
+                "network.install_chaos(ChaosConfig(loss=...)) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        self._loss_hook = hook
 
     # -- topology ------------------------------------------------------------
 
@@ -89,7 +134,7 @@ class SimulatedNetwork:
         pre-encoded *wire* (it must be ``query.to_wire()``) to skip
         re-encoding — the receiving side still decodes the actual bytes.
         Raises :class:`NetworkTimeout` for dark addresses, drop
-        behaviours, and loss-hook hits.
+        behaviours, and injected faults.
         """
         if wire is None:
             wire = query.to_wire()
@@ -100,10 +145,26 @@ class SimulatedNetwork:
         self.per_ip_queries[ip] = self.per_ip_queries.get(ip, 0) + 1
         if self.query_cost:
             self.clock.advance(self.query_cost)
-        if self.loss_hook is not None and self.loss_hook(ip, query):
+        if self._loss_hook is not None and self._loss_hook(ip, query):
             self.timeouts += 1
             self.clock.advance(timeout)
             raise NetworkTimeout(f"packet to {ip} lost")
+        if self.chaos is not None:
+            question = query.question
+            decision = self.chaos.decide(
+                ip,
+                question.name.canonical_key() if question else b"",
+                int(question.rrtype) if question else 0,
+                tcp,
+            )
+            if decision.latency:
+                self.clock.advance(decision.latency)
+            if decision.drop:
+                self.timeouts += 1
+                self.clock.advance(timeout)
+                raise NetworkTimeout(f"chaos {decision.kind}: packet to {ip} lost")
+            if decision.servfail or decision.truncate:
+                return self._synthesize_fault(wire, decision)
         server = self._servers.get(ip)
         if server is None or ip in self._dark:
             self.timeouts += 1
@@ -121,6 +182,22 @@ class SimulatedNetwork:
         else:
             limit = decoded.edns_payload if decoded.edns else 512
             response_wire = response.to_wire(max_size=limit)
+        self.bytes_received += len(response_wire)
+        reply = Message.from_wire(response_wire)
+        if reply.truncated:
+            self.truncations += 1
+        return reply
+
+    def _synthesize_fault(self, wire: bytes, decision) -> Message:
+        """A chaos-made response (SERVFAIL burst or truncation storm),
+        wire-round-tripped like any real answer so accounting holds."""
+        decoded = Message.from_wire(wire)
+        if decision.servfail:
+            response = make_response(decoded, Rcode.SERVFAIL)
+        else:
+            response = make_response(decoded)
+            response.truncated = True
+        response_wire = response.to_wire()
         self.bytes_received += len(response_wire)
         reply = Message.from_wire(response_wire)
         if reply.truncated:

@@ -7,11 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.chaos import ChaosConfig, RetryPolicy
 from repro.dns.message import Message, make_query
 from repro.dns.name import Name
 from repro.dns.types import Rcode, RRType
 from repro.dns.wire import WireError
 from repro.scanner import Scanner
+from repro.scanner.yodns import ScannerConfig
 from repro.server.network import NetworkTimeout
 
 from tests.helpers import OP_IP_1, ROOT_IP, build_mini_world
@@ -66,25 +68,28 @@ class TestQueryFuzzing:
 
 
 class TestPacketLoss:
+    """Packet loss via the chaos plane (the loss_hook successor)."""
+
     def test_scan_survives_moderate_loss(self):
         world = build_mini_world()
         network = world["network"]
-        drop_counter = {"n": 0}
-
-        def lossy(ip, message):
-            drop_counter["n"] += 1
-            return drop_counter["n"] % 7 == 0  # ~14 % deterministic loss
-
-        network.loss_hook = lossy
-        scanner = Scanner(network, world["root_ips"])
+        plane = network.install_chaos(ChaosConfig(loss=0.15, seed=3))
+        scanner = Scanner(
+            network,
+            world["root_ips"],
+            ScannerConfig(retry_policy=RetryPolicy.default()),
+        )
         result = scanner.scan_zone("example.com")
-        # Retries (1 per query) absorb moderate loss for the key fields.
+        # Retries absorb moderate loss for the key fields.
         assert result.resolved
         assert result.dnskey is not None
+        assert plane.faults.get("loss", 0) > 0
 
     def test_total_loss_yields_clean_failure(self):
         world = build_mini_world()
-        world["network"].loss_hook = lambda ip, message: True
+        # max_consecutive=0 lifts the fairness bound: *every* packet is
+        # lost, so the scan must fail cleanly, not hang or crash.
+        world["network"].install_chaos(ChaosConfig(loss=1.0, max_consecutive=0))
         scanner = Scanner(world["network"], world["root_ips"])
         result = scanner.scan_zone("example.com")
         assert not result.resolved
@@ -93,10 +98,23 @@ class TestPacketLoss:
     def test_network_timeout_accounting(self):
         world = build_mini_world()
         network = world["network"]
-        network.loss_hook = lambda ip, message: True
+        network.install_chaos(ChaosConfig(loss=1.0, max_consecutive=0))
         with pytest.raises(NetworkTimeout):
             network.query(OP_IP_1, make_query("example.com", RRType.A))
         assert network.timeouts == 1
+
+    def test_loss_hook_shim_still_works_but_warns(self):
+        # Deprecated for one release: the hook drops packets as before,
+        # but setting it emits a DeprecationWarning pointing at the plane.
+        world = build_mini_world()
+        network = world["network"]
+        with pytest.warns(DeprecationWarning, match="install_chaos"):
+            network.loss_hook = lambda ip, message: True
+        with pytest.raises(NetworkTimeout):
+            network.query(OP_IP_1, make_query("example.com", RRType.A))
+        network.loss_hook = None  # clearing does not warn
+        response = network.query(OP_IP_1, make_query("example.com", RRType.A))
+        assert response.is_response
 
 
 class TestAmplification:
