@@ -62,6 +62,12 @@ class CampaignConfig:
     compress: bool = True
     stop_after: Optional[int] = None
     workers: Optional[int] = None
+    # Concurrent in-flight zones per scan machine (repro.sched): None →
+    # the legacy serial scan loop; N >= 1 overlaps up to N zones on a
+    # deterministic event loop.  Composes with workers=M — every worker
+    # process runs its own loop.  Reports are byte-identical either
+    # way; only the simulated campaign duration drops.
+    in_flight: Optional[int] = None
     # False (default) → zero-overhead NullTelemetry; True → a fresh
     # hub; or pass a configured Telemetry instance directly.
     telemetry: Union[bool, Telemetry] = False
@@ -89,6 +95,8 @@ class CampaignConfig:
 
     def validate(self, world: Optional[World] = None) -> None:
         """Reject impossible combinations (one place, one message each)."""
+        if self.in_flight is not None and self.in_flight < 1:
+            raise ValueError(f"in_flight must be >= 1 (got {self.in_flight})")
         if self.chaos is not None and self.chaos.enabled and self.chaos.max_consecutive:
             retry = self.effective_retry()
             if retry is None or retry.attempts <= self.chaos.max_consecutive:
@@ -124,6 +132,8 @@ class CampaignConfig:
         }
         if self.workers is not None:
             config["workers"] = self.workers
+        if self.in_flight is not None:
+            config["in_flight"] = self.in_flight
         if self.checkpoint_every is not None:
             config["checkpoint_every"] = self.checkpoint_every
         if self.telemetry:
@@ -150,6 +160,7 @@ class CampaignConfig:
             num_shards=manifest.num_shards,
             compress=manifest.compress,
             workers=config.get("workers"),
+            in_flight=config.get("in_flight"),
             telemetry=bool(config.get("telemetry", False)),
             chaos=ChaosConfig.from_dict(chaos) if chaos is not None else None,
             retry=RetryPolicy.from_dict(retry) if retry is not None else None,
@@ -320,6 +331,7 @@ def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignRe
             telemetry=config.telemetry,
             chaos=config.chaos,
             retry=config.effective_retry(),
+            in_flight=config.in_flight,
             manifest_config=config.manifest_config(),
         )
 
@@ -329,7 +341,9 @@ def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignRe
     if config.chaos is not None and config.chaos.enabled:
         world.network.install_chaos(config.chaos)
     telemetry.bind_clock(world.network.clock)
-    scanner = world.make_scanner(telemetry=telemetry, retry=config.effective_retry())
+    scanner = world.make_scanner(
+        telemetry=telemetry, retry=config.effective_retry(), in_flight=config.in_flight
+    )
     scan_list = _scan_list(world, config.use_sources)
 
     if config.store_dir is None:
@@ -427,6 +441,7 @@ def resume_campaign(
     telemetry=None,
     chaos: Optional[ChaosConfig] = None,
     retry: Optional[RetryPolicy] = None,
+    in_flight: Optional[int] = None,
 ) -> CampaignResult:
     """Finish an interrupted store-backed campaign.
 
@@ -460,15 +475,16 @@ def resume_campaign(
         root, checkpoint_every=checkpoint_every or DEFAULT_CHECKPOINT_EVERY
     )
     stored = CampaignConfig.from_manifest(store.manifest, store_dir=root)
-    if chaos is not None or retry is not None:
-        # Explicit overrides (the CLI's --chaos/--retries on resume)
-        # replace the recorded model for the remainder of the scan.
+    if chaos is not None or retry is not None or in_flight is not None:
+        # Explicit overrides (the CLI's --chaos/--retries/--in-flight on
+        # resume) replace the recorded model for the rest of the scan.
         from dataclasses import replace as _replace
 
         stored = _replace(
             stored,
             chaos=chaos if chaos is not None else stored.chaos,
             retry=retry if retry is not None else stored.retry,
+            in_flight=in_flight if in_flight is not None else stored.in_flight,
         )
         stored.validate()
 
@@ -487,6 +503,7 @@ def resume_campaign(
             store=store,
             chaos=chaos,
             retry=retry,
+            in_flight=in_flight,
         )
 
     from repro.store.reader import StoreReader
@@ -506,7 +523,9 @@ def resume_campaign(
     if stored.chaos is not None and stored.chaos.enabled:
         world.network.install_chaos(stored.chaos)
     hub.bind_clock(world.network.clock)
-    scanner = world.make_scanner(telemetry=hub, retry=stored.effective_retry())
+    scanner = world.make_scanner(
+        telemetry=hub, retry=stored.effective_retry(), in_flight=stored.in_flight
+    )
     scan_list = _scan_list(world, stored.use_sources)
 
     done = frozenset(store.completed_zones())

@@ -74,6 +74,18 @@ def _add_chaos(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_in_flight(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--in-flight",
+        type=int,
+        default=None,
+        metavar="N",
+        help="overlap up to N zones per scan machine on the deterministic "
+        "event loop (repro.sched); the report is byte-identical to the "
+        "serial scan, only the simulated duration drops",
+    )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     if args.workers:
         # Parallel execution needs a store for the workers to commit
@@ -91,6 +103,7 @@ def cmd_report(args: argparse.Namespace) -> int:
                 workers=args.workers,
                 chaos=args.chaos,
                 retry=args.retries,
+                in_flight=args.in_flight,
             )
     else:
         campaign = run_campaign(
@@ -99,6 +112,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             recheck=not args.no_recheck,
             chaos=args.chaos,
             retry=args.retries,
+            in_flight=args.in_flight,
         )
     report, targets = campaign.report, campaign.world.targets
     wanted = ARTIFACTS if args.artifact == "all" else (args.artifact,)
@@ -260,6 +274,7 @@ def cmd_store_init(args: argparse.Namespace) -> int:
             compress=not args.no_gzip,
             stop_after=args.stop_after or None,
             workers=args.workers or None,
+            in_flight=args.in_flight,
             telemetry=telemetry,
             chaos=args.chaos,
             retry=args.retries,
@@ -319,6 +334,7 @@ def cmd_store_resume(args: argparse.Namespace) -> int:
         telemetry=telemetry,
         chaos=args.chaos,
         retry=args.retries,
+        in_flight=args.in_flight,
     )
     print(StoreReader(args.dir).summary().render())
     print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
@@ -416,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="scan with N worker processes (same report, less wall-clock)",
     )
+    _add_in_flight(report)
     _add_chaos(report)
     report.set_defaults(func=cmd_report)
 
@@ -479,6 +496,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stream deterministic telemetry events into <store>/events/",
     )
+    _add_in_flight(store_init)
     _add_chaos(store_init)
     store_init.set_defaults(func=cmd_store_init)
 
@@ -505,6 +523,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream telemetry for the resumed remainder (implied when the "
         "campaign was started with --telemetry)",
     )
+    _add_in_flight(store_resume)
     _add_chaos(store_resume)
     store_resume.set_defaults(func=cmd_store_resume)
 

@@ -52,7 +52,7 @@ class World:
 
         return ScannerConfig(anycast_ns_suffixes=list(self.anycast_ns_suffixes))
 
-    def make_scanner(self, telemetry=None, retry=None):
+    def make_scanner(self, telemetry=None, retry=None, in_flight=None):
         from dataclasses import replace
 
         from repro.scanner.yodns import Scanner
@@ -60,6 +60,8 @@ class World:
         config = self.scanner_config()
         if retry is not None:
             config = replace(config, retry_policy=retry)
+        if in_flight is not None:
+            config = replace(config, in_flight=in_flight)
         return Scanner(self.network, self.root_ips, config, telemetry=telemetry)
 
 

@@ -163,6 +163,18 @@ def render_stats(stats: CampaignStats) -> str:
         f"{format_duration(counters.get('ratelimit.wait_seconds', 0.0))} waited (simulated)",
     ]
 
+    if counters.get("sched.tasks"):
+        lines += [
+            "",
+            "scheduler (repro.sched)",
+            f"  tasks:        {format_count(int(counters.get('sched.tasks', 0)))} zone scans",
+            f"  events:       {format_count(int(counters.get('sched.events', 0)))} fired",
+            f"  in flight:    {format_count(int(counters.get('sched.in_flight_peak', 0)))} peak",
+            f"  event queue:  {format_count(int(counters.get('sched.queue_peak', 0)))} deep at peak",
+            f"  gate waits:   {format_count(int(counters.get('sched.gate_waits', 0)))} "
+            "(single-flight cache fills)",
+        ]
+
     cache_rows = []
     for label, key in (
         ("dns", "cache.dns"),

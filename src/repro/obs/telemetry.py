@@ -316,6 +316,19 @@ class Telemetry:
                 ),
             }
         )
+        if getattr(scanner, "sched_tasks", 0):
+            # Event-loop statistics (repro.sched): only present when the
+            # scan ran with in_flight set, so legacy streams are
+            # byte-identical to pre-scheduler ones.
+            self.set_counters(
+                {
+                    "sched.tasks": scanner.sched_tasks,
+                    "sched.events": scanner.sched_events,
+                    "sched.gate_waits": scanner.sched_gate_waits,
+                    "sched.in_flight_peak": scanner.sched_in_flight_peak,
+                    "sched.queue_peak": scanner.sched_queue_peak,
+                }
+            )
         chaos = getattr(scanner.network, "chaos", None)
         if chaos is not None:
             self.set_counters(chaos.counters())

@@ -291,6 +291,7 @@ def run_parallel_campaign(
     telemetry=None,
     chaos=None,
     retry=None,
+    in_flight: Optional[int] = None,
     manifest_config: Optional[Dict[str, Any]] = None,
 ):
     """Run one campaign across *workers* processes (see module docs).
@@ -321,6 +322,8 @@ def run_parallel_campaign(
             manifest_config["chaos"] = chaos.to_dict()
         if retry is not None:
             manifest_config["retry"] = retry.to_dict()
+        if in_flight is not None:
+            manifest_config["in_flight"] = in_flight
     store = CampaignStore.create(
         root,
         seed=seed,
@@ -347,6 +350,7 @@ def run_parallel_campaign(
             telemetry=telemetry.enabled,
             chaos=chaos,
             retry=retry,
+            in_flight=in_flight,
             crash_after=(faults or {}).get(index),
         )
         for index, bucket_range in enumerate(ranges)
@@ -374,6 +378,7 @@ def resume_parallel_campaign(
     store: Optional[CampaignStore] = None,
     chaos=None,
     retry=None,
+    in_flight: Optional[int] = None,
 ):
     """Finish an interrupted parallel campaign (or parallelise the
     remainder of a sequential one).
@@ -417,14 +422,16 @@ def resume_parallel_campaign(
     from repro.campaign import CampaignConfig
 
     stored = CampaignConfig.from_manifest(manifest)
-    if chaos is not None or retry is not None:
+    if chaos is not None or retry is not None or in_flight is not None:
         stored = replace(
             stored,
             chaos=chaos if chaos is not None else stored.chaos,
             retry=retry if retry is not None else stored.retry,
+            in_flight=in_flight if in_flight is not None else stored.in_flight,
         )
     chaos = stored.chaos
     retry = stored.effective_retry()
+    in_flight = stored.in_flight
 
     if telemetry.enabled:
         telemetry.open_sink(events_path(root))
@@ -454,6 +461,7 @@ def resume_parallel_campaign(
             telemetry=telemetry.enabled,
             chaos=chaos,
             retry=retry,
+            in_flight=in_flight,
         )
         for index, bucket_range in enumerate(ranges)
     ]

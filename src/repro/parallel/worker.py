@@ -63,6 +63,9 @@ class WorkerSpec:
     chaos: Optional[ChaosConfig] = None
     # Scanner/resolver retry policy; None → legacy single-retry.
     retry: Optional[RetryPolicy] = None
+    # Concurrent in-flight zones (repro.sched): each worker runs its own
+    # event loop over its machine clock; None → legacy serial scan.
+    in_flight: Optional[int] = None
     # Fault injection for tests: hard-exit (no checkpoint, no stats)
     # after committing results for this many zones.
     crash_after: Optional[int] = field(default=None)
@@ -136,6 +139,8 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
     config = world.scanner_config()
     if spec.retry is not None:
         config = replace(config, retry_policy=spec.retry.derive("worker", buckets[0]))
+    if spec.in_flight is not None:
+        config = replace(config, in_flight=spec.in_flight)
     scanner, clock = make_machine_scanner(world, config=config, telemetry=telemetry)
     scan_list = _scan_list(world, spec.use_sources)
     mine = zones_for_buckets(scan_list, spec.num_shards, buckets)

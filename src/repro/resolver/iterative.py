@@ -18,6 +18,7 @@ from repro.dns.name import Name
 from repro.dns.rrset import RRset
 from repro.dns.types import Rcode, RRType
 from repro.resolver.cache import DnsCache
+from repro.sched import FlightMap, active_loop
 from repro.server.network import NetworkTimeout, SimulatedNetwork
 
 _MAX_REFERRALS = 32
@@ -122,6 +123,11 @@ class IterativeResolver:
         self.retry_attempts = 0
         self.retry_backoff_seconds = 0.0
         self._msg_id = 0
+        # Single-flight address lookups under the event loop
+        # (repro.sched): overlapping tasks asking for the same hostname
+        # serialize, so each observes the cache state a sequential
+        # caller in its position would have observed.
+        self._flights = FlightMap()
 
     # -- plumbing ----------------------------------------------------------
 
@@ -210,7 +216,29 @@ class IterativeResolver:
     # -- address resolution ------------------------------------------------------
 
     def resolve_addresses(self, hostname: Name, _depth: int = 0) -> List[str]:
-        """All A+AAAA addresses for *hostname* (deterministic order)."""
+        """All A+AAAA addresses for *hostname* (deterministic order).
+
+        Top-level lookups are single-flighted per hostname when an
+        event loop is driving the clock: a second in-flight task waits
+        for the first, then resolves against the now-warm cache.
+        Nested lookups (``_depth > 0``, glueless-chain recursion) bypass
+        the gate — two glueless chains may legitimately pass through
+        each other's hostnames, and waiting there could cycle.
+        """
+        if _depth:
+            return self._resolve_addresses_impl(hostname, _depth)
+        clock = self.limiter.clock if self.limiter is not None else self.network.clock
+        while True:
+            loop = active_loop(clock)
+            if loop is None:
+                return self._resolve_addresses_impl(hostname, 0)
+            claim = self._flights.claim(loop, hostname)
+            if claim is None:
+                continue  # waited out another task's lookup; cache is warm
+            with claim:
+                return self._resolve_addresses_impl(hostname, 0)
+
+    def _resolve_addresses_impl(self, hostname: Name, _depth: int) -> List[str]:
         if _depth > _MAX_GLUELESS_DEPTH:
             return []
         addresses: List[str] = []

@@ -31,25 +31,31 @@ class RateLimiter:
         self.waits = 0
         self.total_wait_time = 0.0
 
-    def _refill(self, ip: str) -> float:
+    def acquire(self, ip: str) -> float:
+        """Take one token for *ip*, advancing the clock if none is
+        available.  Returns the (simulated) seconds waited.
+
+        The bucket is charged — and the grant timestamp reserved —
+        *before* the clock advance, which may suspend the caller when an
+        event loop (:mod:`repro.sched`) drives the clock.  A later
+        contender for the same address then sees the reservation sitting
+        in its future: the negative elapsed time charges it for the
+        pending grant, so same-instant waiters are granted tokens
+        exactly ``1/qps`` apart instead of double-spending one refill.
+        In sequential code the arithmetic is identical to refill-then-
+        wait, so pre-existing token accounting is unchanged.
+        """
         now = self.clock.now()
         tokens, last = self._buckets.get(ip, (self.burst, now))
         tokens = min(self.burst, tokens + (now - last) * self.qps)
-        self._buckets[ip] = (tokens, now)
-        return tokens
-
-    def acquire(self, ip: str) -> float:
-        """Take one token for *ip*, advancing the clock if none is
-        available.  Returns the (simulated) seconds waited."""
-        tokens = self._refill(ip)
-        waited = 0.0
-        if tokens < 1.0:
-            waited = (1.0 - tokens) / self.qps
-            self.clock.advance(waited)
-            self.waits += 1
-            self.total_wait_time += waited
-            # Waiting exactly the deficit refills the bucket to one whole
-            # token (or to the burst ceiling when burst < 1).
-            tokens = min(1.0, self.burst)
-        self._buckets[ip] = (tokens - 1.0, self.clock.now())
+        if tokens >= 1.0:
+            self._buckets[ip] = (tokens - 1.0, now)
+            return 0.0
+        waited = (1.0 - tokens) / self.qps
+        # Waiting exactly the deficit refills the bucket to one whole
+        # token (or to the burst ceiling when burst < 1).
+        self._buckets[ip] = (min(1.0, self.burst) - 1.0, now + waited)
+        self.waits += 1
+        self.total_wait_time += waited
+        self.clock.advance(waited)
         return waited

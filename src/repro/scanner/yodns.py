@@ -43,6 +43,7 @@ from repro.scanner.results import (
     make_signal_name,
 )
 from repro.scanner.sampling import AnycastSamplingPolicy
+from repro.sched import EventLoop, FlightMap, active_loop
 from repro.server.network import NetworkTimeout, SimulatedNetwork
 
 
@@ -61,6 +62,12 @@ class ScannerConfig:
     # behaviour: `retries` immediate re-attempts, no backoff, so
     # pre-chaos campaigns keep their exact simulated durations.
     retry_policy: Optional[RetryPolicy] = None
+    # Concurrent in-flight zones per scan machine (repro.sched).  None
+    # keeps the legacy serial loop; N >= 1 runs the scan on a
+    # deterministic event loop with up to N zones overlapping their
+    # query RTTs, retry backoffs, and rate-limiter waits.  Reports are
+    # byte-identical either way; only the simulated duration drops.
+    in_flight: Optional[int] = None
 
 
 @dataclass
@@ -121,6 +128,15 @@ class Scanner:
         self.retry_attempts = 0
         self.retry_backoff_seconds = 0.0
         self.retry_abandoned = 0
+        # Concurrency (repro.sched): per-key single-flight gates so two
+        # in-flight zones never compute the same memo-cache entry twice,
+        # plus the loop statistics telemetry snapshots at the end.
+        self._flights = FlightMap()
+        self.sched_tasks = 0
+        self.sched_events = 0
+        self.sched_gate_waits = 0
+        self.sched_in_flight_peak = 0
+        self.sched_queue_peak = 0
         # (qname, qtype) -> (query message, encoded wire with msg_id 0).
         # The same question is asked of every selected server address, so
         # encoding once and patching the 2-byte id saves a full wire
@@ -224,14 +240,19 @@ class Scanner:
     # -- address resolution with cache ------------------------------------------
 
     def _addresses_for(self, ns_host: Name) -> List[str]:
-        cached = self._address_cache.get(ns_host)
-        if cached is None:
-            self.address_cache_misses += 1
-            cached = self.resolver.resolve_addresses(ns_host)
-            self._address_cache[ns_host] = cached
-        else:
-            self.address_cache_hits += 1
-        return cached
+        while True:
+            cached = self._address_cache.get(ns_host)
+            if cached is not None:
+                self.address_cache_hits += 1
+                return cached
+            claim = self._flights.claim(active_loop(self.limiter.clock), ("addr", ns_host))
+            if claim is None:
+                continue  # waited on another task's lookup; re-check
+            with claim:
+                self.address_cache_misses += 1
+                found = self.resolver.resolve_addresses(ns_host)
+                self._address_cache[ns_host] = found
+                return found
 
     # -- chain collection ------------------------------------------------------------
 
@@ -242,16 +263,21 @@ class Scanner:
         memoised — signaling zones are shared by an operator's whole
         portfolio, so this is queried once per signaling zone.
         """
-        cached = self._chain_cache.get(apex)
-        if cached is not None:
-            self.chain_cache_hits += 1
-            return cached
-        self.chain_cache_misses += 1
-        with self.telemetry.span("chain_validate", apex=apex.to_text()) as span:
-            links = self._collect_chain_uncached(apex)
-            span["links"] = len(links)
-        self._chain_cache[apex] = links
-        return links
+        while True:
+            cached = self._chain_cache.get(apex)
+            if cached is not None:
+                self.chain_cache_hits += 1
+                return cached
+            claim = self._flights.claim(active_loop(self.limiter.clock), ("chain", apex))
+            if claim is None:
+                continue  # waited on another task's walk; re-check
+            with claim:
+                self.chain_cache_misses += 1
+                with self.telemetry.span("chain_validate", apex=apex.to_text()) as span:
+                    links = self._collect_chain_uncached(apex)
+                    span["links"] = len(links)
+                self._chain_cache[apex] = links
+                return links
 
     def _collect_chain_uncached(self, apex: Name) -> List[ChainLink]:
         links: List[ChainLink] = []
@@ -315,16 +341,26 @@ class Scanner:
 
     # -- the per-zone scan -------------------------------------------------------------
 
+    def _query_count(self) -> int:
+        """The counter whose delta is this zone's ``queries_used``: the
+        calling task's own attribution under the event loop (other
+        in-flight zones' traffic must not leak in), the global network
+        counter in serial code."""
+        task = self.limiter.clock.current_task
+        if task is not None:
+            return task.queries
+        return self.network.queries_sent
+
     def scan_zone(self, zone: Name | str) -> ZoneScanResult:
         zone = zone if isinstance(zone, Name) else Name.from_text(zone)
         result = ZoneScanResult(zone=zone)
-        queries_before = self.network.queries_sent
+        queries_before = self._query_count()
 
         try:
             delegation = self.resolver.find_delegation(zone)
         except ResolutionError as exc:
             result.error = f"delegation: {exc}"
-            result.queries_used = self.network.queries_sent - queries_before
+            result.queries_used = self._query_count() - queries_before
             return result
 
         result.parent = delegation.parent
@@ -352,7 +388,7 @@ class Scanner:
         result.ns_addresses = ns_addresses
         if not ns_addresses:
             result.error = "no reachable nameserver addresses"
-            result.queries_used = self.network.queries_sent - queries_before
+            result.queries_used = self._query_count() - queries_before
             return result
 
         pairs, result.sampled = self.sampling.select(zone, ns_addresses)
@@ -368,7 +404,7 @@ class Scanner:
                 break
         if not result.resolved:
             result.error = "no authoritative server answered SOA"
-            result.queries_used = self.network.queries_sent - queries_before
+            result.queries_used = self._query_count() - queries_before
             return result
 
         # CDS/CDNSKEY from every selected server address.
@@ -381,7 +417,7 @@ class Scanner:
             for ns_host in result.delegation_ns:
                 result.signals.append(self._scan_signal(zone, ns_host))
 
-        result.queries_used = self.network.queries_sent - queries_before
+        result.queries_used = self._query_count() - queries_before
         return result
 
     def scan_iter(
@@ -398,21 +434,79 @@ class Scanner:
         progress callback invoked with every fresh result before it is
         yielded; a checkpointing store uses it to persist-as-you-scan so
         an interrupted campaign keeps everything committed so far.
+
+        With ``config.in_flight`` set, the scan runs on a deterministic
+        event loop (:mod:`repro.sched`): up to that many zones are in
+        flight at once, overlapping their simulated waits, while results
+        are still yielded in submission order — sinks, checkpoints, and
+        the final report are byte-identical to the serial scan.
         """
         tel = self.telemetry
-        for zone in zones:
-            name = zone if isinstance(zone, Name) else Name.from_text(zone)
-            if skip is not None and name.to_text() in skip:
-                continue
+        if self.config.in_flight is None:
+            for zone in zones:
+                name = zone if isinstance(zone, Name) else Name.from_text(zone)
+                if skip is not None and name.to_text() in skip:
+                    continue
+                if tel.enabled:
+                    with tel.span("scan_zone", zone=name.to_text()) as span:
+                        result = self.scan_zone(name)
+                        span["queries"] = result.queries_used
+                else:
+                    result = self.scan_zone(name)
+                if sink is not None:
+                    sink(result)
+                yield result
+            return
+        yield from self._scan_iter_scheduled(zones, skip, sink)
+
+    def _scan_iter_scheduled(
+        self,
+        zones: Iterable[Name | str],
+        skip: Optional[Container[str]],
+        sink: Optional[Callable[[ZoneScanResult], None]],
+    ) -> Iterator[ZoneScanResult]:
+        tel = self.telemetry
+
+        def names() -> Iterator[Name]:
+            for zone in zones:
+                name = zone if isinstance(zone, Name) else Name.from_text(zone)
+                if skip is not None and name.to_text() in skip:
+                    continue
+                yield name
+
+        def scan_one(name: Name) -> ZoneScanResult:
             if tel.enabled:
                 with tel.span("scan_zone", zone=name.to_text()) as span:
                     result = self.scan_zone(name)
                     span["queries"] = result.queries_used
-            else:
-                result = self.scan_zone(name)
-            if sink is not None:
-                sink(result)
-            yield result
+                    return result
+            return self.scan_zone(name)
+
+        # The loop owns the rate-limiter clock (the one that defines the
+        # machine's campaign duration); the network clock rides along so
+        # query costs, chaos latency, and timeouts suspend tasks too
+        # when it is a separate object (parallel-worker scan machines).
+        loop = EventLoop(
+            self.limiter.clock,
+            max_in_flight=self.config.in_flight,
+            extra_clocks=(self.network.clock,),
+        )
+        try:
+            with tel.span("sched_loop", in_flight=self.config.in_flight) as span:
+                for result in loop.map_iter(names(), scan_one):
+                    if sink is not None:
+                        sink(result)
+                    yield result
+                span["tasks"] = loop.tasks_started
+                span["events"] = loop.events
+        finally:
+            self.sched_tasks += loop.tasks_started
+            self.sched_events += loop.events
+            self.sched_gate_waits += loop.gate_waits
+            if loop.in_flight_peak > self.sched_in_flight_peak:
+                self.sched_in_flight_peak = loop.in_flight_peak
+            if loop.queue_peak > self.sched_queue_peak:
+                self.sched_queue_peak = loop.queue_peak
 
     def scan_many(
         self,
@@ -427,11 +521,21 @@ class Scanner:
     # -- signal-zone scanning --------------------------------------------------------------
 
     def _signal_zone_info(self, ns_host: Name) -> _SignalZoneInfo:
-        info = self._signal_info_cache.get(ns_host)
-        if info is not None:
-            self.signal_cache_hits += 1
-            return info
-        self.signal_cache_misses += 1
+        while True:
+            info = self._signal_info_cache.get(ns_host)
+            if info is not None:
+                self.signal_cache_hits += 1
+                return info
+            claim = self._flights.claim(active_loop(self.limiter.clock), ("signal", ns_host))
+            if claim is None:
+                continue  # waited on another task's probe; re-check
+            with claim:
+                self.signal_cache_misses += 1
+                info = self._signal_zone_info_uncached(ns_host)
+                self._signal_info_cache[ns_host] = info
+                return info
+
+    def _signal_zone_info_uncached(self, ns_host: Name) -> _SignalZoneInfo:
         signal_root = Name((b"_signal",)).concatenate(ns_host)
         apex: Optional[Name] = None
         server_pairs: List[Tuple[Name, str]] = []
@@ -470,9 +574,7 @@ class Scanner:
                     chain = self.collect_chain(apex)
         except ResolutionError as exc:
             error = str(exc)
-        info = _SignalZoneInfo(apex=apex, server_pairs=server_pairs, chain=chain, error=error)
-        self._signal_info_cache[ns_host] = info
-        return info
+        return _SignalZoneInfo(apex=apex, server_pairs=server_pairs, chain=chain, error=error)
 
     def _scan_signal(self, zone: Name, ns_host: Name) -> SignalScan:
         signal_name = make_signal_name(zone, ns_host)

@@ -1,0 +1,304 @@
+"""The discrete-event engine: a heap of ``(fire_time, seq)`` events
+driving cooperative per-zone tasks over a :class:`SimulatedClock`.
+
+Concurrency model
+-----------------
+Each task runs on its own (daemon) thread, but *exactly one* thread is
+runnable at any moment: the loop thread and the task threads hand
+control back and forth through per-task events, so there is no true
+parallelism and no data race — the threads are a mechanism for
+suspending/resuming arbitrary Python call stacks (the scan hot path
+stays plain synchronous code), not for speed.  Which task runs next is
+decided solely by the event heap: events fire in ``(fire_time, seq)``
+order, where ``seq`` is a global push counter — ties on the simulated
+clock resolve FIFO.  The schedule is therefore a pure function of the
+submitted work, independent of dict iteration order, PYTHONHASHSEED,
+and OS thread scheduling.
+
+Clock interception
+------------------
+While a loop runs, its clocks' ``advance(dt)`` inside a task becomes
+"suspend until ``task.now + dt``" and ``now()`` answers the *task's*
+local time; outside any task both fall back to the global frontier
+(the latest fired event).  When the loop finishes, every intercepted
+clock has advanced by the schedule's makespan — the overlapped campaign
+duration.
+
+No event ever fires in the past: tasks only push events at
+``task.now + dt`` with ``dt >= 0`` and resume *at* the frontier, so the
+fire times the heap pops are non-decreasing (checked, not assumed).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+
+class TaskCancelled(BaseException):
+    """Raised inside a task at its suspension point when the loop is
+    shut down before the task completes (e.g. ``stop_after`` closed the
+    scan iterator).  A ``BaseException`` so ordinary ``except Exception``
+    handlers in scan code cannot swallow the unwind."""
+
+
+class Task:
+    """One cooperative unit of work (one zone scan)."""
+
+    __slots__ = (
+        "index",
+        "item",
+        "now",
+        "queries",
+        "thread",
+        "resume_evt",
+        "cancelled",
+        "finished",
+        "value",
+        "error",
+    )
+
+    def __init__(self, index: int, item: Any, start: float):
+        self.index = index
+        self.item = item
+        self.now = start
+        # Queries attributed to this task by SimulatedNetwork.query —
+        # the per-zone ``queries_used`` accounting under concurrency
+        # (a global counter delta would count other tasks' traffic).
+        self.queries = 0
+        self.thread: Optional[threading.Thread] = None
+        self.resume_evt = threading.Event()
+        self.cancelled = False
+        self.finished = False
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else ("cancelled" if self.cancelled else "parked")
+        return f"<Task #{self.index} t={self.now:.3f} {state}>"
+
+
+class EventLoop:
+    """Run up to *max_in_flight* tasks concurrently on simulated time.
+
+    *clock* is the primary clock — the one whose reading defines the
+    campaign duration (the rate-limiter clock).  *extra_clocks* are
+    additionally intercepted so their advances suspend the task onto the
+    same timeline (the network clock, when it is a separate object as on
+    a parallel-worker scan machine).  All intercepted clocks advance by
+    the schedule's makespan when the loop completes.
+
+    Results from :meth:`map_iter` are yielded in **submission order**
+    (out-of-order completions are buffered), so downstream consumers —
+    store appends, checkpoints, progress events — observe exactly the
+    sequence a serial scan would have produced.
+    """
+
+    def __init__(
+        self,
+        clock,
+        max_in_flight: int = 1,
+        extra_clocks: Iterable[Any] = (),
+        trace: Optional[List[Tuple[float, int, int]]] = None,
+    ):
+        if max_in_flight < 1:
+            raise ValueError("max_in_flight must be >= 1")
+        self.clock = clock
+        self.max_in_flight = max_in_flight
+        self._clocks = list(dict.fromkeys((clock, *extra_clocks)))
+        # Optional event trace for the property-based suite: one
+        # (fire_time, seq, task_index) tuple per fired event.
+        self.trace = trace
+        self.current_task: Optional[Task] = None
+        self._heap: List[Tuple[float, int, Task]] = []
+        self._seq = 0
+        self._yielded = threading.Event()
+        self._tasks: List[Task] = []
+        self._running = 0
+        self._frontier = 0.0
+        self._base = 0.0
+        self._installed = False
+        self._clock_starts: List[float] = []
+        # Counters surfaced as sched.* telemetry.
+        self.tasks_started = 0
+        self.events = 0
+        self.gate_waits = 0
+        self.in_flight_peak = 0
+        self.queue_peak = 0
+
+    # -- public API --------------------------------------------------------
+
+    def map_iter(self, items: Iterable[Any], fn: Callable[[Any], Any]) -> Iterator[Any]:
+        """Apply *fn* to every item, up to *max_in_flight* at a time,
+        yielding results in submission order as they become ready."""
+        if self._installed:
+            raise RuntimeError("EventLoop is not reentrant")
+        self._install()
+        try:
+            yield from self._drive(iter(items), fn)
+        finally:
+            self._cancel_unfinished()
+            self._uninstall()
+
+    def run(self, items: Iterable[Any], fn: Callable[[Any], Any]) -> List[Any]:
+        """Eager form of :meth:`map_iter`."""
+        return list(self.map_iter(items, fn))
+
+    @property
+    def frontier(self) -> float:
+        """The latest fired event's time (the makespan so far)."""
+        return self._frontier
+
+    def gate(self) -> "Gate":
+        from repro.sched.gate import Gate
+
+        return Gate(self)
+
+    # -- the event loop ----------------------------------------------------
+
+    def _drive(self, it: Iterator[Any], fn: Callable[[Any], Any]) -> Iterator[Any]:
+        pending = {}
+        next_out = 0
+        exhausted = False
+
+        def admit(now: float) -> None:
+            nonlocal exhausted
+            while not exhausted and self._running < self.max_in_flight:
+                try:
+                    item = next(it)
+                except StopIteration:
+                    exhausted = True
+                    return
+                task = Task(len(self._tasks), item, now)
+                self._tasks.append(task)
+                self._running += 1
+                self.tasks_started += 1
+                if self._running > self.in_flight_peak:
+                    self.in_flight_peak = self._running
+                self._push(now, task)
+
+        admit(self._base)
+        while self._heap:
+            fire, seq, task = heapq.heappop(self._heap)
+            if fire < self._frontier:
+                raise RuntimeError(
+                    f"event for task #{task.index} fires at {fire:.6f}, "
+                    f"before the frontier {self._frontier:.6f}"
+                )
+            self.events += 1
+            self._frontier = fire
+            # Consumers between yields (sinks, progress events) read the
+            # primary clock outside any task: answer the frontier.
+            self.clock._now = fire
+            if self.trace is not None:
+                self.trace.append((fire, seq, task.index))
+            self._run_slice(task, fn)
+            if task.finished:
+                self._running -= 1
+                pending[task.index] = task
+                admit(task.now)
+                while next_out in pending:
+                    done = pending.pop(next_out)
+                    next_out += 1
+                    if done.error is not None:
+                        raise done.error
+                    yield done.value
+        if self._running:
+            parked = [t.index for t in self._tasks if not t.finished]
+            raise RuntimeError(
+                f"scheduler deadlock: task(s) {parked} parked with an empty event queue"
+            )
+
+    def _run_slice(self, task: Task, fn: Optional[Callable[[Any], Any]] = None) -> None:
+        """Resume *task* and block until it parks again or finishes."""
+        self.current_task = task
+        if task.thread is None:
+            task.thread = threading.Thread(
+                target=self._task_main,
+                args=(task, fn),
+                name=f"sched-task-{task.index}",
+                daemon=True,
+            )
+            task.thread.start()
+        else:
+            task.resume_evt.set()
+        self._yielded.wait()
+        self._yielded.clear()
+        self.current_task = None
+
+    def _task_main(self, task: Task, fn: Callable[[Any], Any]) -> None:
+        try:
+            task.value = fn(task.item)
+        except TaskCancelled:
+            pass
+        except BaseException as exc:  # noqa: BLE001 - handed to the consumer
+            task.error = exc
+        finally:
+            task.finished = True
+            self._yielded.set()
+
+    # -- task-side suspension (called from task threads) -------------------
+
+    def task_advance(self, seconds: float) -> None:
+        """``clock.advance`` inside a task: sleep on simulated time."""
+        task = self.current_task
+        if task is None:  # pragma: no cover - clock guards this
+            raise RuntimeError("task_advance outside a scheduled task")
+        if task.cancelled:
+            raise TaskCancelled()
+        task.now += seconds
+        self._push(task.now, task)
+        self._park(task)
+
+    def _park(self, task: Task) -> None:
+        """Hand control to the loop thread; return when resumed."""
+        task.resume_evt.clear()
+        self._yielded.set()
+        task.resume_evt.wait()
+        if task.cancelled:
+            raise TaskCancelled()
+
+    def _push(self, fire: float, task: Task) -> None:
+        heapq.heappush(self._heap, (fire, self._seq, task))
+        self._seq += 1
+        if len(self._heap) > self.queue_peak:
+            self.queue_peak = len(self._heap)
+
+    # -- clock interception ------------------------------------------------
+
+    def _install(self) -> None:
+        self._clock_starts = []
+        for clock in self._clocks:
+            if getattr(clock, "scheduler", None) is not None:
+                raise RuntimeError("clock is already driven by another EventLoop")
+            clock.scheduler = self
+            self._clock_starts.append(clock._now)
+        self._base = self._clocks[0]._now
+        self._frontier = self._base
+        self._installed = True
+
+    def _uninstall(self) -> None:
+        if not self._installed:
+            return
+        elapsed = self._frontier - self._base
+        for clock, start in zip(self._clocks, self._clock_starts):
+            clock.scheduler = None
+            # Offsets between clocks are preserved: each advances by the
+            # schedule's makespan, exactly as if the whole overlapped
+            # scan had played out on it.
+            clock._now = start + elapsed
+        self._installed = False
+
+    def _cancel_unfinished(self) -> None:
+        """Unwind every live task (TaskCancelled at its suspension
+        point) so generators/finally blocks run and threads exit."""
+        for task in self._tasks:
+            if task.finished:
+                continue
+            if task.thread is None:
+                # Admitted but never started: nothing to unwind.
+                task.finished = True
+                continue
+            task.cancelled = True
+            self._run_slice(task)

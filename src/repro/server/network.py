@@ -33,18 +33,43 @@ class NetworkTimeout(Exception):
 
 
 class SimulatedClock:
-    """A monotonically advancing virtual clock (seconds)."""
+    """A monotonically advancing virtual clock (seconds).
+
+    When a :class:`repro.sched.EventLoop` drives this clock
+    (``scheduler`` is set), reads and advances made *inside a task* are
+    task-local: ``now()`` answers the task's own timeline and
+    ``advance()`` suspends the task until the simulated fire time, so
+    concurrent zone scans overlap their waits.  Outside any task — and
+    whenever no loop is attached — the clock is the plain global one.
+    """
 
     def __init__(self, start: float = 0.0):
         self._now = start
+        self.scheduler = None
 
     def now(self) -> float:
+        scheduler = self.scheduler
+        if scheduler is not None:
+            task = scheduler.current_task
+            if task is not None:
+                return task.now
         return self._now
 
     def advance(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("clock cannot go backwards")
+        scheduler = self.scheduler
+        if scheduler is not None and scheduler.current_task is not None:
+            scheduler.task_advance(seconds)
+            return
         self._now += seconds
+
+    @property
+    def current_task(self):
+        """The scheduled task currently advancing on this clock (None
+        outside an event loop) — used for per-task query attribution."""
+        scheduler = self.scheduler
+        return scheduler.current_task if scheduler is not None else None
 
 
 class SimulatedNetwork:
@@ -139,6 +164,11 @@ class SimulatedNetwork:
         if wire is None:
             wire = query.to_wire()
         self.queries_sent += 1
+        task = self.clock.current_task
+        if task is not None:
+            # Concurrent scans: charge the query to the in-flight zone
+            # (a global-counter delta would count other tasks' traffic).
+            task.queries += 1
         if tcp:
             self.tcp_queries += 1
         self.bytes_sent += len(wire)

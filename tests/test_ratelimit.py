@@ -85,3 +85,79 @@ class TestTokenAccounting:
         waited = limiter.acquire("192.0.2.2")
         assert waited == 0.0
         assert tokens(limiter, "192.0.2.2") == pytest.approx(0.0)
+
+
+class TestInterleavedWaiters:
+    """Regression: ``acquire`` used to assume callers arrive in strictly
+    increasing clock order — true for the serial scanner, false under
+    the repro.sched event loop, where several tasks can contend for one
+    bucket at the *same* simulated instant (the advance suspends the
+    task, letting the next contender read the bucket mid-wait).  The
+    reservation-style acquire charges the bucket and records the grant
+    timestamp *before* yielding, so same-instant contenders serialize
+    at exactly 1/qps apart."""
+
+    def test_same_instant_contenders_serialize_at_qps(self):
+        from repro.sched import EventLoop
+
+        clock = SimulatedClock()
+        limiter = RateLimiter(clock, qps=10, burst=1)
+        loop = EventLoop(clock, max_in_flight=4)
+        grants = []
+
+        def fn(i):
+            limiter.acquire(IP)
+            grants.append((i, clock.now()))
+
+        loop.run(range(4), fn)
+        # One burst token free at t=0, then the three waiters are
+        # spaced exactly one token-regeneration apart — never two
+        # grants inside the same 1/qps window.
+        assert [t for _, t in grants] == pytest.approx([0.0, 0.1, 0.2, 0.3])
+        assert [i for i, _ in grants] == [0, 1, 2, 3]
+        assert limiter.waits == 3
+        assert limiter.total_wait_time == pytest.approx(0.6)  # 0.1+0.2+0.3
+
+    def test_interleaved_buckets_do_not_interfere(self):
+        from repro.sched import EventLoop
+
+        clock = SimulatedClock()
+        limiter = RateLimiter(clock, qps=10, burst=1)
+        loop = EventLoop(clock, max_in_flight=4)
+        grants = {}
+
+        def fn(i):
+            ip = IP if i % 2 == 0 else "192.0.2.2"
+            limiter.acquire(ip)
+            grants[i] = clock.now()
+
+        loop.run(range(4), fn)
+        # Two buckets, two contenders each: every bucket grants its
+        # burst token at 0 and its one waiter at +1/qps.
+        assert grants[0] == pytest.approx(0.0)
+        assert grants[1] == pytest.approx(0.0)
+        assert grants[2] == pytest.approx(0.1)
+        assert grants[3] == pytest.approx(0.1)
+
+    def test_concurrent_grant_schedule_matches_serial(self):
+        from repro.sched import EventLoop
+
+        serial_clock = SimulatedClock()
+        serial = RateLimiter(serial_clock, qps=10, burst=1)
+        for _ in range(6):
+            serial.acquire(IP)
+
+        clock = SimulatedClock()
+        limiter = RateLimiter(clock, qps=10, burst=1)
+        loop = EventLoop(clock, max_in_flight=6)
+
+        loop.run(range(6), lambda i: limiter.acquire(IP))
+        # The *grant schedule* is invariant: same number of throttled
+        # acquires, same final clock (last grant at 0.5 s either way).
+        # Per-caller waits legitimately differ — serial callers arrive
+        # after the previous wait elapsed (each waits 0.1 s), while
+        # concurrent callers all arrive at t=0 (waiter i waits i/qps).
+        assert limiter.waits == serial.waits == 5
+        assert clock.now() == pytest.approx(serial_clock.now())
+        assert serial.total_wait_time == pytest.approx(0.5)
+        assert limiter.total_wait_time == pytest.approx(1.5)
