@@ -1,0 +1,117 @@
+"""Read-serving plane benchmarks — the latency face of App. D: once a
+campaign is archived, how fast can per-zone questions be answered, and
+does a concurrently appending campaign disturb the serving path?
+
+Measures point-lookup p50/p99 latency and lookups/second against the
+indexed snapshot, twice: idle, and while a writer thread keeps
+committing new segments into the same store (the stale-but-consistent
+serving mode).  Emits ``BENCH_query.json``.
+"""
+
+import copy
+import shutil
+import threading
+import time
+
+from conftest import save_artifact
+
+from repro.query import QueryService, build_index
+from repro.scanner.serialize import result_from_obj, result_to_obj
+from repro.store import CampaignStore
+
+LOOKUPS = 2000
+MISS_EVERY = 10  # every 10th lookup asks for an absent zone
+WRITER_RECORDS = 200
+WRITER_CHECKPOINT_EVERY = 16
+
+
+def _percentile(latencies, fraction):
+    ranked = sorted(latencies)
+    return ranked[min(len(ranked) - 1, int(len(ranked) * fraction))]
+
+
+def _lookup_phase(service, names):
+    """Run one lookup pass; returns (latencies_seconds, hits)."""
+    latencies = []
+    hits = 0
+    for i, name in enumerate(names):
+        target = name if i % MISS_EVERY else f"absent-{i}.example."
+        t0 = time.perf_counter()
+        view = service.zone_status(target)
+        latencies.append(time.perf_counter() - t0)
+        if view is not None:
+            hits += 1
+    return latencies, hits
+
+
+def _writer(root, template, stop_event):
+    """Append mutated records until told to stop — the concurrent
+    campaign a serving snapshot must stay consistent under."""
+    store = CampaignStore.open(root, checkpoint_every=WRITER_CHECKPOINT_EVERY)
+    store.reopen_in_progress()
+    for i in range(WRITER_RECORDS):
+        if stop_event.is_set():
+            break
+        obj = copy.deepcopy(template)
+        obj["zone"] = f"bench-writer-{i}.example."
+        store.append(result_from_obj(obj))
+    store.checkpoint()
+
+
+def test_query_lookup_latency(campaign, campaign_store, results_dir, tmp_path):
+    root = tmp_path / "query-bench"
+    shutil.copytree(campaign_store, root)
+    build_index(root, operator_db=campaign.world.operator_db)
+
+    snapshot_records = len(campaign.results)
+    # A deterministic sample of indexed names, recycled to LOOKUPS size.
+    zones = sorted(result.zone.to_text() for result in campaign.results)
+    step = max(1, len(zones) // LOOKUPS)
+    sample = (zones[::step] * (LOOKUPS // max(1, len(zones[::step])) + 1))[:LOOKUPS]
+
+    with QueryService(root) as service:
+        idle_latencies, idle_hits = _lookup_phase(service, sample)
+        assert idle_hits  # the sample must actually resolve
+
+    template = result_to_obj(campaign.results[0])
+    stop = threading.Event()
+    writer = threading.Thread(target=_writer, args=(root, template, stop))
+    with QueryService(root) as service:
+        writer.start()
+        try:
+            live_latencies, live_hits = _lookup_phase(service, sample)
+        finally:
+            stop.set()
+            writer.join()
+        # Stale-but-consistent: the pinned snapshot answers exactly as
+        # before the writer showed up, and the staleness is detectable.
+        assert live_hits == idle_hits
+        assert service.snapshot.records == snapshot_records
+        assert service.check_stale()
+
+    idle_total = sum(idle_latencies)
+    live_total = sum(live_latencies)
+    metrics = {
+        "zones_indexed": snapshot_records,
+        "lookups": LOOKUPS,
+        "idle_p50_us": _percentile(idle_latencies, 0.50) * 1e6,
+        "idle_p99_us": _percentile(idle_latencies, 0.99) * 1e6,
+        "idle_lookups_per_second": LOOKUPS / idle_total,
+        "concurrent_p50_us": _percentile(live_latencies, 0.50) * 1e6,
+        "concurrent_p99_us": _percentile(live_latencies, 0.99) * 1e6,
+        "concurrent_lookups_per_second": LOOKUPS / live_total,
+        "writer_records": WRITER_RECORDS,
+    }
+    save_artifact(
+        results_dir,
+        "query.txt",
+        f"query plane: {LOOKUPS} point lookups over {snapshot_records} indexed zones\n"
+        f"idle:       p50 {metrics['idle_p50_us']:.0f}us  "
+        f"p99 {metrics['idle_p99_us']:.0f}us  "
+        f"{metrics['idle_lookups_per_second']:.0f} lookups/s\n"
+        f"concurrent: p50 {metrics['concurrent_p50_us']:.0f}us  "
+        f"p99 {metrics['concurrent_p99_us']:.0f}us  "
+        f"{metrics['concurrent_lookups_per_second']:.0f} lookups/s "
+        f"(writer committing every {WRITER_CHECKPOINT_EVERY} records)",
+        metrics=metrics,
+    )

@@ -23,6 +23,14 @@ Lower-level pieces compose the same way the campaign does::
     scanner = world.make_scanner()
     results = scanner.scan_many(world.scan_list)
     report = AnalysisPipeline(world.operator_db).analyze(results)
+
+Stored campaigns answer per-zone questions through the query plane::
+
+    from repro import QueryService, build_index
+
+    build_index(store_dir, operator_db=world.operator_db)
+    with QueryService(store_dir) as queries:
+        print(queries.zone_status("example.com").status)
 """
 
 __version__ = "1.0.0"
@@ -42,6 +50,8 @@ __all__ = [
     "Telemetry",
     "ChaosConfig",
     "RetryPolicy",
+    "QueryService",
+    "build_index",
 ]
 
 _API = {
@@ -58,6 +68,8 @@ _API = {
     "Telemetry": ("repro.obs", "Telemetry"),
     "ChaosConfig": ("repro.chaos", "ChaosConfig"),
     "RetryPolicy": ("repro.chaos", "RetryPolicy"),
+    "QueryService": ("repro.query", "QueryService"),
+    "build_index": ("repro.query", "build_index"),
 }
 
 

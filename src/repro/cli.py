@@ -373,6 +373,182 @@ def cmd_store_reanalyze(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- read-serving plane (repro.query) ----------------------------------------
+
+
+def _campaign_operator_db():
+    """The same operator DB every world carries — the profile catalogue
+    is seed/scale-independent, so no world build is needed to attribute
+    operators during an index build."""
+    from repro.core.operators import OperatorDB
+    from repro.ecosystem.profiles import build_profiles, operator_db_config
+
+    suffixes, _ = operator_db_config(build_profiles())
+    return OperatorDB(suffixes=suffixes)
+
+
+def _flush_query_telemetry(telemetry, store_dir) -> None:
+    """Append this session's query counters to <store>/events/query.jsonl."""
+    from repro.obs.events import query_events_path
+
+    telemetry.flush_counters()
+    if telemetry.events:
+        telemetry.open_sink(query_events_path(store_dir))
+        telemetry.close()
+
+
+def cmd_query_index(args: argparse.Namespace) -> int:
+    """Compact a campaign store into its query snapshot."""
+    from repro.obs import Telemetry
+    from repro.query import build_index
+    from repro.store import StoreError
+
+    telemetry = Telemetry()
+    operator_db = None if args.no_operators else _campaign_operator_db()
+    try:
+        snapshot = build_index(args.dir, operator_db=operator_db, telemetry=telemetry)
+    except StoreError as exc:
+        print(f"cannot index store: {exc}", file=sys.stderr)
+        return 2
+    _flush_query_telemetry(telemetry, args.dir)
+    print(
+        f"indexed {snapshot.records} zones into {snapshot.num_buckets} buckets "
+        f"under {args.dir}/index"
+    )
+    return 0
+
+
+def cmd_query_get(args: argparse.Namespace) -> int:
+    """Point lookup: one zone's status view (or full record with --full)."""
+    from repro.obs import Telemetry
+    from repro.query import QueryError, QueryService
+    from repro.scanner.serialize import result_to_line
+
+    telemetry = Telemetry()
+    try:
+        with QueryService(args.dir, telemetry=telemetry) as service:
+            view = service.zone_status(args.zone)
+            if view is not None and args.full:
+                record = service.zone_record(args.zone)
+            stale = service.check_stale()
+    except QueryError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 2
+    _flush_query_telemetry(telemetry, args.dir)
+    if view is None:
+        print(f"zone {args.zone} is not in the snapshot")
+        return 1
+    if args.full:
+        print(result_to_line(record))
+    else:
+        print(view.render())
+    if stale:
+        print(
+            "(snapshot is stale: the store has newer records — rebuild "
+            f"with: repro-dnssec query index --dir {args.dir})"
+        )
+    return 0
+
+
+def cmd_query_list(args: argparse.Namespace) -> int:
+    """Enumerate zones by status class or operator (columnar scan)."""
+    from repro.obs import Telemetry
+    from repro.query import QueryError, QueryService
+
+    telemetry = Telemetry()
+    try:
+        with QueryService(args.dir, telemetry=telemetry) as service:
+            if args.status:
+                zones = service.zones_with_status(args.status)
+                label = f"status={args.status}"
+            elif args.operator:
+                zones = service.zones_for_operator(args.operator)
+                label = f"operator={args.operator}"
+            else:
+                counts = service.status_counts()
+                for status, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+                    print(f"  {status:<12} {count}")
+                print(f"{sum(counts.values())} zones indexed")
+                _flush_query_telemetry(telemetry, args.dir)
+                return 0
+    except QueryError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 2
+    _flush_query_telemetry(telemetry, args.dir)
+    shown = zones if args.limit == 0 else zones[: args.limit]
+    for zone in shown:
+        print(zone)
+    if len(zones) > len(shown):
+        print(f"... {len(zones)} zones total ({label})")
+    return 0
+
+
+def cmd_query_dashboard(args: argparse.Namespace) -> int:
+    """Per-operator deployment dashboard from the columnar sidecars."""
+    from repro.obs import Telemetry
+    from repro.query import QueryError, QueryService
+    from repro.reports.dashboard import zone_status_dashboard
+
+    telemetry = Telemetry()
+    try:
+        with QueryService(args.dir, telemetry=telemetry) as service:
+            print(zone_status_dashboard(service, limit=args.limit))
+    except QueryError as exc:
+        print(f"query failed: {exc}", file=sys.stderr)
+        return 2
+    _flush_query_telemetry(telemetry, args.dir)
+    return 0
+
+
+def cmd_query_verify(args: argparse.Namespace) -> int:
+    """Re-hash every snapshot file against its recorded digest."""
+    from repro.query import QueryError, verify_snapshot
+
+    try:
+        snapshot = verify_snapshot(args.dir)
+    except QueryError as exc:
+        print(f"snapshot verification failed: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"snapshot OK: {snapshot.records} zones, {snapshot.num_buckets} buckets, "
+        "all digests verified"
+    )
+    return 0
+
+
+def cmd_query_serve(args: argparse.Namespace) -> int:
+    """Serve lookups for zone names read line-by-line from stdin."""
+    from repro.obs import Telemetry
+    from repro.query import QueryError, QueryService
+
+    telemetry = Telemetry()
+    try:
+        service = QueryService(args.dir, telemetry=telemetry)
+    except QueryError as exc:
+        print(f"cannot serve: {exc}", file=sys.stderr)
+        return 2
+    with service:
+        print(service.summary())
+        print("reading zone names from stdin (one per line) ...", flush=True)
+        served = 0
+        for line in sys.stdin:
+            zone = line.strip()
+            if not zone:
+                continue
+            view = service.zone_status(zone)
+            if view is None:
+                print(f"{zone}\tNXDOMAIN")
+            else:
+                print(
+                    f"{view.zone}\t{view.status}\t{view.eligibility}\t"
+                    f"{view.outcome}\t{view.operator}"
+                )
+            served += 1
+    _flush_query_telemetry(telemetry, args.dir)
+    print(f"served {served} lookups", flush=True)
+    return 0
+
+
 def cmd_bootstrap(args: argparse.Namespace) -> int:
     """Play registry: run an acceptance policy and provision DS RRsets."""
     from collections import Counter
@@ -546,6 +722,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stats.add_argument("dir", help="campaign store directory")
     stats.set_defaults(func=cmd_stats)
+
+    query = sub.add_parser(
+        "query", help="read-serving plane: indexed per-zone status lookups"
+    )
+    query_sub = query.add_subparsers(dest="query_command", required=True)
+
+    query_index = query_sub.add_parser(
+        "index", help="compact a store into its query snapshot"
+    )
+    query_index.add_argument("--dir", required=True, help="campaign store directory")
+    query_index.add_argument(
+        "--no-operators",
+        action="store_true",
+        help="skip operator attribution (zones attribute to 'unknown')",
+    )
+    query_index.set_defaults(func=cmd_query_index)
+
+    query_get = query_sub.add_parser("get", help="point lookup for one zone")
+    query_get.add_argument("--dir", required=True)
+    query_get.add_argument("zone", help="zone name (with or without trailing dot)")
+    query_get.add_argument(
+        "--full", action="store_true", help="print the full archived record as JSON"
+    )
+    query_get.set_defaults(func=cmd_query_get)
+
+    query_list = query_sub.add_parser(
+        "list", help="enumerate zones by status class or operator"
+    )
+    query_list.add_argument("--dir", required=True)
+    query_list.add_argument("--status", help="status class (e.g. island, secure)")
+    query_list.add_argument("--operator", help="operator name (e.g. Cloudflare)")
+    query_list.add_argument("--limit", type=int, default=50, help="0 = unlimited")
+    query_list.set_defaults(func=cmd_query_list)
+
+    query_dashboard = query_sub.add_parser(
+        "dashboard", help="per-operator deployment dashboard"
+    )
+    query_dashboard.add_argument("--dir", required=True)
+    query_dashboard.add_argument("--limit", type=int, default=20)
+    query_dashboard.set_defaults(func=cmd_query_dashboard)
+
+    query_verify = query_sub.add_parser(
+        "verify", help="re-hash the snapshot against its digests"
+    )
+    query_verify.add_argument("--dir", required=True)
+    query_verify.set_defaults(func=cmd_query_verify)
+
+    query_serve = query_sub.add_parser(
+        "serve", help="answer zone lookups read from stdin"
+    )
+    query_serve.add_argument("--dir", required=True)
+    query_serve.set_defaults(func=cmd_query_serve)
 
     bootstrap = sub.add_parser("bootstrap", help="run a registry acceptance policy")
     _add_common(bootstrap)

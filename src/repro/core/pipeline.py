@@ -27,6 +27,25 @@ from repro.dnssec.validator import DEFAULT_VALIDATION_TIME
 from repro.scanner.results import ZoneScanResult
 
 
+def signal_operator_for(result: ZoneScanResult, operator_db: OperatorDB, fallback: str) -> str:
+    """The operator a zone's *signal* belongs to: the operator of the
+    first NS hostname under which signal RRs were actually found.
+
+    In multi-operator setups only one party typically publishes the
+    signaling zone; attributing by publisher matches the paper's
+    per-operator Table 3 columns.  Shared by the live pipeline and the
+    query index builder so both attribute identically.
+    """
+    for scan in result.signals:
+        if not scan.any_cds:
+            continue
+        operator = operator_db.identify_host(scan.ns_host)
+        if operator is not None:
+            return operator
+        return fallback
+    return fallback
+
+
 @dataclass
 class OperatorStats:
     """Per-operator accumulators for Tables 1 and 2."""
@@ -225,21 +244,7 @@ class AnalysisPipeline:
         assessment: BootstrapAssessment,
         fallback: str,
     ) -> str:
-        """The operator a zone's *signal* belongs to: the operator of the
-        first NS hostname under which signal RRs were actually found.
-
-        In multi-operator setups only one party typically publishes the
-        signaling zone; attributing by publisher matches the paper's
-        per-operator Table 3 columns.
-        """
-        for scan in result.signals:
-            if not scan.any_cds:
-                continue
-            operator = self.operator_db.identify_host(scan.ns_host)
-            if operator is not None:
-                return operator
-            return fallback
-        return fallback
+        return signal_operator_for(result, self.operator_db, fallback)
 
     def _observe_cds_stats(
         self,

@@ -17,10 +17,12 @@ dependency graph).
 from repro.obs.events import (
     EVENTS_DIR,
     EVENT_STREAM_FILENAME,
+    QUERY_STREAM_FILENAME,
     WORKERS_DIR,
     campaign_event_streams,
     events_path,
     iter_campaign_events,
+    query_events_path,
     read_events,
 )
 from repro.obs.telemetry import (
@@ -37,6 +39,7 @@ __all__ = [
     "EVENT_STREAM_FILENAME",
     "NULL_TELEMETRY",
     "NullTelemetry",
+    "QUERY_STREAM_FILENAME",
     "Telemetry",
     "WORKERS_DIR",
     "as_telemetry",
@@ -44,6 +47,7 @@ __all__ = [
     "collect_stats",
     "events_path",
     "iter_campaign_events",
+    "query_events_path",
     "read_events",
     "render_stats",
     "write_benchmark_metrics",

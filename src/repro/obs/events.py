@@ -22,6 +22,12 @@ from typing import Any, Dict, Iterator, List, Tuple
 EVENTS_DIR = "events"
 EVENT_STREAM_FILENAME = "stream.jsonl"
 
+# The read-serving plane (repro.query) appends to its own stream: the
+# campaign stream above is byte-identical for a given (seed, scale,
+# config) and query traffic is driven by whoever asks questions later —
+# mixing the two would break the campaign stream's determinism contract.
+QUERY_STREAM_FILENAME = "query.jsonl"
+
 # The parallel engine's worker-store directory (defined here, at the
 # bottom of the dependency graph, so the observability reader needs no
 # import from repro.parallel).
@@ -31,6 +37,11 @@ WORKERS_DIR = "workers"
 def events_path(store_root: Path) -> Path:
     """Where a store's own event stream lives."""
     return Path(store_root) / EVENTS_DIR / EVENT_STREAM_FILENAME
+
+
+def query_events_path(store_root: Path) -> Path:
+    """Where the read-serving plane's event stream lives."""
+    return Path(store_root) / EVENTS_DIR / QUERY_STREAM_FILENAME
 
 
 def read_events(path: Path) -> List[Dict[str, Any]]:

@@ -15,7 +15,12 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
-from repro.obs.events import WORKERS_DIR, campaign_event_streams, read_events
+from repro.obs.events import (
+    WORKERS_DIR,
+    campaign_event_streams,
+    query_events_path,
+    read_events,
+)
 from repro.reports.render import format_count, format_duration, render_table
 from repro.store.manifest import load_manifest
 
@@ -57,6 +62,11 @@ class CampaignStats:
     spans: Dict[str, SpanStats] = field(default_factory=dict)
     last_progress: Dict[str, Dict[str, Any]] = field(default_factory=dict)
     machines: List[Dict[str, Any]] = field(default_factory=list)
+    # Read-serving plane (events/query.jsonl) — kept apart from the
+    # campaign counters because that stream is per-session and additive,
+    # not a deterministic function of (seed, scale, config).
+    query_counters: Dict[str, float] = field(default_factory=dict)
+    query_sessions: int = 0
 
 
 def _machine_stats(root: Path) -> List[Dict[str, Any]]:
@@ -119,6 +129,17 @@ def collect_stats(store_root: Path) -> CampaignStats:
                     stats.counters[name] = stats.counters.get(name, 0) + value
                 break
     stats.machines = _machine_stats(root)
+    query_stream = query_events_path(root)
+    if query_stream.exists():
+        # Unlike campaign streams, every CLI/service session appends its
+        # own final counters event here — counters are cumulative within
+        # a session and additive across sessions, so SUM all of them.
+        for event in read_events(query_stream):
+            if event.get("kind") != "counters":
+                continue
+            stats.query_sessions += 1
+            for name, value in event["counters"].items():
+                stats.query_counters[name] = stats.query_counters.get(name, 0) + value
     return stats
 
 
@@ -127,6 +148,41 @@ def _rate(hits: float, misses: float) -> str:
     if not total:
         return "-"
     return f"{100.0 * hits / total:.1f}%"
+
+
+def _render_query_plane(stats: CampaignStats) -> List[str]:
+    """The ``query plane`` stats section (read-serving counters)."""
+    q = stats.query_counters
+    if not q:
+        return []
+    lookups = q.get("query.lookups", 0)
+    hits = q.get("query.cache_hits", 0)
+    misses = q.get("query.cache_misses", 0)
+    per_miss = f"{q.get('query.index_seeks', 0) / misses:.1f}" if misses else "-"
+    lines = [
+        "",
+        f"query plane ({stats.query_sessions} session(s))",
+        f"  lookups:      {format_count(int(lookups))} "
+        f"({format_count(int(q.get('query.negative', 0)))} negative)",
+        f"  cache:        {format_count(int(hits))} hits, "
+        f"{format_count(int(misses))} misses ({_rate(hits, misses)})",
+        f"  index seeks:  {format_count(int(q.get('query.index_seeks', 0)))} "
+        f"({per_miss}/uncached lookup)",
+        f"  bytes read:   {format_count(int(q.get('query.bytes_read', 0)))}",
+        f"  enumerations: {format_count(int(q.get('query.enumerations', 0)))}",
+    ]
+    if q.get("query.index_builds"):
+        lines.append(
+            f"  index builds: {format_count(int(q.get('query.index_builds', 0)))} "
+            f"({format_count(int(q.get('query.index_records', 0)))} records compacted)"
+        )
+    if q.get("query.stale_detected"):
+        lines.append(
+            f"  staleness:    {format_count(int(q.get('query.stale_detected', 0)))}"
+            f"/{format_count(int(q.get('query.stale_checks', 0)))} checks found "
+            "the snapshot behind the store"
+        )
+    return lines
 
 
 def render_stats(stats: CampaignStats) -> str:
@@ -141,6 +197,9 @@ def render_stats(stats: CampaignStats) -> str:
         f"events:    {format_count(stats.events)} across {stats.streams} stream(s)",
     ]
     if not stats.events:
+        if stats.query_counters:
+            lines += _render_query_plane(stats)
+            return "\n".join(lines)
         lines.append(
             "\nno telemetry events recorded — run the campaign with "
             "telemetry enabled (--telemetry / CampaignConfig(telemetry=True))"
@@ -257,6 +316,7 @@ def render_stats(stats: CampaignStats) -> str:
                 ["machine", "zones", "queries", "duration (simulated)"], machine_rows
             ),
         ]
+    lines += _render_query_plane(stats)
     return "\n".join(lines)
 
 

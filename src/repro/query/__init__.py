@@ -1,0 +1,58 @@
+"""repro.query — indexed snapshots + the read-serving plane.
+
+Two halves:
+
+* :mod:`repro.query.snapshot` — ``build_index`` compacts a campaign
+  store into a deterministic, versioned snapshot under ``<store>/index/``
+  (sorted per-bucket offset indexes + columnar sidecars), byte-identical
+  for a given record set regardless of how the segments were laid down;
+* :mod:`repro.query.service` — ``QueryService`` serves point lookups
+  and scans from that snapshot at O(log n) seeks per uncached lookup,
+  stale-but-consistent while a campaign keeps appending.
+"""
+
+from repro.query.snapshot import (
+    FLAG_CDS_DELETE,
+    FLAG_HAS_CDS,
+    FLAG_HAS_SIGNAL,
+    FLAG_MULTI_OPERATOR,
+    FLAG_RESOLVED,
+    FLAG_SAMPLED,
+    QueryError,
+    SnapshotInfo,
+    build_index,
+    index_dir,
+    load_snapshot,
+    manifest_generation,
+    verify_snapshot,
+    zone_key64,
+)
+from repro.query.service import QueryService, ZoneStatusView
+
+__all__ = [
+    "FLAG_CDS_DELETE",
+    "FLAG_HAS_CDS",
+    "FLAG_HAS_SIGNAL",
+    "FLAG_MULTI_OPERATOR",
+    "FLAG_RESOLVED",
+    "FLAG_SAMPLED",
+    "QueryError",
+    "QueryService",
+    "SnapshotInfo",
+    "ZoneStatusView",
+    "build_index",
+    "index_dir",
+    "load_snapshot",
+    "manifest_generation",
+    "verify_snapshot",
+    "zone_key64",
+    "zone_status_dashboard",
+]
+
+
+def __getattr__(name):
+    if name == "zone_status_dashboard":
+        from repro.reports.dashboard import zone_status_dashboard
+
+        return zone_status_dashboard
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

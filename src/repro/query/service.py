@@ -1,0 +1,389 @@
+"""The read-serving plane: point lookups and scans over a snapshot.
+
+A :class:`QueryService` answers per-zone questions — "what is this
+zone's DNSSEC status, is it bootstrappable, who operates it" — against
+the indexed snapshot built by :func:`repro.query.build_index`, at a
+per-lookup cost that never depends on campaign size:
+
+* a **point lookup** binary-searches the bucket's sorted ``.idx`` file
+  with ~20-byte probes (≤ ``log2(bucket records) + 1`` seeks), then
+  reads exactly one meta row — it never streams a segment;
+* the hot-field answer is an LRU-cached :class:`ZoneStatusView`;
+  *misses are cached too* (the negative cache), so hammering the
+  service with absent names stays O(1) amortised;
+* **enumerations** (status histograms, operator portfolios) read the
+  columnar sidecars — a few small line-per-record files — instead of
+  decoding full records;
+* the full archived record behind a view is one seek away
+  (:meth:`zone_record`) because each meta row carries its record's
+  ``(offset, length)`` in the re-packed bucket data file.
+
+Consistency model: the service serves the *pinned* snapshot.  A
+campaign appending to the same store changes segments and the manifest
+but never ``index/``, so every answer stays internally consistent
+(stale-but-consistent); :meth:`check_stale` reports whether the live
+manifest has moved past the pin, and a rebuild + fresh service picks
+up the new records.
+
+Everything the service does is accounted through ``query.*`` telemetry
+counters (lookups, cache hits/misses, negative answers, index seeks,
+bytes read, enumerations) — which is also how the tests pin the
+"no full scan, bounded bytes per lookup" contract.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro.dns.name import Name, NameError_
+from repro.obs.telemetry import as_telemetry
+from repro.scanner.results import ZoneScanResult
+from repro.scanner.serialize import result_from_obj
+from repro.store.manifest import load_manifest
+from repro.store.shards import shard_for_zone
+from repro.query.snapshot import (
+    FLAG_CDS_DELETE,
+    FLAG_HAS_CDS,
+    FLAG_HAS_SIGNAL,
+    FLAG_MULTI_OPERATOR,
+    FLAG_RESOLVED,
+    FLAG_SAMPLED,
+    IDX_ROW,
+    IDX_ROW_SIZE,
+    QueryError,
+    SnapshotInfo,
+    index_dir,
+    load_snapshot,
+    manifest_generation,
+    zone_key64,
+)
+
+DEFAULT_CACHE_SIZE = 4096
+
+# Sentinel cached for zones the snapshot does not hold.
+_NEGATIVE = None
+
+
+@dataclass(frozen=True)
+class ZoneStatusView:
+    """The hot per-zone answer: assessment fields without the record."""
+
+    zone: str
+    status: str
+    eligibility: str
+    outcome: str
+    operator: str
+    signal_operator: Optional[str]
+    flags: int
+    bucket: int
+    offset: int  # record location in the bucket data file …
+    length: int  # … for QueryService.zone_record
+
+    @property
+    def resolved(self) -> bool:
+        return bool(self.flags & FLAG_RESOLVED)
+
+    @property
+    def has_cds(self) -> bool:
+        return bool(self.flags & FLAG_HAS_CDS)
+
+    @property
+    def cds_delete(self) -> bool:
+        return bool(self.flags & FLAG_CDS_DELETE)
+
+    @property
+    def has_signal(self) -> bool:
+        return bool(self.flags & FLAG_HAS_SIGNAL)
+
+    @property
+    def multi_operator(self) -> bool:
+        return bool(self.flags & FLAG_MULTI_OPERATOR)
+
+    @property
+    def sampled(self) -> bool:
+        return bool(self.flags & FLAG_SAMPLED)
+
+    def render(self) -> str:
+        """What ``repro-dnssec query get`` prints."""
+        lines = [
+            f"zone:         {self.zone}",
+            f"status:       {self.status}",
+            f"eligibility:  {self.eligibility}",
+            f"signal:       {self.outcome}",
+            f"operator:     {self.operator}"
+            + (" (multi-operator)" if self.multi_operator else ""),
+        ]
+        if self.signal_operator is not None:
+            lines.append(f"signal via:   {self.signal_operator}")
+        tags = [
+            tag
+            for tag, on in (
+                ("resolved", self.resolved),
+                ("cds", self.has_cds),
+                ("cds-delete", self.cds_delete),
+                ("sampled", self.sampled),
+            )
+            if on
+        ]
+        if tags:
+            lines.append(f"tags:         {' '.join(tags)}")
+        return "\n".join(lines)
+
+
+def _normalize_zone(name: str) -> str:
+    """Canonical dotted form matching stored ``zone.to_text()`` output."""
+    try:
+        return Name.from_text(name).to_text()
+    except NameError_:
+        # Absent from the snapshot by construction; still a valid query.
+        return name if name.endswith(".") else name + "."
+
+
+class QueryService:
+    """Read-serving handle on one store's indexed snapshot."""
+
+    def __init__(
+        self,
+        store_root: Path,
+        cache_size: int = DEFAULT_CACHE_SIZE,
+        telemetry=None,
+    ):
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.root = Path(store_root)
+        self.snapshot: SnapshotInfo = load_snapshot(self.root)
+        self.cache_size = cache_size
+        self.telemetry = as_telemetry(telemetry)
+        self._cache: "OrderedDict[str, Optional[ZoneStatusView]]" = OrderedDict()
+        self._handles: Dict[Tuple[int, str], Any] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        for fp in self._handles.values():
+            fp.close()
+        self._handles.clear()
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- freshness ---------------------------------------------------------
+
+    def check_stale(self) -> bool:
+        """True when the live manifest has moved past the pinned
+        generation (new segments committed since the index was built).
+        The service keeps serving the pinned snapshot either way."""
+        manifest = load_manifest(self.root)
+        stale = not self.snapshot.is_fresh(manifest)
+        if self.telemetry.enabled:
+            self.telemetry.count("query.stale_checks")
+            if stale:
+                self.telemetry.count("query.stale_detected")
+        return stale
+
+    # -- point lookups -----------------------------------------------------
+
+    def zone_status(self, name: str) -> Optional[ZoneStatusView]:
+        """Point lookup: the hot-field view for one zone, or ``None``.
+
+        Cache → binary search of the bucket ``.idx`` → one meta row.
+        Never streams a bucket, never touches a shard segment.
+        """
+        zone = _normalize_zone(name)
+        tel = self.telemetry
+        if tel.enabled:
+            tel.count("query.lookups")
+        if zone in self._cache:
+            self._cache.move_to_end(zone)
+            view = self._cache[zone]
+            if tel.enabled:
+                tel.count("query.cache_hits")
+                if view is _NEGATIVE:
+                    tel.count("query.negative")
+            return view
+        if tel.enabled:
+            tel.count("query.cache_misses")
+        view = self._lookup(zone)
+        self._cache[zone] = view
+        if len(self._cache) > self.cache_size:
+            self._cache.popitem(last=False)
+        if view is _NEGATIVE and tel.enabled:
+            tel.count("query.negative")
+        return view
+
+    def zone_record(self, name: str) -> Optional[ZoneScanResult]:
+        """The full archived record behind :meth:`zone_status` — one
+        seek + one read of the re-packed bucket data file."""
+        view = self.zone_status(name)
+        if view is None:
+            return None
+        files = self.snapshot.bucket_files(view.bucket)
+        fp = self._handle(view.bucket, "data", files.data, binary=False)
+        fp.seek(view.offset)
+        line = fp.read(view.length)
+        if self.telemetry.enabled:
+            self.telemetry.count("query.bytes_read", view.length)
+        return result_from_obj(json.loads(line))
+
+    # -- enumerations ------------------------------------------------------
+
+    def iter_status(self) -> Iterator[ZoneStatusView]:
+        """Every zone's hot-field view, in deterministic snapshot order
+        (bucket, then zone hash) — reads columns, not records."""
+        if self.telemetry.enabled:
+            self.telemetry.count("query.enumerations")
+        columns = [self._column(name) for name in
+                   ("zone", "status", "eligibility", "outcome", "operator", "flags")]
+        for zone, status, eligibility, outcome, operator, flags in zip(*columns):
+            yield ZoneStatusView(
+                zone=zone,
+                status=status,
+                eligibility=eligibility,
+                outcome=outcome,
+                operator=operator,
+                signal_operator=None,  # meta-row field; not in columns
+                flags=int(flags),
+                bucket=shard_for_zone(zone, self.snapshot.num_buckets),
+                offset=-1,
+                length=-1,
+            )
+
+    def status_counts(self) -> Counter:
+        """Histogram of DNSSEC status classes over the whole snapshot."""
+        return self._column_counts("status")
+
+    def eligibility_counts(self) -> Counter:
+        return self._column_counts("eligibility")
+
+    def outcome_counts(self) -> Counter:
+        return self._column_counts("outcome")
+
+    def operator_counts(self) -> Counter:
+        """Operator → portfolio size (zones attributed to it)."""
+        return self._column_counts("operator")
+
+    def zones_with_status(self, status: str) -> List[str]:
+        """Zone names in one status class (e.g. ``"island"``)."""
+        if self.telemetry.enabled:
+            self.telemetry.count("query.enumerations")
+        return [
+            zone
+            for zone, value in zip(self._column("zone"), self._column("status"))
+            if value == status
+        ]
+
+    def zones_for_operator(self, operator: str) -> List[str]:
+        """Zone names attributed to one operator (the operator scan)."""
+        if self.telemetry.enabled:
+            self.telemetry.count("query.enumerations")
+        return [
+            zone
+            for zone, value in zip(self._column("zone"), self._column("operator"))
+            if value == operator
+        ]
+
+    # -- internals ---------------------------------------------------------
+
+    def _lookup(self, zone: str) -> Optional[ZoneStatusView]:
+        bucket = shard_for_zone(zone, self.snapshot.num_buckets)
+        files = self.snapshot.bucket_files(bucket)
+        key = zone_key64(zone)
+        idx_fp = self._handle(bucket, "idx", files.idx, binary=True)
+        idx_fp.seek(0, 2)
+        rows = idx_fp.tell() // IDX_ROW_SIZE
+
+        tel = self.telemetry
+
+        def probe(i: int) -> Tuple[int, int, int]:
+            idx_fp.seek(i * IDX_ROW_SIZE)
+            row = IDX_ROW.unpack(idx_fp.read(IDX_ROW_SIZE))
+            if tel.enabled:
+                tel.count("query.index_seeks")
+                tel.count("query.bytes_read", IDX_ROW_SIZE)
+            return row
+
+        # Leftmost row with key64 >= key (classic bisect over the file).
+        lo, hi = 0, rows
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if probe(mid)[0] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        # key64 collisions are ~2^-64 but cheap to handle: walk equal
+        # keys comparing actual zone names from the meta rows.
+        zone_cmp = zone.lower()
+        meta_fp = self._handle(bucket, "meta", files.meta, binary=False)
+        while lo < rows:
+            key64, meta_offset, meta_len = probe(lo)
+            if key64 != key:
+                return None
+            meta_fp.seek(meta_offset)
+            obj = json.loads(meta_fp.read(meta_len))
+            if tel.enabled:
+                tel.count("query.bytes_read", meta_len)
+            if obj["zone"].lower() == zone_cmp:
+                return ZoneStatusView(
+                    zone=obj["zone"],
+                    status=obj["status"],
+                    eligibility=obj["eligibility"],
+                    outcome=obj["outcome"],
+                    operator=obj["operator"],
+                    signal_operator=obj["signal_operator"],
+                    flags=obj["flags"],
+                    bucket=bucket,
+                    offset=obj["offset"],
+                    length=obj["length"],
+                )
+            lo += 1
+        return None
+
+    def _handle(self, bucket: int, kind: str, rel_path: str, binary: bool):
+        """Lazily opened, service-lifetime file handle per bucket file."""
+        cache_key = (bucket, kind)
+        fp = self._handles.get(cache_key)
+        if fp is None:
+            path = index_dir(self.root) / rel_path
+            if not path.exists():
+                raise QueryError(f"snapshot references missing file {rel_path}")
+            fp = open(path, "rb") if binary else open(path, "r", encoding="utf-8")
+            self._handles[cache_key] = fp
+        return fp
+
+    def _column(self, name: str) -> List[str]:
+        path = self.snapshot.column_path(name)
+        if not path.exists():
+            raise QueryError(f"snapshot is missing column {name}")
+        text = path.read_text(encoding="utf-8")
+        if self.telemetry.enabled:
+            self.telemetry.count("query.bytes_read", len(text))
+        return text.splitlines()
+
+    def _column_counts(self, name: str) -> Counter:
+        if self.telemetry.enabled:
+            self.telemetry.count("query.enumerations")
+        return Counter(self._column(name))
+
+    # -- reporting ---------------------------------------------------------
+
+    def summary(self) -> str:
+        """What ``repro-dnssec query serve``'s banner prints."""
+        manifest = load_manifest(self.root)
+        fresh = self.snapshot.is_fresh(manifest)
+        behind = manifest.records - (self.snapshot.pinned_records or self.snapshot.records)
+        lines = [
+            f"store:     {self.root}",
+            f"snapshot:  {self.snapshot.records} zones across "
+            f"{self.snapshot.num_buckets} buckets (v{self.snapshot.version})",
+            f"campaign:  seed={self.snapshot.seed} scale={self.snapshot.scale:g}",
+            f"freshness: {'fresh' if fresh else f'stale ({behind} records behind)'}",
+            f"operators: {'attributed' if self.snapshot.operators_attributed else 'not attributed'}",
+        ]
+        return "\n".join(lines)

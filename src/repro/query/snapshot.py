@@ -1,0 +1,483 @@
+"""The indexed snapshot: a compacted, versioned read twin of a store.
+
+``build_index`` walks a campaign store's manifest in commit order and
+emits, under ``<store>/index/``, everything the serving layer
+(:mod:`repro.query.service`) needs to answer per-zone questions without
+streaming the campaign:
+
+* **re-packed bucket data** — ``buckets/qNNN.jsonl``: every record of
+  zone-hash bucket N as canonical JSON lines (uncompressed, so a record
+  is one seek + one read), sorted by ``(key64, zone)`` where ``key64``
+  is the first 8 bytes of the zone-name SHA-256 — the same hash family
+  that routes records to buckets;
+* **per-bucket meta rows** — ``buckets/qNNN.meta.jsonl``: one small
+  JSON line per zone carrying the hot assessment fields (status,
+  eligibility, signal outcome, operator, flags) plus the record's
+  ``(offset, length)`` in the data file;
+* **sorted offset indexes** — ``buckets/qNNN.idx``: fixed-width binary
+  rows ``(key64, meta_offset, meta_length)`` (20 bytes, big-endian),
+  sorted by key — a point lookup is a binary search of ~20-byte probes;
+* **columnar sidecars** — ``columns/*.col``: one value per line in
+  global ``(bucket, key64, zone)`` order for the fields enumerations
+  touch (zone, status, eligibility, outcome, operator, flags), so an
+  operator scan or a status-class count reads two small columns instead
+  of the archive.
+
+Determinism invariant: every file above is a pure function of the
+*record set* (plus the operator DB and validation time), never of the
+segment layout — a store written serially, by N workers, or through a
+kill/resume produces a byte-identical index.  The one exception is
+``pin.json``, which records the manifest generation the snapshot was
+built from (segment paths and digests are layout-specific by nature)
+and is therefore excluded from the byte-identity contract.  The pin is
+what lets a :class:`~repro.query.service.QueryService` keep serving a
+*stale-but-consistent* snapshot while a campaign appends new segments:
+appends change the manifest, not ``index/``, and the service reports
+staleness by comparing the live manifest digest against the pin.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import shutil
+import struct
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.bootstrap import SignalOutcome, assess_zone
+from repro.core.operators import UNKNOWN_OPERATOR, OperatorDB
+from repro.core.pipeline import signal_operator_for
+from repro.dnssec.validator import DEFAULT_VALIDATION_TIME
+from repro.obs.telemetry import as_telemetry
+from repro.scanner.serialize import result_to_obj
+from repro.store.manifest import CampaignManifest, load_manifest
+from repro.store.shards import StoreError, iter_shard
+
+INDEX_DIR = "index"
+BUCKETS_DIR = "buckets"
+COLUMNS_DIR = "columns"
+SNAPSHOT_FILENAME = "snapshot.json"
+PIN_FILENAME = "pin.json"
+SNAPSHOT_VERSION = 1
+
+# One binary index row: key64, meta offset, meta length (big-endian).
+IDX_ROW = struct.Struct(">QQI")
+IDX_ROW_SIZE = IDX_ROW.size
+
+COLUMN_NAMES = ("zone", "status", "eligibility", "outcome", "operator", "flags")
+
+# Meta/column flag bits (kept additive; never reassign existing bits).
+FLAG_RESOLVED = 1
+FLAG_HAS_CDS = 2
+FLAG_CDS_DELETE = 4
+FLAG_HAS_SIGNAL = 8
+FLAG_MULTI_OPERATOR = 16
+FLAG_SAMPLED = 32
+
+
+class QueryError(StoreError):
+    """The query index is missing, stale where freshness was required,
+    or inconsistent with its own metadata."""
+
+
+def index_dir(store_root: Path) -> Path:
+    return Path(store_root) / INDEX_DIR
+
+
+def snapshot_path(store_root: Path) -> Path:
+    return index_dir(store_root) / SNAPSHOT_FILENAME
+
+
+def pin_path(store_root: Path) -> Path:
+    return index_dir(store_root) / PIN_FILENAME
+
+
+def zone_key64(zone: str) -> int:
+    """Sort/lookup key: first 8 bytes of the zone-name SHA-256 (the
+    same digest whose first 4 bytes route the zone to its bucket)."""
+    digest = hashlib.sha256(zone.lower().encode("ascii", "backslashreplace")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def manifest_generation(manifest: CampaignManifest) -> str:
+    """Digest identifying one manifest generation (segment set).
+
+    Layout-specific on purpose: two stores holding the same records via
+    different segment layouts pin different generations — the pin
+    answers "has *this* store moved since the snapshot was built",
+    nothing more.
+    """
+    hasher = hashlib.sha256()
+    for entry in sorted(f"{i.sequence}:{i.path}:{i.sha256}" for i in manifest.shards):
+        hasher.update(entry.encode("ascii"))
+        hasher.update(b"\n")
+    return hasher.hexdigest()
+
+
+@dataclass(frozen=True)
+class BucketFiles:
+    """Index-relative paths of one bucket's three files."""
+
+    bucket: int
+
+    @property
+    def data(self) -> str:
+        return f"{BUCKETS_DIR}/q{self.bucket:03d}.jsonl"
+
+    @property
+    def meta(self) -> str:
+        return f"{BUCKETS_DIR}/q{self.bucket:03d}.meta.jsonl"
+
+    @property
+    def idx(self) -> str:
+        return f"{BUCKETS_DIR}/q{self.bucket:03d}.idx"
+
+
+@dataclass
+class SnapshotInfo:
+    """The parsed ``snapshot.json`` + ``pin.json`` pair."""
+
+    root: Path  # the *store* root (index lives under root/index)
+    version: int
+    seed: int
+    scale: float
+    num_buckets: int
+    records: int
+    zones_digest: str
+    operators_attributed: bool
+    validation_now: int
+    buckets: List[Dict[str, Any]] = field(default_factory=list)
+    columns: Dict[str, Dict[str, str]] = field(default_factory=dict)
+    pin: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def pinned_generation(self) -> Optional[str]:
+        return self.pin.get("manifest_generation")
+
+    @property
+    def pinned_records(self) -> Optional[int]:
+        return self.pin.get("manifest_records")
+
+    def is_fresh(self, manifest: CampaignManifest) -> bool:
+        """True when the live manifest is exactly the pinned generation."""
+        return self.pinned_generation == manifest_generation(manifest)
+
+    def column_path(self, name: str) -> Path:
+        return index_dir(self.root) / COLUMNS_DIR / f"{name}.col"
+
+    def bucket_files(self, bucket: int) -> BucketFiles:
+        if not 0 <= bucket < self.num_buckets:
+            raise QueryError(f"bucket {bucket} out of range (0..{self.num_buckets - 1})")
+        return BucketFiles(bucket)
+
+
+def _meta_row(
+    zone: str,
+    assessment,
+    operator: str,
+    signal_operator: Optional[str],
+    flags: int,
+    offset: int,
+    length: int,
+) -> Dict[str, Any]:
+    return {
+        "zone": zone,
+        "status": assessment.status.value,
+        "eligibility": assessment.eligibility.value,
+        "outcome": assessment.signal_outcome.value,
+        "operator": operator,
+        "signal_operator": signal_operator,
+        "flags": flags,
+        "offset": offset,
+        "length": length,
+    }
+
+
+def canonical_record_line(result) -> str:
+    """One record as canonical snapshot JSON (no newline).
+
+    ``queries_used`` is zeroed: it counts the DNS queries *this
+    execution* spent on the zone, which depends on cache warmth and
+    therefore on how the campaign was partitioned (serial, workers,
+    kill/resume).  Everything measured *about the zone* is identical
+    across layouts; the execution accounting is not, so the snapshot —
+    a pure function of the record set — cannot carry it.  The store
+    segments remain the source of truth for scan-cost accounting.
+    """
+    obj = result_to_obj(result)
+    obj["queries_used"] = 0
+    return json.dumps(obj, separators=(",", ":"))
+
+
+def _record_flags(result, assessment, multi: bool) -> int:
+    flags = 0
+    if result.resolved:
+        flags |= FLAG_RESOLVED
+    if assessment.cds.present:
+        flags |= FLAG_HAS_CDS
+    if assessment.cds.present and assessment.cds.is_delete:
+        flags |= FLAG_CDS_DELETE
+    if assessment.signal_outcome != SignalOutcome.NO_SIGNAL:
+        flags |= FLAG_HAS_SIGNAL
+    if multi:
+        flags |= FLAG_MULTI_OPERATOR
+    if result.sampled:
+        flags |= FLAG_SAMPLED
+    return flags
+
+
+def build_index(
+    store_root: Path,
+    operator_db: Optional[OperatorDB] = None,
+    now: int = DEFAULT_VALIDATION_TIME,
+    telemetry=None,
+) -> SnapshotInfo:
+    """Compact a campaign store into its query snapshot.
+
+    Walks the manifest in commit order (later commits win on duplicate
+    zones, matching the reader's stream order), re-packs each zone-hash
+    bucket sorted by ``(key64, zone)``, derives the hot assessment
+    fields through the same ``assess_zone`` + operator attribution the
+    analysis pipeline applies, and writes the whole snapshot into a
+    temp directory swapped in at the end — an interrupted build never
+    leaves a half snapshot under ``index/``.
+
+    Without *operator_db* every zone attributes to ``unknown`` —
+    exactly what :meth:`StoreReader.reanalyze`'s default does — so the
+    differential invariant (index answers == full-scan ground truth)
+    holds whichever way both sides are called.
+    """
+    root = Path(store_root)
+    manifest = load_manifest(root)
+    telemetry = as_telemetry(telemetry)
+    db = operator_db or OperatorDB()
+
+    final_dir = index_dir(root)
+    tmp_dir = root / (INDEX_DIR + ".tmp")
+    if tmp_dir.exists():
+        shutil.rmtree(tmp_dir)
+    (tmp_dir / BUCKETS_DIR).mkdir(parents=True)
+    (tmp_dir / COLUMNS_DIR).mkdir(parents=True)
+
+    ordered = sorted(manifest.shards, key=lambda info: (info.sequence, info.bucket))
+    columns: Dict[str, List[str]] = {name: [] for name in COLUMN_NAMES}
+    bucket_entries: List[Dict[str, Any]] = []
+    total_records = 0
+    zones_hasher = hashlib.sha256()
+
+    with telemetry.span("index_build") as span:
+        for bucket in range(manifest.num_shards):
+            # Commit order within the bucket; a dict keyed by zone makes
+            # later commits win should a store ever hold a duplicate.
+            latest: Dict[str, Any] = {}
+            for info in ordered:
+                if info.bucket != bucket:
+                    continue
+                for result in iter_shard(root, info, strict=True):
+                    latest[result.zone.to_text()] = result
+
+            rows = sorted(
+                ((zone_key64(zone), zone, result) for zone, result in latest.items()),
+                key=lambda item: (item[0], item[1]),
+            )
+            files = BucketFiles(bucket)
+            data_path = tmp_dir / files.data
+            meta_path = tmp_dir / files.meta
+            idx_path = tmp_dir / files.idx
+
+            data_offset = 0
+            meta_offset = 0
+            idx_rows = []
+            with open(data_path, "w", encoding="utf-8", newline="\n") as data_fp, open(
+                meta_path, "w", encoding="utf-8", newline="\n"
+            ) as meta_fp:
+                for key64, zone, result in rows:
+                    line = canonical_record_line(result)
+                    data_fp.write(line)
+                    data_fp.write("\n")
+
+                    assessment = assess_zone(result, now)
+                    attribution = db.identify(result.delegation_ns)
+                    operator = (
+                        UNKNOWN_OPERATOR if attribution.multi else attribution.primary
+                    )
+                    signal_operator = None
+                    if assessment.signal_outcome != SignalOutcome.NO_SIGNAL:
+                        signal_operator = signal_operator_for(result, db, operator)
+                    flags = _record_flags(result, assessment, attribution.multi)
+
+                    meta = _meta_row(
+                        zone,
+                        assessment,
+                        operator,
+                        signal_operator,
+                        flags,
+                        data_offset,
+                        len(line) + 1,
+                    )
+                    meta_line = json.dumps(meta, separators=(",", ":"), sort_keys=True)
+                    meta_fp.write(meta_line)
+                    meta_fp.write("\n")
+                    idx_rows.append((key64, meta_offset, len(meta_line) + 1))
+
+                    columns["zone"].append(zone)
+                    columns["status"].append(assessment.status.value)
+                    columns["eligibility"].append(assessment.eligibility.value)
+                    columns["outcome"].append(assessment.signal_outcome.value)
+                    columns["operator"].append(operator)
+                    columns["flags"].append(str(flags))
+                    zones_hasher.update(zone.encode("ascii", "backslashreplace"))
+                    zones_hasher.update(b"\n")
+
+                    data_offset += len(line) + 1
+                    meta_offset += len(meta_line) + 1
+                    total_records += 1
+
+            with open(idx_path, "wb") as idx_fp:
+                for key64, offset, length in idx_rows:
+                    idx_fp.write(IDX_ROW.pack(key64, offset, length))
+
+            bucket_entries.append(
+                {
+                    "bucket": bucket,
+                    "records": len(rows),
+                    "data": files.data,
+                    "data_sha256": _sha256_file(data_path),
+                    "meta": files.meta,
+                    "meta_sha256": _sha256_file(meta_path),
+                    "idx": files.idx,
+                    "idx_sha256": _sha256_file(idx_path),
+                }
+            )
+        span["records"] = total_records
+
+    column_entries: Dict[str, Dict[str, str]] = {}
+    for name in COLUMN_NAMES:
+        path = tmp_dir / COLUMNS_DIR / f"{name}.col"
+        body = "".join(value + "\n" for value in columns[name])
+        path.write_text(body, encoding="utf-8", newline="\n")
+        column_entries[name] = {
+            "path": f"{COLUMNS_DIR}/{name}.col",
+            "sha256": _sha256_file(path),
+        }
+
+    snapshot_obj = {
+        "version": SNAPSHOT_VERSION,
+        "seed": manifest.seed,
+        "scale": manifest.scale,
+        "num_buckets": manifest.num_shards,
+        "records": total_records,
+        "zones_digest": zones_hasher.hexdigest(),
+        "operators_attributed": operator_db is not None,
+        "validation_now": now,
+        "buckets": bucket_entries,
+        "columns": column_entries,
+    }
+    (tmp_dir / SNAPSHOT_FILENAME).write_text(
+        json.dumps(snapshot_obj, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    # The pin is the one layout-specific file: which manifest generation
+    # this snapshot reflects (see the module docstring).
+    pin_obj = {
+        "manifest_generation": manifest_generation(manifest),
+        "manifest_records": manifest.records,
+        "manifest_status": manifest.status,
+        "built_unix": time.time(),
+    }
+    (tmp_dir / PIN_FILENAME).write_text(
+        json.dumps(pin_obj, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+    if final_dir.exists():
+        shutil.rmtree(final_dir)
+    tmp_dir.replace(final_dir)
+
+    if telemetry.enabled:
+        telemetry.count("query.index_builds")
+        telemetry.count("query.index_records", total_records)
+    return load_snapshot(root)
+
+
+def _sha256_file(path: Path) -> str:
+    return hashlib.sha256(path.read_bytes()).hexdigest()
+
+
+def load_snapshot(store_root: Path) -> SnapshotInfo:
+    """Open a store's snapshot metadata (raises :class:`QueryError`
+    when no index has been built)."""
+    root = Path(store_root)
+    path = snapshot_path(root)
+    if not path.exists():
+        raise QueryError(
+            f"no query index at {root} — build one with: repro-dnssec query index --dir {root}"
+        )
+    try:
+        obj = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise QueryError(f"snapshot metadata at {root} is not valid JSON: {exc}") from exc
+    if obj.get("version") != SNAPSHOT_VERSION:
+        raise QueryError(f"unsupported snapshot version {obj.get('version')!r}")
+    pin: Dict[str, Any] = {}
+    if pin_path(root).exists():
+        try:
+            pin = json.loads(pin_path(root).read_text(encoding="utf-8"))
+        except json.JSONDecodeError:
+            pin = {}
+    return SnapshotInfo(
+        root=root,
+        version=obj["version"],
+        seed=obj["seed"],
+        scale=obj["scale"],
+        num_buckets=obj["num_buckets"],
+        records=obj["records"],
+        zones_digest=obj["zones_digest"],
+        operators_attributed=obj["operators_attributed"],
+        validation_now=obj["validation_now"],
+        buckets=obj["buckets"],
+        columns=obj["columns"],
+        pin=pin,
+    )
+
+
+def verify_snapshot(store_root: Path) -> SnapshotInfo:
+    """Re-hash every snapshot file against its recorded digest."""
+    snapshot = load_snapshot(store_root)
+    base = index_dir(snapshot.root)
+    for entry in snapshot.buckets:
+        for path_key, digest_key in (
+            ("data", "data_sha256"),
+            ("meta", "meta_sha256"),
+            ("idx", "idx_sha256"),
+        ):
+            target = base / entry[path_key]
+            if not target.exists():
+                raise QueryError(f"snapshot references missing file {entry[path_key]}")
+            if _sha256_file(target) != entry[digest_key]:
+                raise QueryError(f"snapshot file {entry[path_key]} does not match its digest")
+    for name, entry in snapshot.columns.items():
+        target = base / entry["path"]
+        if not target.exists():
+            raise QueryError(f"snapshot references missing column {entry['path']}")
+        if _sha256_file(target) != entry["sha256"]:
+            raise QueryError(f"snapshot column {name} does not match its digest")
+    return snapshot
+
+
+def load_fresh_zones(store_root: Path, manifest: CampaignManifest) -> Optional[List[str]]:
+    """The zone column, iff a snapshot exists and pins *manifest*'s
+    exact generation — the fast path behind :meth:`StoreReader.zones`.
+    Returns ``None`` (fall back to streaming) otherwise.
+    """
+    try:
+        snapshot = load_snapshot(store_root)
+    except QueryError:
+        return None
+    if not snapshot.is_fresh(manifest):
+        return None
+    column = snapshot.column_path("zone")
+    if not column.exists():
+        return None
+    return column.read_text(encoding="utf-8").splitlines()

@@ -13,6 +13,7 @@ from repro.reports.compare import ShapeCheck, check_shapes
 __all__ = [
     "ShapeCheck",
     "check_shapes",
+    "compute_dashboard",
     "compute_figure1",
     "compute_table1",
     "compute_table2",
@@ -26,4 +27,16 @@ __all__ = [
     "render_table1",
     "render_table2",
     "render_table3",
+    "zone_status_dashboard",
 ]
+
+
+def __getattr__(name):
+    # The dashboard sits on top of repro.query; importing it lazily
+    # keeps `repro.reports` free of the store/query layers for callers
+    # that only render tables.
+    if name in ("compute_dashboard", "zone_status_dashboard"):
+        from importlib import import_module
+
+        return getattr(import_module("repro.reports.dashboard"), name)
+    raise AttributeError(f"module 'repro.reports' has no attribute {name!r}")

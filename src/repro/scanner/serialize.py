@@ -25,7 +25,7 @@ import io
 import json
 import logging
 from dataclasses import dataclass
-from typing import Any, BinaryIO, Dict, Iterable, Iterator, List, Optional, TextIO
+from typing import Any, BinaryIO, Dict, Iterable, Iterator, List, Optional, TextIO, Tuple
 
 logger = logging.getLogger(__name__)
 
@@ -198,16 +198,44 @@ def result_from_obj(obj: Dict[str, Any]) -> ZoneScanResult:
     )
 
 
-def dump_results(results: Iterable[ZoneScanResult], fp: TextIO) -> int:
+def result_to_line(result: ZoneScanResult) -> str:
+    """The canonical one-line JSON encoding of one record (no newline).
+
+    Shard segments, the index snapshot's re-packed bucket files, and any
+    other JSONL consumer all write this exact encoding, so equal records
+    are equal bytes wherever they land — the property the store's
+    content digests and the query index's byte-identical determinism
+    both rest on.  ASCII-only (``ensure_ascii``), so character offsets
+    equal byte offsets.
+    """
+    return json.dumps(result_to_obj(result), separators=(",", ":"))
+
+
+def dump_results(
+    results: Iterable[ZoneScanResult],
+    fp: TextIO,
+    locations: Optional[List[Tuple[str, int, int]]] = None,
+) -> int:
     """Write results as JSON lines; returns the record count.
 
     *results* may be any iterable, including a generator — records are
     written as they arrive, nothing is held back.
+
+    When *locations* is a list, one ``(zone, offset, length)`` tuple is
+    appended per record: the byte offset and length (newline included)
+    of that record's line within the written stream.  For compressed
+    output the offsets address the *decompressed* stream.  This is how
+    the store exposes segment offsets at commit time to index builders.
     """
     count = 0
+    offset = 0
     for result in results:
-        fp.write(json.dumps(result_to_obj(result), separators=(",", ":")))
+        line = result_to_line(result)
+        fp.write(line)
         fp.write("\n")
+        if locations is not None:
+            locations.append((result.zone.to_text(), offset, len(line) + 1))
+        offset += len(line) + 1
         count += 1
     return count
 

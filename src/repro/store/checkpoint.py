@@ -55,6 +55,7 @@ class CampaignStore:
         manifest: CampaignManifest,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         telemetry=None,
+        track_locations: bool = False,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
@@ -62,6 +63,11 @@ class CampaignStore:
         self.manifest = manifest
         self.checkpoint_every = checkpoint_every
         self.telemetry = as_telemetry(telemetry)
+        self.track_locations = track_locations
+        # segment path → [(zone, offset, length), ...] as committed, for
+        # index builders that want record addresses without re-reading
+        # the segment (populated only with track_locations=True).
+        self.segment_locations: Dict[str, List[tuple]] = {}
         self._buffers: Dict[int, List[ZoneScanResult]] = {}
         self._buffered = 0
         self.checkpoints = 0  # commits performed through this handle
@@ -156,9 +162,17 @@ class CampaignStore:
                 batch = self._buffers[bucket]
                 if not batch:
                     continue
+                locations: list = [] if self.track_locations else None
                 info = write_shard(
-                    self.root, bucket, sequence, batch, compress=self.manifest.compress
+                    self.root,
+                    bucket,
+                    sequence,
+                    batch,
+                    compress=self.manifest.compress,
+                    locations=locations,
                 )
+                if locations is not None:
+                    self.segment_locations[info.path] = locations
                 sequence += 1
                 committed += info.records
                 new_infos.append(info)

@@ -9,15 +9,16 @@ the 6.5 TiB archive was analysed without ever re-scanning.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterator, List, Optional, Set
 
 from repro.core.pipeline import AnalysisPipeline, AnalysisReport
 from repro.scanner.results import ZoneScanResult
-from repro.scanner.serialize import LoadStats
+from repro.scanner.serialize import LoadStats, open_results_read
 from repro.store.manifest import CampaignManifest, load_manifest
-from repro.store.shards import ShardInfo, iter_shard
+from repro.store.shards import ShardCorruption, ShardInfo, StoreError, iter_shard
 
 
 @dataclass
@@ -87,8 +88,35 @@ class StoreReader:
                 yield from iter_shard(self.root, info, strict=strict, stats=stats)
 
     def zones(self) -> Set[str]:
-        """Dotted names of every stored zone."""
-        return {result.zone.to_text() for result in self.iter_results()}
+        """Dotted names of every stored zone.
+
+        Served from the query snapshot's zone column when one exists
+        and pins this exact manifest generation; otherwise streamed
+        from the segments decoding only each line's ``zone`` field —
+        either way, no RRset reconstruction for a name listing.
+        """
+        from repro.query.snapshot import load_fresh_zones
+
+        indexed = load_fresh_zones(self.root, self.manifest)
+        if indexed is not None:
+            return set(indexed)
+        zones: Set[str] = set()
+        for info in self._ordered_shards():
+            path = self.root / info.path
+            if not path.exists():
+                raise StoreError(f"manifest references missing shard {info.path}")
+            with open_results_read(str(path)) as fp:
+                for line in fp:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        zones.add(json.loads(line)["zone"])
+                    except (json.JSONDecodeError, KeyError) as exc:
+                        raise ShardCorruption(
+                            f"corrupt record inside committed shard {info.path}"
+                        ) from exc
+        return zones
 
     # -- analysis ----------------------------------------------------------
 
@@ -104,7 +132,19 @@ class StoreReader:
     # -- inspection --------------------------------------------------------
 
     def summary(self) -> StoreSummary:
-        size = sum((self.root / info.path).stat().st_size for info in self.manifest.shards)
+        size = 0
+        for info in self.manifest.shards:
+            path = self.root / info.path
+            try:
+                size += path.stat().st_size
+            except FileNotFoundError:
+                # A manifest naming a segment that is gone is on-disk
+                # damage (committed segments are immutable) — report the
+                # store as damaged with the offending path rather than
+                # leaking a bare FileNotFoundError.
+                raise StoreError(
+                    f"store is damaged: manifest references missing shard {info.path}"
+                ) from None
         return StoreSummary(
             root=str(self.root),
             status=self.manifest.status,

@@ -28,7 +28,7 @@ import hashlib
 import os
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Iterable, Iterator, List, Optional
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.scanner.results import ZoneScanResult
 from repro.scanner.serialize import (
@@ -114,6 +114,7 @@ def write_shard(
     sequence: int,
     results: Iterable[ZoneScanResult],
     compress: bool = True,
+    locations: Optional[List[Tuple[str, int, int]]] = None,
 ) -> ShardInfo:
     """Commit *results* as one immutable shard segment.
 
@@ -121,6 +122,11 @@ def write_shard(
     renamed into place (atomic on POSIX), then the directory entry is
     fsynced.  A crash at any point leaves either no file or a stray
     ``*.tmp`` — never a half-written segment under the final name.
+
+    When *locations* is a list it receives one ``(zone, offset, length)``
+    tuple per committed record — the segment offsets exposed at commit
+    time, so an index builder can address records without re-reading
+    the segment (offsets are within the decompressed stream).
     """
     shard_dir = root / SHARD_DIR
     shard_dir.mkdir(parents=True, exist_ok=True)
@@ -129,7 +135,7 @@ def write_shard(
     tmp = shard_dir / (name + ".tmp")
     fp = open_results_write(str(tmp), compress=compress)
     try:
-        count = dump_results(results, fp)
+        count = dump_results(results, fp, locations=locations)
         fp.flush()
     finally:
         fp.close()
@@ -161,6 +167,28 @@ def iter_shard(
         raise StoreError(f"manifest references missing shard {info.path}")
     with open_results_read(str(path)) as fp:
         yield from load_results(fp, strict=strict, stats=stats)
+
+
+def read_record_at(root: Path, path: str, offset: int, length: int) -> ZoneScanResult:
+    """Read one record by its commit-time ``(offset, length)`` location.
+
+    *path* is a store-relative segment (or index data file) path.  For
+    plain JSONL this is a single seek + read; for gzip segments the
+    offset addresses the decompressed stream, so the file is
+    decompressed up to *offset* (still no JSON decoding of earlier
+    records — the dominant cost at scale).
+    """
+    import json as _json
+
+    from repro.scanner.serialize import result_from_obj
+
+    target = root / path
+    if not target.exists():
+        raise StoreError(f"cannot read record: missing file {path}")
+    with open_results_read(str(target)) as fp:
+        fp.seek(offset)
+        line = fp.read(length)
+    return result_from_obj(_json.loads(line))
 
 
 def verify_shard(root: Path, info: ShardInfo) -> None:

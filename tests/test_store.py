@@ -169,7 +169,7 @@ class TestCrashSafety:
 
         real_write_shard = checkpoint_module.write_shard
 
-        def torn_write(root_, bucket, sequence, results, compress=True):
+        def torn_write(root_, bucket, sequence, results, compress=True, **kwargs):
             # Write half the temp bytes, then die.
             from repro.store.shards import SHARD_DIR, shard_filename
 
@@ -422,3 +422,98 @@ class TestDiff:
         assert "campaign diff" in text
         assert "+3 added" in text
         assert "-1 removed" in text
+
+
+class TestReaderHardening:
+    """Satellites of the read-serving PR: the zone-listing fast path,
+    damaged-store reporting, and non-strict corruption streaming."""
+
+    def test_zones_streams_only_the_zone_field(self, mini_results, tmp_path, monkeypatch):
+        """zones() must not reconstruct records: poison the full decoder
+        and the listing still works (and matches the full decode)."""
+        root = tmp_path / "store"
+        fill_store(root, mini_results)
+        expected = {r.zone.to_text() for r in mini_results}
+        reader = StoreReader(root)
+        assert reader.zones() == expected
+
+        import repro.scanner.serialize as serialize
+
+        def poisoned(obj):
+            raise AssertionError("zones() reconstructed a full record")
+
+        monkeypatch.setattr(serialize, "result_from_obj", poisoned)
+        assert StoreReader(root).zones() == expected
+
+    def test_zones_served_from_fresh_index(self, mini_results, tmp_path, monkeypatch):
+        """With a fresh snapshot the listing comes from the zone column
+        (regression: equal output to the streaming path); a stale
+        snapshot falls back to the segments."""
+        from repro.query import build_index
+
+        root = tmp_path / "store"
+        store = fill_store(root, mini_results, complete=False)
+        streamed = StoreReader(root).zones()
+        build_index(root)
+
+        # Fresh: poison the segment path — the column must answer.
+        def no_streaming(*args, **kwargs):
+            raise AssertionError("zones() streamed segments despite a fresh index")
+
+        monkeypatch.setattr("repro.scanner.serialize.open_results_read", no_streaming)
+        monkeypatch.setattr("repro.store.reader.open_results_read", no_streaming)
+        assert StoreReader(root).zones() == streamed
+        monkeypatch.undo()
+
+        # Stale: a new commit moves the manifest past the pin.
+        reopened = CampaignStore.open(root)
+        extra_obj = copy.deepcopy(result_to_obj(mini_results[0]))
+        extra_obj["zone"] = "fresh-arrival.com."
+        reopened.append(result_from_obj(extra_obj))
+        reopened.checkpoint()
+        assert StoreReader(root).zones() == streamed | {"fresh-arrival.com."}
+
+    def test_summary_reports_damaged_store(self, mini_results, tmp_path):
+        """A shard vanishing *after* the reader opened (load_manifest
+        guards open time) must surface as a damaged-store report naming
+        the path, not a bare FileNotFoundError."""
+        root = tmp_path / "store"
+        store = fill_store(root, mini_results)
+        reader = StoreReader(root)
+        victim = store.manifest.shards[0].path
+        (root / victim).unlink()
+        with pytest.raises(StoreError, match=f"damaged.*{victim}"):
+            reader.summary()
+
+    def test_iter_results_nonstrict_skips_corruption(self, mini_results, tmp_path):
+        """A corrupt line inside a committed plain segment: strict
+        streaming raises, non-strict skips it and counts it in
+        LoadStats — through iter_results and iter_bucket alike."""
+        from repro.scanner.serialize import LoadStats
+
+        root = tmp_path / "plain"
+        store = fill_store(root, mini_results, compress=False)
+        victim_info = store.manifest.shards[0]
+        victim = root / victim_info.path
+        lines = victim.read_text().splitlines(keepends=True)
+        lines.insert(1, '{"zone": "truncated-mid-wri\n')
+        victim.write_text("".join(lines))
+
+        reader = StoreReader(root)
+        with pytest.raises(json.JSONDecodeError):
+            list(reader.iter_results(strict=True))
+
+        stats = LoadStats()
+        restored = list(reader.iter_results(strict=False, stats=stats))
+        assert stats.skipped == 1
+        assert stats.records == len(mini_results)
+        assert {r.zone.to_text() for r in restored} == {
+            r.zone.to_text() for r in mini_results
+        }
+
+        bucket_stats = LoadStats()
+        in_bucket = list(
+            reader.iter_bucket(victim_info.bucket, strict=False, stats=bucket_stats)
+        )
+        assert bucket_stats.skipped == 1
+        assert bucket_stats.records == len(in_bucket)
