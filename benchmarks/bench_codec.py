@@ -1,0 +1,142 @@
+"""Codec ns/op recorder and regression guard.
+
+Measures the two hot codec operations — ``Message.from_wire`` (parse)
+and ``Message.to_wire`` (build) — as median nanoseconds per operation
+over repeated timed loops, on the same representative response message
+the scan hot path decodes millions of times.
+
+Two modes:
+
+* ``--update`` merges ``codec_parse_ns`` / ``codec_build_ns`` into the
+  committed ``benchmarks/results/BENCH_micro.json`` (preserving the
+  other micro metrics);
+* ``--check`` re-measures and fails (exit 1) if either median regressed
+  more than ``--tolerance`` (default 25 %) against the committed
+  baseline — the CI guard that keeps the allocation-free hot path from
+  silently re-growing allocations.
+
+Medians over many short loops are deliberately chosen over one long
+loop: they are robust to the scheduler hiccups that dominate shared CI
+runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.dns import Message, RRType, RRset, make_query, make_response  # noqa: E402
+from repro.dns.rdata import A  # noqa: E402
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+BASELINE = RESULTS_DIR / "BENCH_micro.json"
+
+LOOP = 2000  # operations per timed loop
+REPEATS = 15  # loops per median
+
+
+def _sample_wire() -> bytes:
+    query = make_query("www.bench.example", RRType.A, msg_id=9)
+    response = make_response(query)
+    response.answer.append(
+        RRset(
+            "www.bench.example",
+            RRType.A,
+            300,
+            [A(f"192.0.2.{i}") for i in range(1, 9)],
+        )
+    )
+    return response.to_wire()
+
+
+def _median_ns(fn) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        t0 = time.perf_counter_ns()
+        for _ in range(LOOP):
+            fn()
+        samples.append((time.perf_counter_ns() - t0) / LOOP)
+    return statistics.median(samples)
+
+
+def measure_codec() -> dict:
+    """Median ns/op for wire parse and build."""
+    wire = _sample_wire()
+    parse_ns = _median_ns(lambda: Message.from_wire(wire))
+
+    message = Message.from_wire(wire)
+
+    def build():
+        # to_wire() memoisation is per-Message-content via the writer,
+        # not per-object, so this measures a full encode every time.
+        return message.to_wire()
+
+    build_ns = _median_ns(build)
+    return {
+        "codec_parse_ns": round(parse_ns, 1),
+        "codec_build_ns": round(build_ns, 1),
+        "codec_loop": LOOP,
+        "codec_repeats": REPEATS,
+    }
+
+
+def update(results_dir: pathlib.Path) -> dict:
+    path = results_dir / "BENCH_micro.json"
+    payload = {}
+    if path.exists():
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    payload.update(measure_codec())
+    payload.setdefault("experiment", "micro")
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8")
+    return payload
+
+
+def check(baseline_path: pathlib.Path, tolerance: float) -> int:
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    fresh = measure_codec()
+    failed = False
+    for key in ("codec_parse_ns", "codec_build_ns"):
+        committed = baseline.get(key)
+        if committed is None:
+            print(f"SKIP {key}: no committed baseline")
+            continue
+        measured = fresh[key]
+        ratio = measured / committed
+        status = "OK"
+        if ratio > 1 + tolerance:
+            status = "REGRESSED"
+            failed = True
+        print(
+            f"{status} {key}: measured {measured:.0f} ns vs committed "
+            f"{committed:.0f} ns ({ratio:.0%} of baseline, "
+            f"tolerance +{tolerance:.0%})"
+        )
+    return 1 if failed else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    mode = parser.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--update", action="store_true",
+                      help="measure and merge into BENCH_micro.json")
+    mode.add_argument("--check", action="store_true",
+                      help="measure and compare against the committed baseline")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed median regression fraction (default 0.25)")
+    parser.add_argument("--results", type=pathlib.Path, default=RESULTS_DIR)
+    args = parser.parse_args(argv)
+    if args.update:
+        payload = update(args.results)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    return check(args.results / "BENCH_micro.json", args.tolerance)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

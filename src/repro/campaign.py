@@ -78,6 +78,12 @@ class CampaignConfig:
     # Scanner/resolver retry policy; None → the legacy single-retry
     # behaviour (or the chaos default when chaos is enabled).
     retry: Optional[RetryPolicy] = None
+    # Transport: "sim" moves messages through the in-memory fabric;
+    # "wire" (repro.wire) hosts the authoritative fleet on real loopback
+    # sockets and scans over asyncio UDP/TCP.  Wire mode promises the
+    # same analysis tables at the same seed/scale — not the same event
+    # streams or simulated durations (real I/O reorders the schedule).
+    transport: str = "sim"
 
     def __post_init__(self):
         if self.store_dir is not None and not isinstance(self.store_dir, Path):
@@ -116,6 +122,19 @@ class CampaignConfig:
                 raise ValueError("stop_after is not supported with workers=N")
         elif self.stop_after is not None and self.store_dir is None:
             raise ValueError("stop_after requires a store (store_dir=...)")
+        if self.transport not in ("sim", "wire"):
+            raise ValueError(f"transport must be 'sim' or 'wire' (got {self.transport!r})")
+        if self.transport == "wire":
+            if self.chaos is not None and self.chaos.enabled:
+                raise ValueError(
+                    "transport='wire' is incompatible with chaos: the fault plane "
+                    "injects into the simulated fabric, not real sockets"
+                )
+            if self.workers is not None:
+                raise ValueError(
+                    "transport='wire' runs single-process (one shared socket "
+                    "engine); combine with in_flight=N for concurrency"
+                )
 
     # -- manifest round-trip ----------------------------------------------
 
@@ -142,6 +161,8 @@ class CampaignConfig:
             config["chaos"] = self.chaos.to_dict()
         if self.retry is not None:
             config["retry"] = self.retry.to_dict()
+        if self.transport != "sim":
+            config["transport"] = self.transport
         return config
 
     @classmethod
@@ -164,6 +185,7 @@ class CampaignConfig:
             telemetry=bool(config.get("telemetry", False)),
             chaos=ChaosConfig.from_dict(chaos) if chaos is not None else None,
             retry=RetryPolicy.from_dict(retry) if retry is not None else None,
+            transport=config.get("transport", "sim"),
         )
 
 
@@ -340,10 +362,37 @@ def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignRe
         world = build_world(scale=config.scale, seed=config.seed)
     if config.chaos is not None and config.chaos.enabled:
         world.network.install_chaos(config.chaos)
+    # Campaigns never mutate zones mid-run, so repeated identical queries
+    # can be served from cached response wires.
+    world.network.enable_response_cache()
     telemetry.bind_clock(world.network.clock)
+    wire_network = _wire_network(config, world)
     scanner = world.make_scanner(
-        telemetry=telemetry, retry=config.effective_retry(), in_flight=config.in_flight
+        telemetry=telemetry,
+        retry=config.effective_retry(),
+        in_flight=config.in_flight,
+        network=wire_network,
     )
+    try:
+        return _run_scan(config, world, scanner, telemetry)
+    finally:
+        if wire_network is not None:
+            wire_network.close()
+
+
+def _wire_network(config: CampaignConfig, world: World):
+    """Stand up the live socket fleet for ``transport='wire'`` (None
+    for the simulated fabric)."""
+    if config.transport != "wire":
+        return None
+    from repro.wire import WireNetwork
+
+    return WireNetwork(world.network).start()
+
+
+def _run_scan(
+    config: CampaignConfig, world: World, scanner, telemetry
+) -> CampaignResult:
     scan_list = _scan_list(world, config.use_sources)
 
     if config.store_dir is None:
@@ -522,33 +571,42 @@ def resume_campaign(
         )
     if stored.chaos is not None and stored.chaos.enabled:
         world.network.install_chaos(stored.chaos)
+    world.network.enable_response_cache()
     hub.bind_clock(world.network.clock)
+    wire_network = _wire_network(stored, world)
     scanner = world.make_scanner(
-        telemetry=hub, retry=stored.effective_retry(), in_flight=stored.in_flight
+        telemetry=hub,
+        retry=stored.effective_retry(),
+        in_flight=stored.in_flight,
+        network=wire_network,
     )
     scan_list = _scan_list(world, stored.use_sources)
 
-    done = frozenset(store.completed_zones())
-    if not manifest.complete:
-        scanned = 0
-        remaining = len(scan_list) - len(done)
-        with store:
-            for _ in scanner.scan_iter(scan_list, skip=done, sink=store.append):
-                scanned += 1
-                if hub.enabled:
-                    hub.maybe_progress(scanned, remaining)
-        store.complete()
+    try:
+        done = frozenset(store.completed_zones())
+        if not manifest.complete:
+            scanned = 0
+            remaining = len(scan_list) - len(done)
+            with store:
+                for _ in scanner.scan_iter(scan_list, skip=done, sink=store.append):
+                    scanned += 1
+                    if hub.enabled:
+                        hub.maybe_progress(scanned, remaining)
+            store.complete()
 
-    reader = StoreReader(store.root)
-    report = reader.reanalyze(world.operator_db)
-    rechecked: Dict[str, SignalOutcome] = {}
-    if stored.recheck:
-        rechecked = _recheck_pass(scanner, report, double_check=done, telemetry=hub)
-    return CampaignResult(
-        world=world,
-        results=[],
-        report=report,
-        rechecked=rechecked,
-        store_dir=store.root,
-        telemetry=_seal(hub, scanner),
-    )
+        reader = StoreReader(store.root)
+        report = reader.reanalyze(world.operator_db)
+        rechecked: Dict[str, SignalOutcome] = {}
+        if stored.recheck:
+            rechecked = _recheck_pass(scanner, report, double_check=done, telemetry=hub)
+        return CampaignResult(
+            world=world,
+            results=[],
+            report=report,
+            rechecked=rechecked,
+            store_dir=store.root,
+            telemetry=_seal(hub, scanner),
+        )
+    finally:
+        if wire_network is not None:
+            wire_network.close()

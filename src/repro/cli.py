@@ -86,6 +86,18 @@ def _add_in_flight(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_transport(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--transport",
+        choices=("sim", "wire"),
+        default="sim",
+        help="message transport: 'sim' moves wire-format messages through "
+        "the in-memory fabric; 'wire' (repro.wire) hosts the authoritative "
+        "fleet on real loopback sockets and scans over asyncio UDP/TCP — "
+        "same analysis tables, real I/O",
+    )
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     if args.workers:
         # Parallel execution needs a store for the workers to commit
@@ -113,6 +125,7 @@ def cmd_report(args: argparse.Namespace) -> int:
             chaos=args.chaos,
             retry=args.retries,
             in_flight=args.in_flight,
+            transport=getattr(args, "transport", "sim"),
         )
     report, targets = campaign.report, campaign.world.targets
     wanted = ARTIFACTS if args.artifact == "all" else (args.artifact,)
@@ -278,6 +291,7 @@ def cmd_store_init(args: argparse.Namespace) -> int:
             telemetry=telemetry,
             chaos=args.chaos,
             retry=args.retries,
+            transport=getattr(args, "transport", "sim"),
         )
         config.validate()
     except ValueError as exc:
@@ -609,6 +623,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="scan with N worker processes (same report, less wall-clock)",
     )
     _add_in_flight(report)
+    _add_transport(report)
     _add_chaos(report)
     report.set_defaults(func=cmd_report)
 
@@ -673,6 +688,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="stream deterministic telemetry events into <store>/events/",
     )
     _add_in_flight(store_init)
+    _add_transport(store_init)
     _add_chaos(store_init)
     store_init.set_defaults(func=cmd_store_init)
 

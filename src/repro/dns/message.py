@@ -27,7 +27,7 @@ from repro.dns.types import (
     Rcode,
     RRType,
 )
-from repro.dns.wire import WireError, WireReader, WireWriter
+from repro.dns.wire import WireError, WireReader, WireWriter, borrow_buffer, return_buffer
 
 EDNS_VERSION = 0
 
@@ -195,7 +195,13 @@ class Message:
         return wire
 
     def _encode(self) -> bytes:
-        writer = WireWriter(compress=True)
+        buf = borrow_buffer()
+        try:
+            return self._encode_into(WireWriter(compress=True, buffer=buf))
+        finally:
+            return_buffer(buf)
+
+    def _encode_into(self, writer: WireWriter) -> bytes:
         writer.write_u16(self.id)
         flags = self.flags & ~0x7800 & ~0x000F
         flags |= (int(self.opcode) & 0xF) << 11
@@ -270,13 +276,17 @@ class Message:
     @classmethod
     def _read_section(cls, reader: WireReader, count: int, msg: "Message") -> List[RRset]:
         rrsets: List[RRset] = []
+        # (name, type, class) → RRset: same-first-appearance order as the
+        # old linear scan, but O(1) grouping for multi-record sections.
+        index: dict = {}
+        opt_value = int(RRType.OPT)
         for _ in range(count):
             name = reader.read_name()
-            rrtype = RRType.make(reader.read_u16())
+            rtype_raw = reader.read_u16()
             rclass_raw = reader.read_u16()
             ttl = reader.read_u32()
             rdlength = reader.read_u16()
-            if int(rrtype) == int(RRType.OPT):
+            if rtype_raw == opt_value:
                 msg.edns = True
                 msg.edns_payload = rclass_raw
                 msg._ext_rcode_high = (ttl >> 24) & 0xFF
@@ -284,19 +294,18 @@ class Message:
                 msg.edns_flags = ttl & 0xFFFF
                 reader.read_bytes(rdlength)
                 continue
+            rrtype = RRType.make(rtype_raw)
             rdata = read_rdata(rrtype, reader, rdlength)
-            rclass = RClass.make(rclass_raw)
-            for rrset in rrsets:
-                if (
-                    rrset.name == name
-                    and int(rrset.rrtype) == int(rrtype)
-                    and int(rrset.rclass) == int(rclass)
-                ):
-                    rrset.add(rdata)
-                    rrset.ttl = min(rrset.ttl, ttl)
-                    break
+            rclass = RClass.IN if rclass_raw == 1 else RClass.make(rclass_raw)
+            key = (name, rtype_raw, rclass_raw)
+            rrset = index.get(key)
+            if rrset is not None:
+                rrset.add(rdata)
+                rrset.ttl = min(rrset.ttl, ttl)
             else:
-                rrsets.append(RRset(name, rrtype, ttl, [rdata], rclass))
+                rrset = RRset(name, rrtype, ttl, [rdata], rclass)
+                index[key] = rrset
+                rrsets.append(rrset)
         return rrsets
 
     def __repr__(self) -> str:

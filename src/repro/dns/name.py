@@ -33,9 +33,14 @@ class Name:
 
     Instances are immutable, hashable, and compare case-insensitively.
     The root name has zero labels.
+
+    The case-folded label tuple backing comparisons and hashing is
+    computed lazily and memoised (:attr:`folded`): wire decoding builds
+    hundreds of thousands of names per campaign, and eagerly lowercasing
+    every label was one of the hottest allocations in the scan profile.
     """
 
-    __slots__ = ("_labels", "_folded", "_hash", "_key", "_text")
+    __slots__ = ("_labels", "_folded", "_hash", "_key", "_text", "_wire", "_layout")
 
     def __init__(self, labels: Iterable[bytes] = ()):
         labels = tuple(_validate_label(bytes(label)) for label in labels)
@@ -43,10 +48,12 @@ class Name:
         if wire_len > MAX_NAME_LENGTH:
             raise NameError_(f"name too long ({wire_len} > {MAX_NAME_LENGTH} octets)")
         object.__setattr__(self, "_labels", labels)
-        object.__setattr__(self, "_folded", tuple(label.lower() for label in labels))
+        object.__setattr__(self, "_folded", None)
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_key", None)
         object.__setattr__(self, "_text", None)
+        object.__setattr__(self, "_wire", None)
+        object.__setattr__(self, "_layout", None)
 
     def __setattr__(self, key, value):  # pragma: no cover - immutability guard
         raise AttributeError("Name is immutable")
@@ -69,11 +76,33 @@ class Name:
         labels from an existing Name)."""
         self = object.__new__(cls)
         object.__setattr__(self, "_labels", labels)
-        object.__setattr__(self, "_folded", tuple(label.lower() for label in labels))
+        object.__setattr__(self, "_folded", None)
         object.__setattr__(self, "_hash", None)
         object.__setattr__(self, "_key", None)
         object.__setattr__(self, "_text", None)
+        object.__setattr__(self, "_wire", None)
+        object.__setattr__(self, "_layout", None)
         return self
+
+    @classmethod
+    def intern(cls, labels: Tuple[bytes, ...]) -> "Name":
+        """Return a shared ``Name`` for *labels*, reusing a previous
+        instance when one exists.
+
+        Wire decoding sees the same owner names over and over (every
+        response repeats the question name; every zone repeats its apex),
+        so interning lets the lazily-memoised folded form, hash, sort key,
+        and text be computed once per distinct name instead of once per
+        decode.  The table is bounded; on overflow it is simply cleared —
+        correctness never depends on a hit.
+        """
+        name = _INTERNED.get(labels)
+        if name is None:
+            if len(_INTERNED) >= _INTERN_LIMIT:
+                _INTERNED.clear()
+            name = cls._unchecked(labels)
+            _INTERNED[labels] = name
+        return name
 
     @classmethod
     def from_text(cls, text: str) -> "Name":
@@ -102,6 +131,23 @@ class Name:
     @property
     def labels(self) -> Tuple[bytes, ...]:
         return self._labels
+
+    @property
+    def folded(self) -> Tuple[bytes, ...]:
+        """Case-folded labels (lazily memoised).
+
+        When every label is already lowercase — the overwhelmingly common
+        case in the synthetic ecosystem — the original tuple is reused so
+        no new label objects are allocated.
+        """
+        folded = self._folded
+        if folded is None:
+            labels = self._labels
+            folded = tuple(label.lower() for label in labels)
+            if folded == labels:
+                folded = labels
+            object.__setattr__(self, "_folded", folded)
+        return folded
 
     def to_text(self) -> str:
         """Return the absolute textual form (always with trailing dot).
@@ -136,6 +182,25 @@ class Name:
         """Length of the uncompressed wire encoding in octets."""
         return sum(len(label) + 1 for label in self._labels) + 1
 
+    def suffix_layout(self) -> Tuple[Tuple[Tuple[bytes, ...], int], ...]:
+        """``((folded suffix, octet offset), ...)`` for every label position.
+
+        This is the compression-table view of the name: suffix *i* starts
+        ``offset`` octets into the uncompressed encoding.  Memoised so the
+        wire writer never re-slices folded label tuples per message
+        (previously the hottest allocation in encoding)."""
+        layout = self._layout
+        if layout is None:
+            folded = self.folded
+            entries = []
+            offset = 0
+            for i, label in enumerate(self._labels):
+                entries.append((folded[i:], offset))
+                offset += 1 + len(label)
+            layout = tuple(entries)
+            object.__setattr__(self, "_layout", layout)
+        return layout
+
     # -- relations ---------------------------------------------------------
 
     def is_root(self) -> bool:
@@ -145,7 +210,7 @@ class Name:
         """The name with the leftmost label removed."""
         if not self._labels:
             raise NameError_("the root has no parent")
-        return Name._unchecked(self._labels[1:])
+        return Name.intern(self._labels[1:])
 
     def child(self, label: str | bytes) -> "Name":
         """Prefix one label (textual or raw) to this name."""
@@ -169,10 +234,10 @@ class Name:
 
     def is_subdomain_of(self, other: "Name") -> bool:
         """True if *self* equals *other* or lies beneath it."""
-        n = len(other._folded)
-        if n > len(self._folded):
+        n = len(other._labels)
+        if n > len(self._labels):
             return False
-        return n == 0 or self._folded[-n:] == other._folded
+        return n == 0 or self.folded[-n:] == other.folded
 
     def is_proper_subdomain_of(self, other: "Name") -> bool:
         return self != other and self.is_subdomain_of(other)
@@ -184,7 +249,9 @@ class Name:
             raise NameError_(f"depth {depth} exceeds {len(self._labels)} labels")
         if depth == 0:
             return ROOT
-        return Name._unchecked(self._labels[-depth:])
+        if depth == len(self._labels):
+            return self
+        return Name.intern(self._labels[-depth:])
 
     # -- ordering / hashing --------------------------------------------------
 
@@ -195,14 +262,18 @@ class Name:
         sampling policy sort by this key constantly."""
         key = self._key
         if key is None:
-            key = tuple(reversed(self._folded))
+            key = tuple(reversed(self.folded))
             object.__setattr__(self, "_key", key)
         return key
 
     def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
         if not isinstance(other, Name):
             return NotImplemented
-        return self._folded == other._folded
+        if self._labels == other._labels:
+            return True
+        return self.folded == other.folded
 
     def __lt__(self, other: "Name") -> bool:
         if not isinstance(other, Name):
@@ -212,30 +283,41 @@ class Name:
     def __hash__(self) -> int:
         h = self._hash
         if h is None:
-            h = hash(self._folded)
+            h = hash(self.folded)
             object.__setattr__(self, "_hash", h)
         return h
 
     # -- wire -----------------------------------------------------------------
 
     def to_wire(self) -> bytes:
-        """Uncompressed wire encoding (for canonical forms and digests,
-        labels are lowercased per RFC 4034 §6.2 by :meth:`to_canonical_wire`)."""
-        out = bytearray()
-        for label in self._labels:
-            out.append(len(label))
-            out += label
-        out.append(0)
-        return bytes(out)
+        """Uncompressed wire encoding (memoised; for canonical forms and
+        digests, labels are lowercased per RFC 4034 §6.2 by
+        :meth:`to_canonical_wire`)."""
+        wire = self._wire
+        if wire is None:
+            out = bytearray()
+            for label in self._labels:
+                out.append(len(label))
+                out += label
+            out.append(0)
+            wire = bytes(out)
+            object.__setattr__(self, "_wire", wire)
+        return wire
 
     def to_canonical_wire(self) -> bytes:
         """Wire encoding with labels lowercased (RFC 4034 §6.2)."""
+        folded = self.folded
+        if folded is self._labels:
+            return self.to_wire()
         out = bytearray()
-        for label in self._folded:
+        for label in folded:
             out.append(len(label))
             out += label
         out.append(0)
         return bytes(out)
 
+
+_INTERN_LIMIT = 1 << 16
+_INTERNED: dict = {}
 
 ROOT = Name()

@@ -56,15 +56,28 @@ class Rdata:
 
     # -- helpers ------------------------------------------------------------
 
+    # Rdata objects are immutable after __init__ (all field writes happen
+    # in constructors), so the standalone wire and canonical forms can be
+    # memoised per instance — equality, hashing, digests, and signature
+    # input all reduce to one encode per object.
+
     def to_wire(self) -> bytes:
-        writer = WireWriter(compress=False)
-        self.write_rdata(writer)
-        return writer.getvalue()
+        wire = self.__dict__.get("_wire_form")
+        if wire is None:
+            writer = WireWriter(compress=False)
+            self.write_rdata(writer)
+            wire = writer.getvalue()
+            self.__dict__["_wire_form"] = wire
+        return wire
 
     def to_canonical_wire(self) -> bytes:
-        writer = WireWriter(compress=False)
-        self.write_canonical(writer)
-        return writer.getvalue()
+        wire = self.__dict__.get("_canonical_form")
+        if wire is None:
+            writer = WireWriter(compress=False)
+            self.write_canonical(writer)
+            wire = writer.getvalue()
+            self.__dict__["_canonical_form"] = wire
+        return wire
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Rdata):
@@ -346,13 +359,17 @@ class _DNSKEYBase(Rdata):
         return self.algorithm == 0 and self.public_key in (b"", b"\x00")
 
     def key_tag(self) -> int:
-        """RFC 4034 Appendix B key tag over the rdata wire form."""
-        data = self.to_wire()
-        total = 0
-        for i, octet in enumerate(data):
-            total += octet if i % 2 else octet << 8
-        total += (total >> 16) & 0xFFFF
-        return total & 0xFFFF
+        """RFC 4034 Appendix B key tag over the rdata wire form (memoised)."""
+        tag = self.__dict__.get("_key_tag")
+        if tag is None:
+            data = self.to_wire()
+            total = 0
+            for i, octet in enumerate(data):
+                total += octet if i % 2 else octet << 8
+            total += (total >> 16) & 0xFFFF
+            tag = total & 0xFFFF
+            self.__dict__["_key_tag"] = tag
+        return tag
 
     def write_rdata(self, writer: WireWriter) -> None:
         writer.write_u16(self.flags)
@@ -489,7 +506,11 @@ class RRSIG(Rdata):
 
     def rdata_to_sign(self) -> bytes:
         """The RRSIG rdata with the Signature field omitted — the prefix
-        of the data fed to the signature algorithm (RFC 4034 §3.1.8.1)."""
+        of the data fed to the signature algorithm (RFC 4034 §3.1.8.1).
+        Memoised: chain validation feeds the same RRSIG repeatedly."""
+        cached = self.__dict__.get("_to_sign")
+        if cached is not None:
+            return cached
         writer = WireWriter(compress=False)
         writer.write_u16(int(self.type_covered))
         writer.write_u8(self.algorithm)
@@ -501,7 +522,9 @@ class RRSIG(Rdata):
         # RFC 6840 §5.1: the signer name is not case-folded here, but must
         # be in lowercase in practice; we emit it as stored.
         writer.write_name(self.signer_name, compress=False)
-        return writer.getvalue()
+        cached = writer.getvalue()
+        self.__dict__["_to_sign"] = cached
+        return cached
 
     @classmethod
     def read_rdata(cls, reader: WireReader, rdlength: int) -> "RRSIG":

@@ -12,7 +12,6 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 from repro.dns.name import Name
 from repro.dns.rdata import Rdata
 from repro.dns.types import RClass, RRType
-from repro.dns.wire import WireWriter
 
 
 class RR:
@@ -129,19 +128,21 @@ class RRset:
         §5.3.2)."""
         ttl = self.ttl if original_ttl is None else original_ttl
         owner = (owner_name or self.name).to_canonical_wire()
+        # The per-RR prefix (owner/type/class/ttl) is identical for every
+        # record, so build it once and concatenate rdata bodies directly —
+        # this runs inside every signature computation and verification.
+        prefix = (
+            owner
+            + int(self.rrtype).to_bytes(2, "big")
+            + int(self.rclass).to_bytes(2, "big")
+            + ttl.to_bytes(4, "big")
+        )
         chunks: List[bytes] = []
         for rdata in self._rdatas:
             body = rdata.to_canonical_wire()
-            writer = WireWriter(compress=False)
-            writer.write_bytes(owner)
-            writer.write_u16(int(self.rrtype))
-            writer.write_u16(int(self.rclass))
-            writer.write_u32(ttl)
-            writer.write_u16(len(body))
-            writer.write_bytes(body)
-            chunks.append(writer.getvalue())
+            chunks.append(prefix + len(body).to_bytes(2, "big") + body)
         # Sorting the full RR wire form is equivalent to sorting by rdata
-        # here because the prefix (owner/type/class/ttl) is identical.
+        # here because the prefix is identical.
         return b"".join(sorted(chunks))
 
     def to_text(self) -> str:

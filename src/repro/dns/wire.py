@@ -3,12 +3,19 @@
 ``WireWriter`` supports RFC 1035 §4.1.4 name compression; ``WireReader``
 follows compression pointers with loop protection.  Rdata codecs and the
 message codec are built on these primitives.
+
+This module is the single hottest code in a campaign (profiles put the
+codec at ~70% of scan wall time), so the primitives avoid ``struct`` in
+favour of direct byte arithmetic, the reader memoises decoded names per
+message offset (owner names repeat via compression pointers), and
+encoders can borrow a per-thread scratch buffer instead of allocating a
+fresh ``bytearray`` per message (:func:`borrow_buffer`).
 """
 
 from __future__ import annotations
 
-import struct
-from typing import Dict, Optional, Tuple
+import threading
+from typing import Dict, List, Optional, Tuple
 
 from repro.dns.name import MAX_NAME_LENGTH, Name
 
@@ -20,11 +27,40 @@ class WireError(ValueError):
     """Raised on malformed wire-format data."""
 
 
+_scratch = threading.local()
+
+
+def borrow_buffer() -> bytearray:
+    """Borrow a reusable per-thread ``bytearray`` for message encoding.
+
+    Callers must pair with :func:`return_buffer` (try/finally) and must
+    copy the contents out (``WireWriter.getvalue`` does) before
+    returning it.  Borrowing is reentrancy-safe: nested borrows hand out
+    distinct buffers.
+    """
+    pool = getattr(_scratch, "pool", None)
+    if pool:
+        buf = pool.pop()
+        del buf[:]
+        return buf
+    return bytearray()
+
+
+def return_buffer(buf: bytearray) -> None:
+    """Return a buffer obtained from :func:`borrow_buffer` to the pool."""
+    pool = getattr(_scratch, "pool", None)
+    if pool is None:
+        pool = []
+        _scratch.pool = pool
+    if len(pool) < 8:
+        pool.append(buf)
+
+
 class WireWriter:
     """Accumulates wire-format octets with optional name compression."""
 
-    def __init__(self, compress: bool = True):
-        self._buf = bytearray()
+    def __init__(self, compress: bool = True, buffer: Optional[bytearray] = None):
+        self._buf = bytearray() if buffer is None else buffer
         self._compress = compress
         # Maps a tuple of folded labels (a name suffix) to its offset.
         self._offsets: Dict[Tuple[bytes, ...], int] = {}
@@ -38,20 +74,20 @@ class WireWriter:
     # -- primitives ------------------------------------------------------
 
     def write_u8(self, value: int) -> None:
-        self._buf += struct.pack("!B", value)
+        self._buf.append(value)
 
     def write_u16(self, value: int) -> None:
-        self._buf += struct.pack("!H", value)
+        self._buf += value.to_bytes(2, "big")
 
     def write_u32(self, value: int) -> None:
-        self._buf += struct.pack("!I", value)
+        self._buf += value.to_bytes(4, "big")
 
     def write_bytes(self, data: bytes) -> None:
         self._buf += data
 
     def write_at_u16(self, offset: int, value: int) -> None:
         """Patch a 16-bit field written earlier (e.g. RDLENGTH)."""
-        struct.pack_into("!H", self._buf, offset, value)
+        self._buf[offset : offset + 2] = value.to_bytes(2, "big")
 
     # -- names --------------------------------------------------------------
 
@@ -60,22 +96,40 @@ class WireWriter:
         when compression is enabled (never inside rdata of DNSSEC types —
         callers pass ``compress=False`` there per RFC 3597 §4)."""
         use_compression = self._compress if compress is None else compress
-        labels = name.labels
-        folded = tuple(label.lower() for label in labels)
-        for i in range(len(labels)):
-            suffix = folded[i:]
-            if use_compression and suffix in self._offsets:
-                pointer = self._offsets[suffix]
-                self.write_u16(0xC000 | pointer)
+        buf = self._buf
+        offsets = self._offsets
+        base = len(buf)
+        layout = name.suffix_layout()
+        if use_compression:
+            labels = name.labels
+            for k in range(len(layout)):
+                pointer = offsets.get(layout[k][0])
+                if pointer is None:
+                    continue
+                # Suffix k is already in the message: emit the labels
+                # before it (registering their suffixes, exactly as the
+                # uncompressed path would) then a pointer.
+                for j in range(k):
+                    suffix, rel = layout[j]
+                    offset = base + rel
+                    # Offsets beyond 14 bits cannot be pointer targets.
+                    if offset < 0x4000:
+                        offsets.setdefault(suffix, offset)
+                    label = labels[j]
+                    buf.append(len(label))
+                    buf += label
+                buf.append(0xC0 | (pointer >> 8))
+                buf.append(pointer & 0xFF)
                 return
-            offset = len(self._buf)
-            # Offsets beyond 14 bits cannot be pointer targets.
-            if suffix and offset < 0x4000:
-                self._offsets.setdefault(suffix, offset)
-            label = labels[i]
-            self.write_u8(len(label))
-            self.write_bytes(label)
-        self.write_u8(0)
+        # No compression hit (or compression disabled): emit the memoised
+        # uncompressed form and register every suffix as a pointer target.
+        buf += name.to_wire()
+        if base < 0x4000:
+            for suffix, rel in layout:
+                offset = base + rel
+                if offset >= 0x4000:
+                    break
+                offsets.setdefault(suffix, offset)
 
 
 class WireReader:
@@ -84,6 +138,10 @@ class WireReader:
     def __init__(self, data: bytes, offset: int = 0):
         self._data = data
         self._pos = offset
+        # Offset → decoded Name starting at that offset.  Compression
+        # pointers make owner names repeat constantly; the memo turns the
+        # second and later reads of a name into one dict hit.
+        self._names: Dict[int, Name] = {}
 
     @property
     def position(self) -> int:
@@ -108,13 +166,30 @@ class WireReader:
         return chunk
 
     def read_u8(self) -> int:
-        return self._take(1)[0]
+        data = self._data
+        pos = self._pos
+        if pos >= len(data):
+            raise WireError("truncated data: wanted 1, have 0")
+        self._pos = pos + 1
+        return data[pos]
 
     def read_u16(self) -> int:
-        return struct.unpack("!H", self._take(2))[0]
+        data = self._data
+        pos = self._pos
+        if pos + 2 > len(data):
+            raise WireError(f"truncated data: wanted 2, have {len(data) - pos}")
+        self._pos = pos + 2
+        return (data[pos] << 8) | data[pos + 1]
 
     def read_u32(self) -> int:
-        return struct.unpack("!I", self._take(4))[0]
+        data = self._data
+        pos = self._pos
+        if pos + 4 > len(data):
+            raise WireError(f"truncated data: wanted 4, have {len(data) - pos}")
+        self._pos = pos + 4
+        return (
+            (data[pos] << 24) | (data[pos + 1] << 16) | (data[pos + 2] << 8) | data[pos + 3]
+        )
 
     def read_bytes(self, count: int) -> bytes:
         return self._take(count)
@@ -125,20 +200,29 @@ class WireReader:
         """Read a possibly-compressed name starting at the current offset.
 
         The reader position advances past the name as it appears in the
-        stream (pointers are followed without moving the main cursor)."""
-        labels = []
+        stream (pointers are followed without moving the main cursor).
+        Decoded names are memoised by offset and interned, so repeated
+        owners resolve without re-walking labels or re-folding case."""
+        data = self._data
+        dlen = len(data)
+        memo = self._names
+        labels: List[bytes] = []
+        # Offsets we walk through, with the number of labels collected
+        # before reaching each — every one names a suffix of the result.
+        starts: List[Tuple[int, int]] = []
         pos = self._pos
         jumped = False
         hops = 0
         total = 1
         while True:
-            if pos >= len(self._data):
+            if pos >= dlen:
                 raise WireError("truncated name")
-            length = self._data[pos]
-            if length & _POINTER_MASK == _POINTER_MASK:
-                if pos + 1 >= len(self._data):
+            length = data[pos]
+            kind = length & _POINTER_MASK
+            if kind == _POINTER_MASK:
+                if pos + 1 >= dlen:
                     raise WireError("truncated compression pointer")
-                target = ((length & ~_POINTER_MASK) << 8) | self._data[pos + 1]
+                target = ((length & ~_POINTER_MASK) << 8) | data[pos + 1]
                 if not jumped:
                     self._pos = pos + 2
                     jumped = True
@@ -147,20 +231,34 @@ class WireReader:
                 hops += 1
                 if hops > _MAX_POINTER_HOPS:
                     raise WireError("compression pointer loop")
+                tail = memo.get(target)
+                if tail is not None:
+                    total += tail.wire_length - 1
+                    if total > MAX_NAME_LENGTH:
+                        raise WireError("name exceeds 255 octets")
+                    name = tail if not labels else Name.intern(tuple(labels) + tail.labels)
+                    break
+                starts.append((target, len(labels)))
                 pos = target
-            elif length & _POINTER_MASK:
+            elif kind:
                 raise WireError(f"unsupported label type: 0x{length:02x}")
             elif length == 0:
                 if not jumped:
                     self._pos = pos + 1
+                name = Name.intern(tuple(labels))
                 break
             else:
-                if pos + 1 + length > len(self._data):
+                end = pos + 1 + length
+                if end > dlen:
                     raise WireError("truncated label")
                 total += length + 1
                 if total > MAX_NAME_LENGTH:
                     raise WireError("name exceeds 255 octets")
-                labels.append(self._data[pos + 1 : pos + 1 + length])
-                pos += 1 + length
-        # Label and total lengths were validated during parsing.
-        return Name._unchecked(tuple(labels))
+                if not labels and not starts:
+                    starts.append((pos, 0))
+                labels.append(data[pos + 1 : end])
+                pos = end
+        for offset, skip in starts:
+            if offset not in memo:
+                memo[offset] = name if skip == 0 else Name.intern(name.labels[skip:])
+        return name

@@ -60,6 +60,19 @@ class ValidationResult:
         return f"<ValidationResult ok={self.ok} reason={self.reason.value}>"
 
 
+# Memo of cryptographic verification outcomes keyed by the exact bytes
+# fed to the algorithm: (algorithm, public key, signature, signed data) →
+# bool.  Verification is a pure function of those bytes, and campaigns
+# re-verify the same chain links constantly (every zone under a TLD
+# revalidates the TLD's DNSKEY/DS link; anycast sampling re-fetches the
+# same RRsets), so value-keyed caching collapses repeated public-key
+# operations into a dict hit.  Bounded: cleared on overflow.
+_VERIFY_MEMO: dict = {}
+_VERIFY_MEMO_LIMIT = 1 << 14
+
+_SUPPORTED_ALGORITHM_NUMBERS = frozenset(int(a) for a in SUPPORTED_ALGORITHMS)
+
+
 def _verify_one(
     rrset: RRset,
     rrsig: RRSIG,
@@ -70,7 +83,7 @@ def _verify_one(
         return ValidationResult(False, FailureReason.EXPIRED, rrsig.key_tag)
     if now < rrsig.inception:
         return ValidationResult(False, FailureReason.NOT_YET_VALID, rrsig.key_tag)
-    if rrsig.algorithm not in tuple(int(a) for a in SUPPORTED_ALGORITHMS):
+    if rrsig.algorithm not in _SUPPORTED_ALGORITHM_NUMBERS:
         return ValidationResult(False, FailureReason.UNSUPPORTED_ALGORITHM, rrsig.key_tag)
     owner_name = None
     owner_labels = len(rrset.name)
@@ -83,7 +96,14 @@ def _verify_one(
     data = rrsig.rdata_to_sign() + rrset.canonical_wire(
         original_ttl=rrsig.original_ttl, owner_name=owner_name
     )
-    if algorithm_verify(rrsig.algorithm, dnskey.public_key, rrsig.signature, data):
+    memo_key = (rrsig.algorithm, dnskey.public_key, rrsig.signature, data)
+    ok = _VERIFY_MEMO.get(memo_key)
+    if ok is None:
+        ok = algorithm_verify(rrsig.algorithm, dnskey.public_key, rrsig.signature, data)
+        if len(_VERIFY_MEMO) >= _VERIFY_MEMO_LIMIT:
+            _VERIFY_MEMO.clear()
+        _VERIFY_MEMO[memo_key] = ok
+    if ok:
         return ValidationResult(True, key_tag=rrsig.key_tag)
     return ValidationResult(False, FailureReason.BAD_SIGNATURE, rrsig.key_tag)
 

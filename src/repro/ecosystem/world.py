@@ -52,7 +52,13 @@ class World:
 
         return ScannerConfig(anycast_ns_suffixes=list(self.anycast_ns_suffixes))
 
-    def make_scanner(self, telemetry=None, retry=None, in_flight=None):
+    def make_scanner(self, telemetry=None, retry=None, in_flight=None, network=None):
+        """Build a scanner for this world.
+
+        *network* overrides the transport the scanner queries through
+        (default: this world's simulated fabric; pass a
+        :class:`repro.wire.WireNetwork` to scan over real sockets).
+        """
         from dataclasses import replace
 
         from repro.scanner.yodns import Scanner
@@ -62,7 +68,12 @@ class World:
             config = replace(config, retry_policy=retry)
         if in_flight is not None:
             config = replace(config, in_flight=in_flight)
-        return Scanner(self.network, self.root_ips, config, telemetry=telemetry)
+        return Scanner(
+            network if network is not None else self.network,
+            self.root_ips,
+            config,
+            telemetry=telemetry,
+        )
 
 
 # Operators whose NS hostnames are not in the operator database (the

@@ -185,6 +185,36 @@ def _render_query_plane(stats: CampaignStats) -> List[str]:
     return lines
 
 
+def _render_wire_engine(counters: Dict[str, float]) -> List[str]:
+    """The ``wire engine`` stats section.
+
+    Present only when the campaign actually scanned over real sockets
+    (``wire.queries`` > 0): simulated-fabric campaigns render no wire
+    section at all, keeping their reports byte-identical to pre-wire
+    output.
+    """
+    queries = counters.get("wire.queries", 0)
+    if not queries:
+        return []
+    batches = counters.get("wire.batches", 0)
+    batched = counters.get("wire.batched_queries", 0)
+    per_batch = f"{batched / batches:.1f}" if batches else "-"
+    return [
+        "",
+        "wire engine (repro.wire)",
+        f"  queries:      {format_count(int(queries))} over real sockets "
+        f"({format_count(int(counters.get('wire.servers_hosted', 0)))} servers hosted)",
+        f"  in flight:    {format_count(int(counters.get('wire.in_flight_peak', 0)))} peak",
+        f"  batches:      {format_count(int(batches))} flushes "
+        f"({per_batch} queries/flush, {format_count(int(counters.get('wire.batch_peak', 0)))} peak)",
+        f"  resp. cache:  {format_count(int(counters.get('wire.response_cache_hits', 0)))} hits",
+        f"  errors:       {format_count(int(counters.get('wire.socket_errors', 0)))} socket, "
+        f"{format_count(int(counters.get('wire.demux_misses', 0)))} demux misses, "
+        f"{format_count(int(counters.get('wire.decode_errors', 0)))} decode, "
+        f"{format_count(int(counters.get('wire.wall_timeouts', 0)))} wall timeouts",
+    ]
+
+
 def render_stats(stats: CampaignStats) -> str:
     """The campaign telemetry report, paper-style plain text."""
     counters = stats.counters
@@ -233,6 +263,8 @@ def render_stats(stats: CampaignStats) -> str:
             f"  gate waits:   {format_count(int(counters.get('sched.gate_waits', 0)))} "
             "(single-flight cache fills)",
         ]
+
+    lines += _render_wire_engine(counters)
 
     cache_rows = []
     for label, key in (

@@ -329,6 +329,12 @@ class Telemetry:
                     "sched.queue_peak": scanner.sched_queue_peak,
                 }
             )
+        wire_counters = getattr(scanner.network, "wire_counters", None)
+        if wire_counters is not None:
+            # Wire-transport statistics (repro.wire): only present when
+            # the scan ran over real sockets, so simulated-fabric streams
+            # stay byte-identical to pre-wire ones.
+            self.set_counters(wire_counters())
         chaos = getattr(scanner.network, "chaos", None)
         if chaos is not None:
             self.set_counters(chaos.counters())

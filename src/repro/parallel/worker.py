@@ -131,6 +131,7 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
 
     telemetry = Telemetry() if spec.telemetry else NULL_TELEMETRY
     world = build_world(scale=spec.scale, seed=spec.seed)
+    world.network.enable_response_cache()
     if spec.chaos is not None and spec.chaos.enabled:
         # Each machine gets its own decision stream: derived, not
         # shared, so no two workers replay identical fault patterns,

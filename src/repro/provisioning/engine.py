@@ -84,6 +84,8 @@ def install_ds(world: World, zone_name: str, cds_rrset: RRset) -> None:
     key = registry_key(suffix)
     new_sig = sign_rrset(ds_rrset, key, registry.origin)
     registry.add_rrset(RRset(owner, RRType.RRSIG, ttl, [*retained, new_sig]))
+    # Registry content changed: cached response wires are stale.
+    world.network.invalidate_response_cache()
 
 
 def remove_ds(world: World, zone_name: str) -> None:
@@ -102,6 +104,7 @@ def remove_ds(world: World, zone_name: str) -> None:
         registry.remove_rrset(owner, RRType.RRSIG)
         if retained:
             registry.add_rrset(RRset(owner, RRType.RRSIG, sig_rrset.ttl, retained))
+    world.network.invalidate_response_cache()
 
 
 class BootstrapEngine:

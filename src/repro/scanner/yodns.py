@@ -43,7 +43,7 @@ from repro.scanner.results import (
     make_signal_name,
 )
 from repro.scanner.sampling import AnycastSamplingPolicy
-from repro.sched import EventLoop, FlightMap, active_loop
+from repro.sched import FlightMap, active_loop
 from repro.server.network import NetworkTimeout, SimulatedNetwork
 
 
@@ -486,7 +486,10 @@ class Scanner:
         # machine's campaign duration); the network clock rides along so
         # query costs, chaos latency, and timeouts suspend tasks too
         # when it is a separate object (parallel-worker scan machines).
-        loop = EventLoop(
+        # The transport picks the loop class: the simulated fabric gives
+        # the plain deterministic EventLoop, the wire plane a WireLoop
+        # whose tasks park on socket futures.
+        loop = self.network.make_event_loop(
             self.limiter.clock,
             max_in_flight=self.config.in_flight,
             extra_clocks=(self.network.clock,),

@@ -93,7 +93,20 @@ class EventLoop:
     (out-of-order completions are buffered), so downstream consumers —
     store appends, checkpoints, progress events — observe exactly the
     sequence a serial scan would have produced.
+
+    Subclasses may integrate external event sources (real sockets — see
+    :class:`repro.wire.WireLoop`) through three hooks: :meth:`_poll_io`
+    (drain completed I/O into the heap, called before every pop),
+    :meth:`_wait_io` (block for I/O when the heap is empty but tasks are
+    still parked; returning False means no I/O can arrive and the loop
+    deadlocks), and :attr:`_strict_frontier` (False relaxes the
+    monotonic-fire-time check, since I/O completions resume tasks in
+    wire-arrival order, which may trail the simulated frontier).
     """
+
+    #: When True (the default), an event firing before the frontier is a
+    #: bug and raises; subclasses with external completions clamp instead.
+    _strict_frontier = True
 
     def __init__(
         self,
@@ -179,13 +192,20 @@ class EventLoop:
                 self._push(now, task)
 
         admit(self._base)
-        while self._heap:
+        while True:
+            self._poll_io()
+            if not self._heap:
+                if self._running and self._wait_io():
+                    continue
+                break
             fire, seq, task = heapq.heappop(self._heap)
             if fire < self._frontier:
-                raise RuntimeError(
-                    f"event for task #{task.index} fires at {fire:.6f}, "
-                    f"before the frontier {self._frontier:.6f}"
-                )
+                if self._strict_frontier:
+                    raise RuntimeError(
+                        f"event for task #{task.index} fires at {fire:.6f}, "
+                        f"before the frontier {self._frontier:.6f}"
+                    )
+                fire = self._frontier
             self.events += 1
             self._frontier = fire
             # Consumers between yields (sinks, progress events) read the
@@ -209,6 +229,20 @@ class EventLoop:
             raise RuntimeError(
                 f"scheduler deadlock: task(s) {parked} parked with an empty event queue"
             )
+
+    # -- external-event hooks (overridden by repro.wire.WireLoop) ----------
+
+    def _poll_io(self) -> None:
+        """Drain externally-completed work into the heap (no-op here)."""
+
+    def _wait_io(self) -> bool:
+        """Block until external I/O makes a parked task runnable again.
+
+        Returns True when at least one event was pushed (the loop
+        retries), False when no external source exists — the base loop
+        has none, so an empty heap with parked tasks is a deadlock.
+        """
+        return False
 
     def _run_slice(self, task: Task, fn: Optional[Callable[[Any], Any]] = None) -> None:
         """Resume *task* and block until it parks again or finishes."""

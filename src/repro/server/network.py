@@ -75,6 +75,9 @@ class SimulatedClock:
 class SimulatedNetwork:
     """Registry of IP → server plus accounting and failure injection."""
 
+    #: Bound on cached response wires (cleared wholesale on overflow).
+    RESPONSE_CACHE_LIMIT = 1 << 15
+
     def __init__(self, clock: Optional[SimulatedClock] = None, query_cost: float = 0.0):
         self.clock = clock or SimulatedClock()
         self._servers: Dict[str, AuthoritativeServer] = {}
@@ -91,6 +94,41 @@ class SimulatedNetwork:
         self.chaos: Optional["ChaosPlane"] = None
         # Deprecated predecessor of the chaos plane; see the property below.
         self._loss_hook: Optional[Callable[[str, Message], bool]] = None
+        # Opt-in response-wire cache (see enable_response_cache): campaigns
+        # never mutate zones mid-run, so behaviour-free servers answer as a
+        # pure function of the query bytes.  Off by default because tests
+        # and provisioning flows DO mutate zones between queries.
+        self.response_cache_enabled = False
+        self._response_cache: Dict[tuple, bytes] = {}
+        self.response_cache_hits = 0
+
+    def enable_response_cache(self) -> None:
+        """Serve repeated identical queries from cached response wires.
+
+        Only exchanges with behaviour-free servers are cached, keyed by
+        (server, query bytes minus the message id, tcp); the message id
+        is patched into the cached wire on a hit.  Callers that mutate
+        zone content after enabling must call
+        :meth:`invalidate_response_cache`.
+        """
+        self.response_cache_enabled = True
+
+    def invalidate_response_cache(self) -> None:
+        self._response_cache.clear()
+
+    # -- scheduling --------------------------------------------------------
+
+    def make_event_loop(self, clock, max_in_flight: int = 1, extra_clocks=()):
+        """The event loop a scanner on this transport should run under.
+
+        The simulated fabric uses the plain deterministic
+        :class:`repro.sched.EventLoop`; :class:`repro.wire.WireNetwork`
+        overrides this to return a :class:`repro.wire.WireLoop` whose
+        tasks can park on socket futures.
+        """
+        from repro.sched import EventLoop
+
+        return EventLoop(clock, max_in_flight=max_in_flight, extra_clocks=extra_clocks)
 
     # -- failure injection -------------------------------------------------
 
@@ -200,18 +238,34 @@ class SimulatedNetwork:
             self.timeouts += 1
             self.clock.advance(timeout)
             raise NetworkTimeout(f"no server listening at {ip}")
-        decoded = Message.from_wire(wire)
-        for behavior in server.behaviors:
-            if isinstance(behavior, DropQueriesBehavior) and behavior.should_drop(decoded):
-                self.timeouts += 1
-                self.clock.advance(timeout)
-                raise NetworkTimeout(f"{ip} dropped the query")
-        response = server.handle_query(decoded)
-        if tcp:
-            response_wire = response.to_wire()
-        else:
-            limit = decoded.edns_payload if decoded.edns else 512
-            response_wire = response.to_wire(max_size=limit)
+        response_wire = None
+        cache_key = None
+        if self.response_cache_enabled and not server.behaviors:
+            cache_key = (id(server), wire[2:], tcp)
+            hit = self._response_cache.get(cache_key)
+            if hit is not None:
+                # The cached tail is everything after the message id; the
+                # response id always mirrors the query id.
+                server.queries_handled += 1
+                self.response_cache_hits += 1
+                response_wire = wire[:2] + hit
+        if response_wire is None:
+            decoded = Message.from_wire(wire)
+            for behavior in server.behaviors:
+                if isinstance(behavior, DropQueriesBehavior) and behavior.should_drop(decoded):
+                    self.timeouts += 1
+                    self.clock.advance(timeout)
+                    raise NetworkTimeout(f"{ip} dropped the query")
+            response = server.handle_query(decoded)
+            if tcp:
+                response_wire = response.to_wire()
+            else:
+                limit = decoded.edns_payload if decoded.edns else 512
+                response_wire = response.to_wire(max_size=limit)
+            if cache_key is not None:
+                if len(self._response_cache) >= self.RESPONSE_CACHE_LIMIT:
+                    self._response_cache.clear()
+                self._response_cache[cache_key] = response_wire[2:]
         self.bytes_received += len(response_wire)
         reply = Message.from_wire(response_wire)
         if reply.truncated:

@@ -15,6 +15,8 @@ import threading
 from typing import Optional, Tuple
 
 from repro.dns.message import Message
+from repro.obs.telemetry import as_telemetry
+from repro.server.behaviors import DropQueriesBehavior
 from repro.server.nameserver import AuthoritativeServer
 
 
@@ -27,10 +29,20 @@ class TcpNameserver:
             response = query_tcp(endpoint, make_query("example.com", RRType.SOA))
     """
 
-    def __init__(self, server: AuthoritativeServer, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        server: AuthoritativeServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry=None,
+    ):
         self.server = server
         self.host = host
         self.port = port
+        self.telemetry = as_telemetry(telemetry)
+        # Mirrors the UDP server: a stream segment that does not parse
+        # as DNS closes the connection, counted, never silent.
+        self.decode_errors = 0
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._tcp_server: Optional[asyncio.AbstractServer] = None
@@ -45,7 +57,20 @@ class TcpNameserver:
                 try:
                     query = Message.from_wire(data)
                 except Exception:
+                    self.decode_errors += 1
+                    self.telemetry.count("wire.decode_errors")
                     break
+                # Same drop semantics as the UDP path: the query is
+                # swallowed and the client is left to its timeout.
+                dropped = False
+                for behavior in self.server.behaviors:
+                    if isinstance(behavior, DropQueriesBehavior) and behavior.should_drop(
+                        query
+                    ):
+                        dropped = True
+                        break
+                if dropped:
+                    continue
                 response = self.server.handle_query(query)
                 wire = response.to_wire()  # no size limit over TCP
                 writer.write(struct.pack("!H", len(wire)) + wire)

@@ -15,13 +15,19 @@ from typing import Optional, Tuple
 
 from repro.dns.message import Message
 from repro.dns.types import MAX_UDP_PAYLOAD
+from repro.obs.telemetry import as_telemetry
 from repro.server.behaviors import DropQueriesBehavior
 from repro.server.nameserver import AuthoritativeServer
 
 
 class _ServerProtocol(asyncio.DatagramProtocol):
-    def __init__(self, server: AuthoritativeServer):
+    def __init__(self, server: AuthoritativeServer, telemetry=None):
         self.server = server
+        self.telemetry = as_telemetry(telemetry)
+        # Unparseable datagrams are dropped (a real server can answer
+        # nothing useful), but never silently: the count surfaces as
+        # wire.decode_errors telemetry and on this attribute.
+        self.decode_errors = 0
         self.transport: Optional[asyncio.DatagramTransport] = None
 
     def connection_made(self, transport):  # pragma: no cover - asyncio plumbing
@@ -31,7 +37,9 @@ class _ServerProtocol(asyncio.DatagramProtocol):
         try:
             query = Message.from_wire(data)
         except Exception:
-            return  # unparseable datagrams are silently dropped
+            self.decode_errors += 1
+            self.telemetry.count("wire.decode_errors")
+            return
         for behavior in self.server.behaviors:
             if isinstance(behavior, DropQueriesBehavior) and behavior.should_drop(query):
                 return
@@ -50,14 +58,26 @@ class UdpNameserver:
             response = query_udp(endpoint, make_query("example.com", RRType.SOA))
     """
 
-    def __init__(self, server: AuthoritativeServer, host: str = "127.0.0.1", port: int = 0):
+    def __init__(
+        self,
+        server: AuthoritativeServer,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        telemetry=None,
+    ):
         self.server = server
         self.host = host
         self.port = port
+        self.protocol = _ServerProtocol(server, telemetry=telemetry)
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._transport: Optional[asyncio.DatagramTransport] = None
         self._started = threading.Event()
+
+    @property
+    def decode_errors(self) -> int:
+        """Datagrams received that did not parse as DNS messages."""
+        return self.protocol.decode_errors
 
     def _run(self):
         self._loop = asyncio.new_event_loop()
@@ -65,7 +85,7 @@ class UdpNameserver:
 
         async def start():
             transport, _ = await self._loop.create_datagram_endpoint(
-                lambda: _ServerProtocol(self.server), local_addr=(self.host, self.port)
+                lambda: self.protocol, local_addr=(self.host, self.port)
             )
             self._transport = transport
             self.port = transport.get_extra_info("sockname")[1]

@@ -1,0 +1,33 @@
+"""repro.wire — the asyncio wire engine.
+
+The simulated fabric (:mod:`repro.server.network`) moves wire-format
+messages through memory; this package moves the *same bytes* through
+real loopback sockets, proving the codec, the servers, and the scan
+pipeline interoperate at ZDNS-class mechanics: an asyncio socket pool
+with transaction-id demultiplexing, coalesced send batches, and coarse
+timeout wheels (:mod:`~repro.wire.engine`); the authoritative fleet
+live on ephemeral ports (:mod:`~repro.wire.fleet`); a drop-in scanner
+transport (:mod:`~repro.wire.network`); and the clock bridge that lets
+the deterministic task scheduler park zones on socket futures
+(:mod:`~repro.wire.bridge`).
+
+The contract, in one line: **same seed, same scale → identical analysis
+tables** as the simulated fabric.  Wire mode does *not* promise
+identical event streams, simulated durations, or store byte-layout —
+real I/O completes in wire order, which legitimately reshuffles the
+schedule.  The differential suite pins the table half of that contract.
+"""
+
+from repro.wire.bridge import ClockBridge, WireLoop
+from repro.wire.engine import WireEngine, WireTimeout
+from repro.wire.fleet import WireFleet
+from repro.wire.network import WireNetwork
+
+__all__ = [
+    "ClockBridge",
+    "WireEngine",
+    "WireFleet",
+    "WireLoop",
+    "WireNetwork",
+    "WireTimeout",
+]

@@ -1,0 +1,196 @@
+"""The clock bridge: running the deterministic task layer on real I/O.
+
+:class:`WireLoop` extends :class:`repro.sched.EventLoop` so that a task
+may park on a socket future instead of a simulated-time event: while one
+zone's query is on the wire, the loop keeps firing other tasks' events,
+so up to ``in_flight`` zone scans genuinely overlap on real sockets.
+
+The invariant the bridge preserves — and the one wire mode promises —
+is **table identity**: the analysis tables are a pure function of the
+response *content*, which the authoritative fleet computes from the same
+zone data either way.  What wire mode deliberately gives up is
+*schedule* identity: real completions arrive in wire order, not heap
+order, so task resume order, rate-limiter arithmetic, and the simulated
+makespan may all differ from the simulated fabric.  Accordingly the loop
+relaxes the monotonic-frontier check (``_strict_frontier = False``):
+a task resuming from I/O may hold a local time behind the frontier, and
+its events clamp forward instead of raising.
+
+:class:`ClockBridge` maps simulated instants onto real event-loop
+deadlines for paced replay (``time_scale > 0``): real deadline =
+anchor + (simulated target − simulated anchor) × scale, clamped so the
+sequence of issued deadlines is monotonically non-decreasing no matter
+how task-local timelines interleave — ``loop.call_at`` is never asked
+to fire before a deadline already handed out.  The default
+``time_scale = 0.0`` collapses every simulated sleep to "now": the
+campaign runs as fast as the wire allows and simulated waits keep only
+their heap ordering.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Any, Callable, Deque, Iterable, List, Optional, Tuple
+
+from repro.sched.loop import EventLoop, Task, TaskCancelled
+
+#: How long the loop thread waits on the wire before declaring the
+#: engine wedged (real seconds; generous — loopback answers in micros).
+IO_WAIT_TIMEOUT = 30.0
+
+
+class ClockBridge:
+    """Affine map from simulated instants to real event-loop deadlines.
+
+    ``now`` is the real clock (``loop.time`` of the engine's asyncio
+    loop).  The anchor is taken on first use, so deadlines are relative
+    to when the campaign actually started replaying.
+    """
+
+    def __init__(self, time_scale: float = 0.0, now: Optional[Callable[[], float]] = None):
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.time_scale = time_scale
+        self._now = now if now is not None else _zero
+        self._anchor_real: Optional[float] = None
+        self._anchor_sim = 0.0
+        self._last = float("-inf")
+
+    def anchor(self, sim_now: float) -> None:
+        """Pin simulated *sim_now* to the real present (idempotent)."""
+        if self._anchor_real is None:
+            self._anchor_real = self._now()
+            self._anchor_sim = sim_now
+
+    def deadline(self, sim_target: float) -> float:
+        """The real ``call_at`` deadline for simulated *sim_target*.
+
+        Monotone: never earlier than any deadline already issued, so
+        interleaved task-local timelines cannot schedule a wakeup in the
+        (real) past.
+        """
+        self.anchor(sim_target)
+        real = self._anchor_real + (sim_target - self._anchor_sim) * self.time_scale
+        now = self._now()
+        if real < now:
+            real = now
+        if real < self._last:
+            real = self._last
+        self._last = real
+        return real
+
+
+def _zero() -> float:
+    return 0.0
+
+
+class WireLoop(EventLoop):
+    """An :class:`EventLoop` whose tasks may park on socket futures.
+
+    The completion queue is the only structure touched by two threads at
+    once (the asyncio thread enqueues, the loop thread drains); a deque
+    plus an event keeps that boundary lock-free.  Everything else keeps
+    the base loop's exactly-one-runnable-thread discipline.
+    """
+
+    _strict_frontier = False  # completions resume in wire order
+
+    def __init__(
+        self,
+        clock,
+        max_in_flight: int = 1,
+        extra_clocks: Iterable[Any] = (),
+        trace: Optional[List[Tuple[float, int, int]]] = None,
+        bridge: Optional[ClockBridge] = None,
+        engine=None,
+    ):
+        super().__init__(clock, max_in_flight=max_in_flight, extra_clocks=extra_clocks, trace=trace)
+        self.bridge = bridge or ClockBridge()
+        self.engine = engine
+        self._completions: Deque[Task] = collections.deque()
+        self._io_event = threading.Event()
+        self._io_pending = 0
+        # Surfaced as wire.* telemetry.
+        self.io_waits = 0
+        self.io_blocks = 0
+
+    # -- task side (runs on task threads) ----------------------------------
+
+    def task_block_io(self, future) -> Any:
+        """Park the current task until *future* (a
+        :class:`concurrent.futures.Future`) completes, letting other
+        tasks run meanwhile; returns the future's result (or raises its
+        exception) with no simulated time elapsed."""
+        task = self.current_task
+        if task is None:
+            # Serial call outside the loop (recheck passes, tests): a
+            # plain blocking wait is correct and deterministic.
+            return future.result(timeout=IO_WAIT_TIMEOUT)
+        if task.cancelled:
+            raise TaskCancelled()
+        self.io_blocks += 1
+        self._io_pending += 1
+        future.add_done_callback(lambda _f, t=task: self._complete(t))
+        self._park(task)
+        return future.result(timeout=0)
+
+    def task_advance(self, seconds: float) -> None:
+        if self.bridge.time_scale <= 0:
+            # Unpaced: simulated sleeps keep their heap ordering.
+            super().task_advance(seconds)
+            return
+        task = self.current_task
+        if task is None:  # pragma: no cover - clock guards this
+            raise RuntimeError("task_advance outside a scheduled task")
+        if task.cancelled:
+            raise TaskCancelled()
+        task.now += seconds
+        # Paced replay: wake at the bridged real deadline, then rejoin
+        # the heap through the completion queue like any I/O event.
+        self._io_pending += 1
+        self.engine.loop.call_soon_threadsafe(self._schedule_wakeup, task, task.now)
+        self._park(task)
+
+    def _schedule_wakeup(self, task: Task, sim_target: float) -> None:
+        # On the asyncio thread: call_at fires _complete back through the
+        # completion queue.
+        self.engine.loop.call_at(self.bridge.deadline(sim_target), self._complete, task)
+
+    # -- asyncio side ------------------------------------------------------
+
+    def _complete(self, task: Task) -> None:
+        """Mark *task* runnable again (called from the asyncio thread —
+        or inline, when a future was already done)."""
+        self._completions.append(task)
+        self._io_event.set()
+
+    # -- loop side ---------------------------------------------------------
+
+    def _poll_io(self) -> None:
+        # Clear before draining: a completion racing in after the drain
+        # re-sets the event, so _wait_io never sleeps over a full queue.
+        self._io_event.clear()
+        while True:
+            try:
+                task = self._completions.popleft()
+            except IndexError:
+                break
+            self._io_pending -= 1
+            if task.finished:
+                continue
+            # Resume with no simulated time charged; the frontier clamp
+            # in _drive lifts the fire time if other tasks moved on.
+            self._push(task.now, task)
+
+    def _wait_io(self) -> bool:
+        if self._io_pending <= 0:
+            return False
+        self.io_waits += 1
+        if not self._io_event.wait(timeout=IO_WAIT_TIMEOUT):
+            raise RuntimeError(
+                f"wire engine stalled: {self._io_pending} task(s) blocked on I/O "
+                f"with no completion in {IO_WAIT_TIMEOUT:.0f}s"
+            )
+        self._poll_io()
+        return True

@@ -1,0 +1,546 @@
+"""The asyncio half of the wire plane: one event loop on a daemon
+thread carrying every socket the campaign touches.
+
+Client side, the engine exposes :meth:`WireEngine.send_udp` /
+:meth:`send_tcp`: thread-safe calls that enqueue a datagram (or stream
+write) and return a :class:`concurrent.futures.Future` resolving to the
+raw response wire.  Three throughput mechanics keep the loop thread
+cheap:
+
+* **socket pool** — UDP queries round-robin over a small pool of
+  datagram sockets; responses demultiplex by ``(transaction id, remote
+  address)`` per socket, so thousands of queries can be outstanding on a
+  handful of file descriptors;
+* **coalesced send batches** — callers append to a lock-free deque and
+  at most one ``call_soon_threadsafe`` flush is ever pending, so a burst
+  of N queries crosses the thread boundary as one callback, not N;
+* **timeout wheel** — deadlines round up to coarse buckets
+  (:data:`WHEEL_GRANULARITY` seconds) with one ``call_at`` timer per
+  bucket instead of one per query.
+
+Server side, :meth:`serve_udp` / :meth:`serve_tcp` host an
+:class:`~repro.server.nameserver.AuthoritativeServer` on an ephemeral
+loopback port of the same loop (see :class:`repro.wire.fleet.WireFleet`
+for the fleet-level wiring).
+
+Everything the engine counts lands in :attr:`WireEngine.counters`
+(``wire.*`` telemetry): in-flight high-water mark, batch sizes, socket
+errors, demultiplex misses, decode errors, and wall timeouts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import collections
+import contextlib
+import threading
+from concurrent.futures import Future
+from typing import Deque, Dict, Optional, Tuple
+
+from repro.dns.message import Message
+from repro.server.behaviors import DropQueriesBehavior
+from repro.server.nameserver import AuthoritativeServer
+
+#: Timeout-wheel bucket width (real seconds).  Coarse on purpose: wall
+#: timeouts are a safety net against a hung peer, not a measured RTT.
+WHEEL_GRANULARITY = 0.25
+
+#: Default UDP socket-pool size.
+DEFAULT_POOL_SIZE = 4
+
+
+class WireTimeout(Exception):
+    """No response arrived on the wire within the wall timeout."""
+
+
+class WireEngine:
+    """One asyncio loop on a daemon thread; clients and servers share it.
+
+    A single loop thread is deliberate: on loopback, a query and its
+    answer are two wakeups of the same thread, so there is no cross-core
+    handoff in the hot path and the GIL is never contended by socket
+    work.
+    """
+
+    def __init__(self, pool_size: int = DEFAULT_POOL_SIZE, wall_timeout: float = 10.0):
+        if pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        self.pool_size = pool_size
+        self.wall_timeout = wall_timeout
+        self.counters: Dict[str, int] = {
+            "in_flight": 0,
+            "in_flight_peak": 0,
+            "batches": 0,
+            "batched_queries": 0,
+            "batch_peak": 0,
+            "socket_errors": 0,
+            "demux_misses": 0,
+            "decode_errors": 0,
+            "wall_timeouts": 0,
+        }
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+        self._closed = False
+        # UDP client pool: one protocol per socket, filled lazily on the
+        # loop thread the first time a send flushes.
+        self._udp_pool: list[_ClientProtocol] = []
+        self._next_socket = 0
+        # Pending sends not yet flushed onto the loop thread.  The deque
+        # is the thread boundary: producers append from task threads, the
+        # single flush callback drains on the loop thread.
+        self._outbox: Deque[tuple] = collections.deque()
+        self._flush_pending = False
+        self._flush_lock = threading.Lock()
+        # Timeout wheel: bucket index -> [pending entry, ...].
+        self._wheel: Dict[int, list] = {}
+        # TCP client connections: (host, port) -> _TcpConnection.
+        self._tcp_conns: Dict[Tuple[str, int], "_TcpConnection"] = {}
+        # Server handles kept alive for close().
+        self._server_transports: list = []
+        self._servers: list[asyncio.AbstractServer] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WireEngine":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(target=self._run, name="wire-engine", daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=5):  # pragma: no cover - startup failure
+            raise RuntimeError("wire engine failed to start")
+        return self
+
+    def _run(self) -> None:
+        self._loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(self._loop)
+        self._started.set()
+        self._loop.run_forever()
+        for transport in self._server_transports:
+            transport.close()
+        for server in self._servers:
+            server.close()
+        for conn in self._tcp_conns.values():
+            conn.close()
+        for proto in self._udp_pool:
+            if proto.transport is not None:
+                proto.transport.close()
+        self._loop.run_until_complete(asyncio.sleep(0))
+        self._loop.close()
+
+    def close(self) -> None:
+        if self._closed or self._loop is None:
+            return
+        self._closed = True
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "WireEngine":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            raise RuntimeError("wire engine not started")
+        return self._loop
+
+    def loop_time(self) -> float:
+        return self.loop.time()
+
+    def call_threadsafe(self, fn, *args) -> None:
+        self.loop.call_soon_threadsafe(fn, *args)
+
+    def run_coroutine(self, coro):
+        """Run *coro* on the engine loop; block the caller until done."""
+        return asyncio.run_coroutine_threadsafe(coro, self.loop).result(timeout=30)
+
+    # -- client side -------------------------------------------------------
+
+    def send_udp(self, addr: Tuple[str, int], wire: bytes) -> Future:
+        """Queue one datagram; the Future resolves to the response wire.
+
+        Thread-safe.  The first two octets of *wire* are the transaction
+        id the response is matched on.
+        """
+        future: Future = Future()
+        self._outbox.append(("udp", addr, wire, future))
+        self._schedule_flush()
+        return future
+
+    def send_tcp(self, addr: Tuple[str, int], wire: bytes) -> Future:
+        """Queue one length-prefixed stream query (persistent connection
+        per endpoint); the Future resolves to the response wire."""
+        future: Future = Future()
+        self._outbox.append(("tcp", addr, wire, future))
+        self._schedule_flush()
+        return future
+
+    def _schedule_flush(self) -> None:
+        with self._flush_lock:
+            if self._flush_pending:
+                return
+            self._flush_pending = True
+        self.loop.call_soon_threadsafe(self._flush)
+
+    def _flush(self) -> None:
+        """Drain the outbox on the loop thread — one callback per burst."""
+        with self._flush_lock:
+            self._flush_pending = False
+        counters = self.counters
+        batch = 0
+        while True:
+            try:
+                kind, addr, wire, future = self._outbox.popleft()
+            except IndexError:
+                break
+            batch += 1
+            if kind == "udp":
+                self._send_udp_now(addr, wire, future)
+            else:
+                self._send_tcp_now(addr, wire, future)
+        if batch:
+            counters["batches"] += 1
+            counters["batched_queries"] += batch
+            if batch > counters["batch_peak"]:
+                counters["batch_peak"] = batch
+
+    def _udp_socket(self, index: int) -> "_ClientProtocol":
+        # Called on the loop thread, which cannot await: bind the socket
+        # synchronously and let the endpoint attach on a later loop
+        # iteration (sends issued meanwhile buffer in the protocol).
+        import socket as _socket
+
+        while len(self._udp_pool) <= index:
+            proto = _ClientProtocol(self)
+            sock = _socket.socket(_socket.AF_INET, _socket.SOCK_DGRAM)
+            sock.setblocking(False)
+            sock.bind(("127.0.0.1", 0))
+            proto.attach_task = self.loop.create_task(
+                self.loop.create_datagram_endpoint(lambda p=proto: p, sock=sock)
+            )
+            self._udp_pool.append(proto)
+        return self._udp_pool[index]
+
+    def _send_udp_now(self, addr, wire, future) -> None:
+        # Round-robin across the pool, skipping sockets where this
+        # (txid, addr) is already outstanding (demux would be ambiguous).
+        txid = wire[:2]
+        key = (txid, addr)
+        proto = None
+        for offset in range(self.pool_size):
+            candidate = self._udp_socket((self._next_socket + offset) % self.pool_size)
+            if key not in candidate.pending:
+                proto = candidate
+                break
+        self._next_socket = (self._next_socket + 1) % self.pool_size
+        if proto is None:
+            future.set_exception(WireTimeout(f"transaction id collision for {addr}"))
+            return
+        entry = _Pending(key, future, proto)
+        proto.pending[key] = entry
+        self._track_in_flight(+1)
+        self._arm_timeout(entry)
+        proto.send(wire, addr)
+
+    def _send_tcp_now(self, addr, wire, future) -> None:
+        conn = self._tcp_conns.get(addr)
+        if conn is None or conn.closed:
+            conn = _TcpConnection(self, addr)
+            self._tcp_conns[addr] = conn
+        conn.send(wire, future)
+
+    def _track_in_flight(self, delta: int) -> None:
+        counters = self.counters
+        counters["in_flight"] += delta
+        if counters["in_flight"] > counters["in_flight_peak"]:
+            counters["in_flight_peak"] = counters["in_flight"]
+
+    # -- timeout wheel -----------------------------------------------------
+
+    def _arm_timeout(self, entry: "_Pending") -> None:
+        deadline = self.loop.time() + self.wall_timeout
+        bucket = int(deadline / WHEEL_GRANULARITY) + 1
+        slot = self._wheel.get(bucket)
+        if slot is None:
+            slot = self._wheel[bucket] = []
+            self.loop.call_at(bucket * WHEEL_GRANULARITY, self._expire_bucket, bucket)
+        slot.append(entry)
+        entry.bucket = bucket
+
+    def _expire_bucket(self, bucket: int) -> None:
+        for entry in self._wheel.pop(bucket, ()):
+            if entry.done:
+                continue
+            entry.done = True
+            entry.owner.pending.pop(entry.key, None)
+            self._track_in_flight(-1)
+            self.counters["wall_timeouts"] += 1
+            if not entry.future.cancelled():
+                entry.future.set_exception(WireTimeout("no response on the wire"))
+
+    # -- server side -------------------------------------------------------
+
+    def serve_udp(self, protocol_factory) -> Tuple[str, int]:
+        """Host a datagram protocol on an ephemeral loopback port."""
+
+        async def start():
+            transport, _ = await self.loop.create_datagram_endpoint(
+                protocol_factory, local_addr=("127.0.0.1", 0)
+            )
+            self._server_transports.append(transport)
+            return transport.get_extra_info("sockname")[:2]
+
+        return self.run_coroutine(start())
+
+    def serve_tcp(self, handler) -> Tuple[str, int]:
+        """Host a stream handler on an ephemeral loopback port."""
+
+        async def start():
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            self._servers.append(server)
+            return server.sockets[0].getsockname()[:2]
+
+        return self.run_coroutine(start())
+
+
+class _Pending:
+    """One outstanding client query."""
+
+    __slots__ = ("key", "future", "owner", "bucket", "done")
+
+    def __init__(self, key, future, owner):
+        self.key = key
+        self.future = future
+        self.owner = owner
+        self.bucket = 0
+        self.done = False
+
+
+class _ClientProtocol(asyncio.DatagramProtocol):
+    """One pooled client socket: sends queries, demuxes responses."""
+
+    def __init__(self, engine: WireEngine):
+        self.engine = engine
+        self.transport: Optional[asyncio.DatagramTransport] = None
+        self.pending: Dict[tuple, _Pending] = {}
+        self._backlog: list = []
+        self.attach_task = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+        backlog, self._backlog = self._backlog, []
+        for wire, addr in backlog:
+            transport.sendto(wire, addr)
+
+    def send(self, wire: bytes, addr) -> None:
+        if self.transport is None:
+            # Endpoint still attaching (first loop iteration); buffer.
+            self._backlog.append((wire, addr))
+            return
+        self.transport.sendto(wire, addr)
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        if len(data) < 2:
+            self.engine.counters["decode_errors"] += 1
+            return
+        entry = self.pending.pop((data[:2], addr), None)
+        if entry is None or entry.done:
+            self.engine.counters["demux_misses"] += 1
+            return
+        entry.done = True
+        self.engine._track_in_flight(-1)
+        if not entry.future.cancelled():
+            entry.future.set_result(data)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - rare on loopback
+        self.engine.counters["socket_errors"] += 1
+
+
+class _TcpConnection:
+    """One persistent client stream to a TCP endpoint.
+
+    Writes are queued and flushed by a writer coroutine; a reader
+    coroutine parses 2-byte-length-prefixed responses and resolves the
+    matching future by transaction id.
+    """
+
+    def __init__(self, engine: WireEngine, addr: Tuple[str, int]):
+        self.engine = engine
+        self.addr = addr
+        self.closed = False
+        self.pending: Dict[bytes, Future] = {}
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._queue: list = []
+        self._task = engine.loop.create_task(self._main())
+
+    def send(self, wire: bytes, future: Future) -> None:
+        txid = wire[:2]
+        if txid in self.pending:
+            future.set_exception(WireTimeout(f"transaction id collision for {self.addr}"))
+            return
+        self.pending[txid] = future
+        self.engine._track_in_flight(+1)
+        if self._writer is not None:
+            self._write(wire)
+        else:
+            self._queue.append(wire)
+
+    def _write(self, wire: bytes) -> None:
+        self._writer.write(len(wire).to_bytes(2, "big") + wire)
+
+    async def _main(self) -> None:
+        try:
+            reader, writer = await asyncio.open_connection(*self.addr)
+        except OSError:
+            self._fail()
+            return
+        self._writer = writer
+        queued, self._queue = self._queue, []
+        for wire in queued:
+            self._write(wire)
+        try:
+            while True:
+                header = await reader.readexactly(2)
+                length = int.from_bytes(header, "big")
+                data = await reader.readexactly(length)
+                if len(data) < 2:
+                    self.engine.counters["decode_errors"] += 1
+                    continue
+                future = self.pending.pop(data[:2], None)
+                if future is None:
+                    self.engine.counters["demux_misses"] += 1
+                    continue
+                self.engine._track_in_flight(-1)
+                if not future.cancelled():
+                    future.set_result(data)
+        except (asyncio.IncompleteReadError, ConnectionResetError, OSError):
+            self._fail()
+        finally:
+            self.closed = True
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    def _fail(self) -> None:
+        self.closed = True
+        self.engine.counters["socket_errors"] += 1
+        pending, self.pending = self.pending, {}
+        for future in pending.values():
+            self.engine._track_in_flight(-1)
+            if not future.cancelled():
+                future.set_exception(WireTimeout(f"connection to {self.addr} failed"))
+
+    def close(self) -> None:
+        self.closed = True
+        self._task.cancel()
+        if self._writer is not None:
+            with contextlib.suppress(Exception):
+                self._writer.close()
+
+
+class ServedUdpProtocol(asyncio.DatagramProtocol):
+    """Serve one :class:`AuthoritativeServer` over real datagrams.
+
+    Unlike the simulated fabric, a behaviour-free server's answer is a
+    pure function of the query bytes, so responses are cached by
+    ``query wire minus the transaction id`` (the id is patched on a
+    hit) — the wire-plane twin of
+    :meth:`repro.server.network.SimulatedNetwork.enable_response_cache`.
+    """
+
+    #: Bound on cached response wires (cleared wholesale on overflow).
+    CACHE_LIMIT = 1 << 15
+
+    def __init__(self, server: AuthoritativeServer, counters: Dict[str, int], cache=None):
+        self.server = server
+        self.counters = counters
+        self.cache = cache if cache is not None else {}
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        server = self.server
+        cache_key = None
+        if not server.behaviors:
+            cache_key = (id(server), data[2:], False)
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                server.queries_handled += 1
+                self.counters["cache_hits"] = self.counters.get("cache_hits", 0) + 1
+                self.transport.sendto(data[:2] + hit, addr)
+                return
+        try:
+            query = Message.from_wire(data)
+        except Exception:
+            self.counters["decode_errors"] += 1
+            return
+        for behavior in server.behaviors:
+            if isinstance(behavior, DropQueriesBehavior) and behavior.should_drop(query):
+                return
+        response = server.handle_query(query)
+        payload = query.edns_payload if query.edns else 512
+        wire = response.to_wire(max_size=payload)
+        if cache_key is not None:
+            if len(self.cache) >= self.CACHE_LIMIT:
+                self.cache.clear()
+            self.cache[cache_key] = wire[2:]
+        self.transport.sendto(wire, addr)
+
+
+def make_tcp_handler(server: AuthoritativeServer, counters: Dict[str, int], cache=None):
+    """A stream handler serving *server* with the same caching and
+    decode-error accounting as :class:`ServedUdpProtocol`."""
+    response_cache = cache if cache is not None else {}
+
+    async def handle(reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                header = await reader.readexactly(2)
+                length = int.from_bytes(header, "big")
+                data = await reader.readexactly(length)
+                cache_key = None
+                if not server.behaviors:
+                    cache_key = (id(server), data[2:], True)
+                    hit = response_cache.get(cache_key)
+                    if hit is not None:
+                        server.queries_handled += 1
+                        counters["cache_hits"] = counters.get("cache_hits", 0) + 1
+                        wire = data[:2] + hit
+                        writer.write(len(wire).to_bytes(2, "big") + wire)
+                        await writer.drain()
+                        continue
+                try:
+                    query = Message.from_wire(data)
+                except Exception:
+                    counters["decode_errors"] += 1
+                    break
+                dropped = False
+                for behavior in server.behaviors:
+                    if isinstance(behavior, DropQueriesBehavior) and behavior.should_drop(
+                        query
+                    ):
+                        dropped = True
+                        break
+                if dropped:
+                    continue
+                response = server.handle_query(query)
+                wire = response.to_wire()  # no size limit over TCP
+                if cache_key is not None:
+                    if len(response_cache) >= ServedUdpProtocol.CACHE_LIMIT:
+                        response_cache.clear()
+                    response_cache[cache_key] = wire[2:]
+                writer.write(len(wire).to_bytes(2, "big") + wire)
+                await writer.drain()
+        except (asyncio.IncompleteReadError, ConnectionResetError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    return handle

@@ -1,0 +1,72 @@
+"""The authoritative fleet on real sockets.
+
+A :class:`WireFleet` takes the IP → server topology of a
+:class:`~repro.server.network.SimulatedNetwork` and hosts every
+*unique* :class:`~repro.server.nameserver.AuthoritativeServer` on one
+UDP and one TCP loopback endpoint of the shared
+:class:`~repro.wire.engine.WireEngine` loop.  Anycast is preserved by
+construction: the many simulated IPs that share one server object all
+map to the same socket pair, exactly as the provider's single real
+deployment would answer them.  Dark IPs map to nothing — the client
+plane synthesises their timeouts without touching the wire.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.server.network import SimulatedNetwork
+from repro.wire.engine import ServedUdpProtocol, WireEngine, make_tcp_handler
+
+
+class WireFleet:
+    """Every unique authoritative server of a world, live on loopback."""
+
+    def __init__(self, network: SimulatedNetwork, engine: Optional[WireEngine] = None):
+        self.network = network
+        self.engine = engine or WireEngine()
+        self._owns_engine = engine is None
+        # sim IP -> ((udp host, udp port), (tcp host, tcp port)).
+        self._endpoints: Dict[str, Tuple[Tuple[str, int], Tuple[str, int]]] = {}
+        self.servers_hosted = 0
+        self._started = False
+
+    def start(self) -> "WireFleet":
+        if self._started:
+            return self
+        self.engine.start()
+        counters = self.engine.counters
+        by_server: Dict[int, Tuple[Tuple[str, int], Tuple[str, int]]] = {}
+        # Sorted addresses so port assignment is reproducible run-to-run
+        # given the same ephemeral-port state (and deterministic in count).
+        for ip in self.network.addresses():
+            server = self.network.server_at(ip)
+            pair = by_server.get(id(server))
+            if pair is None:
+                cache: dict = {}
+                udp = self.engine.serve_udp(
+                    lambda s=server, c=cache: ServedUdpProtocol(s, counters, cache=c)
+                )
+                tcp = self.engine.serve_tcp(make_tcp_handler(server, counters, cache=cache))
+                pair = by_server[id(server)] = (udp, tcp)
+                self.servers_hosted += 1
+            self._endpoints[ip] = pair
+        self._started = True
+        return self
+
+    def endpoint(self, ip: str) -> Optional[Tuple[Tuple[str, int], Tuple[str, int]]]:
+        """The (udp, tcp) socket addresses serving simulated *ip*, or
+        None for dark/unknown addresses."""
+        if ip in self.network._dark:
+            return None
+        return self._endpoints.get(ip)
+
+    def close(self) -> None:
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "WireFleet":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()

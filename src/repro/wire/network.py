@@ -1,0 +1,176 @@
+"""The scanner-facing wire transport.
+
+:class:`WireNetwork` is a drop-in for
+:class:`~repro.server.network.SimulatedNetwork` on the scanner side of
+the fabric: same :meth:`query` signature, same accounting counters, same
+:class:`NetworkTimeout` contract — but the exchange crosses real
+loopback sockets through the :class:`~repro.wire.engine.WireEngine`.
+
+Inside a :class:`~repro.wire.bridge.WireLoop` task the blocking wait is
+cooperative (the task parks on the socket future and other zones keep
+scanning); outside any loop — serial scans, recheck passes, provisioning
+verification — it is a plain blocking wait.  Dark IPs never touch the
+wire: they raise :class:`NetworkTimeout` immediately and advance the
+simulated clock by the timeout, exactly like the simulated fabric.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.dns.message import Message
+from repro.server.network import NetworkTimeout, SimulatedNetwork
+from repro.wire.bridge import IO_WAIT_TIMEOUT, ClockBridge, WireLoop
+from repro.wire.engine import WireEngine, WireTimeout
+from repro.wire.fleet import WireFleet
+
+
+class WireNetwork:
+    """Send the scanner's queries over real sockets to a live fleet."""
+
+    def __init__(
+        self,
+        sim: SimulatedNetwork,
+        engine: Optional[WireEngine] = None,
+        time_scale: float = 0.0,
+    ):
+        self.sim = sim
+        self.clock = sim.clock
+        self.time_scale = time_scale
+        self.fleet = WireFleet(sim, engine=engine)
+        self.engine = self.fleet.engine
+        # No fault plane on the wire: chaos composes with the simulated
+        # fabric only (campaign validation enforces this).
+        self.chaos = None
+        # SimulatedNetwork-compatible accounting.
+        self.queries_sent = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.timeouts = 0
+        self.truncations = 0
+        self.tcp_queries = 0
+        self.per_ip_queries: Dict[str, int] = {}
+        self.query_cost = sim.query_cost
+        # The most recent loop built by make_event_loop (its io_waits /
+        # io_blocks feed the wire.* telemetry snapshot).
+        self.last_loop: Optional[WireLoop] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "WireNetwork":
+        self.fleet.start()
+        return self
+
+    def close(self) -> None:
+        self.fleet.close()
+
+    def __enter__(self) -> "WireNetwork":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- topology (delegated) ----------------------------------------------
+
+    def server_at(self, ip: str):
+        return self.sim.server_at(ip)
+
+    def addresses(self):
+        return self.sim.addresses()
+
+    # -- scheduling --------------------------------------------------------
+
+    def make_event_loop(self, clock, max_in_flight: int = 1, extra_clocks=()) -> WireLoop:
+        """The scanner's event loop for this transport: a
+        :class:`WireLoop` whose tasks park on socket futures."""
+        loop = WireLoop(
+            clock,
+            max_in_flight=max_in_flight,
+            extra_clocks=extra_clocks,
+            bridge=ClockBridge(self.time_scale, now=self.engine.loop_time),
+            engine=self.engine,
+        )
+        self.last_loop = loop
+        return loop
+
+    # -- data plane --------------------------------------------------------
+
+    def query(
+        self,
+        ip: str,
+        query: Message,
+        timeout: float = 2.0,
+        tcp: bool = False,
+        wire: Optional[bytes] = None,
+    ) -> Message:
+        """Send *query* to the endpoint serving simulated *ip* over a
+        real socket; same contract as :meth:`SimulatedNetwork.query`."""
+        if wire is None:
+            wire = query.to_wire()
+        self.queries_sent += 1
+        task = self.clock.current_task
+        if task is not None:
+            task.queries += 1
+        if tcp:
+            self.tcp_queries += 1
+        self.bytes_sent += len(wire)
+        self.per_ip_queries[ip] = self.per_ip_queries.get(ip, 0) + 1
+        if self.query_cost:
+            self.clock.advance(self.query_cost)
+        endpoint = self.fleet.endpoint(ip)
+        if endpoint is None:
+            self.timeouts += 1
+            self.clock.advance(timeout)
+            raise NetworkTimeout(f"no server listening at {ip}")
+        udp, tcp_addr = endpoint
+        if tcp:
+            future = self.engine.send_tcp(tcp_addr, wire)
+        else:
+            future = self.engine.send_udp(udp, wire)
+        try:
+            data = self._wait(future)
+        except WireTimeout as exc:
+            self.timeouts += 1
+            self.clock.advance(timeout)
+            raise NetworkTimeout(f"no response from {ip} on the wire") from exc
+        self.bytes_received += len(data)
+        reply = Message.from_wire(data)
+        if reply.truncated:
+            self.truncations += 1
+        return reply
+
+    def _wait(self, future) -> bytes:
+        scheduler = self.clock.scheduler
+        if isinstance(scheduler, WireLoop) and scheduler.current_task is not None:
+            return scheduler.task_block_io(future)
+        return future.result(timeout=IO_WAIT_TIMEOUT)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def wire_counters(self) -> Dict[str, float]:
+        """The ``wire.*`` counter snapshot (absolute totals)."""
+        c = self.engine.counters
+        snapshot = {
+            "wire.queries": self.queries_sent,
+            "wire.in_flight_peak": c["in_flight_peak"],
+            "wire.batches": c["batches"],
+            "wire.batched_queries": c["batched_queries"],
+            "wire.batch_peak": c["batch_peak"],
+            "wire.socket_errors": c["socket_errors"],
+            "wire.demux_misses": c["demux_misses"],
+            "wire.decode_errors": c["decode_errors"],
+            "wire.wall_timeouts": c["wall_timeouts"],
+            "wire.response_cache_hits": c.get("cache_hits", 0),
+            "wire.servers_hosted": self.fleet.servers_hosted,
+        }
+        loop = self.last_loop
+        if loop is not None:
+            snapshot["wire.io_blocks"] = loop.io_blocks
+            snapshot["wire.io_waits"] = loop.io_waits
+        return snapshot
+
+    def __repr__(self) -> str:
+        return (
+            f"<WireNetwork servers={self.fleet.servers_hosted} "
+            f"queries={self.queries_sent} timeouts={self.timeouts}>"
+        )

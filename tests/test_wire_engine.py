@@ -1,0 +1,303 @@
+"""Differential and unit tests for the repro.wire transport.
+
+The load-bearing claim of :mod:`repro.wire` is **table identity**: a
+campaign scanned over real loopback sockets renders the same bytes
+(Tables 1-3, Figure 1) as the simulated fabric at the same seed/scale —
+including across a kill/resume cycle.  Wire mode deliberately gives up
+*schedule* identity (completions arrive in wire order), so the tests pin
+the artifacts, not the event stream.
+
+The unit tests cover the mechanisms underneath: the clock bridge's
+monotone-deadline invariant (hypothesis), task parking on socket
+futures, the decode-error telemetry on both sync servers, and the
+stats section gating.
+"""
+
+import socket
+import struct
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign import CampaignConfig, resume_campaign, run_campaign
+from repro.chaos import ChaosConfig
+from repro.dns.message import make_query
+from repro.dns.rdata import A, NS, SOA
+from repro.dns.types import Rcode, RRType
+from repro.dns.zone import Zone
+from repro.obs.stats import CampaignStats, render_stats
+from repro.obs.telemetry import Telemetry
+from repro.reports.figure1 import compute_figure1, render_figure1
+from repro.reports.table1 import compute_table1, render_table1
+from repro.reports.table2 import compute_table2, render_table2
+from repro.reports.table3 import compute_table3, render_table3
+from repro.server import AuthoritativeServer, DropQueriesBehavior
+from repro.server.network import SimulatedClock
+from repro.server.tcp import TcpNameserver, query_tcp
+from repro.server.udp import UdpNameserver, query_udp
+from repro.store.manifest import load_manifest
+from repro.wire import ClockBridge, WireLoop
+
+SCALE = 1e-6
+SEED = 41
+
+
+def rendered_artifacts(campaign) -> dict:
+    """The four user-facing artifacts, as the exact strings a user sees."""
+    report = campaign.report
+    return {
+        "table1": render_table1(compute_table1(report)),
+        "table2": render_table2(compute_table2(report)),
+        "table3": render_table3(compute_table3(report)),
+        "figure1": render_figure1(compute_figure1(report)),
+    }
+
+
+@pytest.fixture(scope="module")
+def sequential_artifacts():
+    return rendered_artifacts(run_campaign(scale=SCALE, seed=SEED, recheck=True))
+
+
+# ---------------------------------------------------------------------------
+# Differential: wire campaigns render the simulated fabric's bytes
+# ---------------------------------------------------------------------------
+
+
+class TestWireDifferential:
+    def test_wire_campaign_renders_the_sim_tables(self, sequential_artifacts):
+        wire = run_campaign(
+            CampaignConfig(
+                scale=SCALE, seed=SEED, recheck=True, transport="wire", in_flight=16
+            )
+        )
+        assert rendered_artifacts(wire) == sequential_artifacts
+
+    def test_kill_and_resume_over_the_wire(self, sequential_artifacts, tmp_path):
+        root = tmp_path / "store"
+        run_campaign(
+            CampaignConfig(
+                scale=SCALE,
+                seed=SEED,
+                store_dir=root,
+                transport="wire",
+                in_flight=8,
+                stop_after=5,
+            )
+        )
+        # transport round-trips through the manifest, so the resume
+        # stands the socket fleet back up without being told.
+        stored = CampaignConfig.from_manifest(load_manifest(root))
+        assert stored.transport == "wire"
+        resumed = resume_campaign(root)
+        assert rendered_artifacts(resumed) == sequential_artifacts
+
+    def test_validate_rejects_wire_with_chaos(self):
+        with pytest.raises(ValueError, match="chaos"):
+            CampaignConfig(
+                scale=SCALE, seed=SEED, transport="wire", chaos=ChaosConfig.default()
+            ).validate()
+
+    def test_validate_rejects_unknown_transport(self):
+        with pytest.raises(ValueError, match="transport"):
+            CampaignConfig(scale=SCALE, seed=SEED, transport="tcp").validate()
+
+
+# ---------------------------------------------------------------------------
+# Clock bridge: issued deadlines are monotonically non-decreasing
+# ---------------------------------------------------------------------------
+
+
+class TestClockBridge:
+    @settings(max_examples=100, deadline=None)
+    @given(
+        targets=st.lists(
+            st.floats(min_value=0, max_value=1e6, allow_nan=False, allow_infinity=False),
+            min_size=1,
+            max_size=50,
+        ),
+        steps=st.lists(
+            st.floats(min_value=0, max_value=10, allow_nan=False, allow_infinity=False),
+            min_size=50,
+            max_size=50,
+        ),
+        time_scale=st.floats(
+            min_value=0, max_value=100, allow_nan=False, allow_infinity=False
+        ),
+    )
+    def test_deadlines_never_decrease(self, targets, steps, time_scale):
+        # Simulated task-local timelines interleave arbitrarily (targets
+        # are NOT sorted) while the real clock drifts forward; the
+        # issued call_at deadlines must still be monotone and never in
+        # the (real) past — asyncio's contract for call_at.
+        real = {"now": 0.0}
+        bridge = ClockBridge(time_scale=time_scale, now=lambda: real["now"])
+        issued = []
+        for target, step in zip(targets, steps):
+            real["now"] += step
+            deadline = bridge.deadline(target)
+            assert deadline >= real["now"]
+            issued.append(deadline)
+        assert issued == sorted(issued)
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ValueError):
+            ClockBridge(time_scale=-1.0)
+
+
+# ---------------------------------------------------------------------------
+# WireLoop: tasks park on futures and resume in completion order
+# ---------------------------------------------------------------------------
+
+
+class TestWireLoop:
+    def test_tasks_park_on_futures_and_results_keep_submission_order(self):
+        clock = SimulatedClock()
+        loop = WireLoop(clock, max_in_flight=4)
+        started = []
+
+        def fn(i):
+            started.append(i)
+            future = Future()
+            # Completions land in *reverse* submission order from a
+            # foreign thread — the loop must keep draining regardless.
+            threading.Timer(0.01 * (4 - i), future.set_result, args=(i * 10,)).start()
+            return loop.task_block_io(future)
+
+        results = loop.run([0, 1, 2, 3], fn)
+        assert results == [0, 10, 20, 30]
+        assert sorted(started) == [0, 1, 2, 3]
+        assert loop.io_blocks == 4
+        # Parking charges no simulated time.
+        assert clock.now() == 0.0
+
+    def test_block_io_outside_a_task_waits_inline(self):
+        loop = WireLoop(SimulatedClock(), max_in_flight=2)
+        future = Future()
+        future.set_result(7)
+        assert loop.task_block_io(future) == 7
+        assert loop.io_blocks == 0
+
+    def test_future_exception_propagates_to_the_task(self):
+        loop = WireLoop(SimulatedClock(), max_in_flight=2)
+
+        def fn(i):
+            future = Future()
+            threading.Timer(0.01, future.set_exception, args=(OSError("boom"),)).start()
+            try:
+                loop.task_block_io(future)
+            except OSError as exc:
+                return str(exc)
+            return "no error"
+
+        assert loop.run([0], fn) == ["boom"]
+
+
+# ---------------------------------------------------------------------------
+# Sync servers: unparseable input is counted, never silently dropped
+# ---------------------------------------------------------------------------
+
+
+def _zone_server(name: str) -> AuthoritativeServer:
+    server = AuthoritativeServer(name)
+    zone = Zone(f"{name}.test")
+    zone.add(f"{name}.test", 300, SOA(f"ns1.{name}.test", f"h.{name}.test", 1))
+    zone.add(f"{name}.test", 300, NS(f"ns1.{name}.test"))
+    zone.add(f"www.{name}.test", 300, A("192.0.2.77"))
+    server.add_zone(zone)
+    return server
+
+
+def _wait_for(predicate, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+class TestServerDecodeErrors:
+    def test_udp_garbage_is_counted_and_service_continues(self):
+        telemetry = Telemetry()
+        ns = UdpNameserver(_zone_server("garbage"), telemetry=telemetry)
+        with ns as endpoint:
+            with socket.socket(socket.AF_INET, socket.SOCK_DGRAM) as sock:
+                sock.sendto(b"\x00", endpoint)  # too short for a DNS header
+            assert _wait_for(lambda: ns.decode_errors == 1)
+            # The server survives the junk datagram.
+            resp = query_udp(endpoint, make_query("www.garbage.test", RRType.A, msg_id=3))
+            assert resp.rcode == Rcode.NOERROR
+        assert telemetry.counters.get("wire.decode_errors") == 1
+
+    def test_tcp_garbage_is_counted_and_closes_the_stream(self):
+        telemetry = Telemetry()
+        ns = TcpNameserver(_zone_server("tgarbage"), telemetry=telemetry)
+        with ns as endpoint:
+            with socket.create_connection(endpoint, timeout=2.0) as sock:
+                sock.sendall(struct.pack("!H", 3) + b"abc")
+                # The server closes the connection after the bad segment.
+                assert sock.recv(64) == b""
+            assert _wait_for(lambda: ns.decode_errors == 1)
+            # A fresh connection still gets answers.
+            resp = query_tcp(endpoint, make_query("www.tgarbage.test", RRType.A, msg_id=4))
+            assert resp.rcode == Rcode.NOERROR
+        assert telemetry.counters.get("wire.decode_errors") == 1
+
+    def test_tcp_drop_behavior_leaves_client_to_its_timeout(self):
+        server = AuthoritativeServer("tdrop")
+        server.add_behavior(DropQueriesBehavior())
+        with TcpNameserver(server) as endpoint:
+            with pytest.raises((TimeoutError, OSError)):
+                query_tcp(endpoint, make_query("x.test", RRType.A, msg_id=1), timeout=0.2)
+
+
+# ---------------------------------------------------------------------------
+# Stats: the wire section only exists for wire campaigns
+# ---------------------------------------------------------------------------
+
+
+def _stats(counters) -> CampaignStats:
+    return CampaignStats(
+        root="store",
+        status="complete",
+        seed=SEED,
+        scale=SCALE,
+        records=3,
+        zones_total=3,
+        events=2,
+        streams=1,
+        counters=counters,
+    )
+
+
+class TestStatsSection:
+    def test_sim_campaign_renders_no_wire_section(self):
+        out = render_stats(_stats({"net.queries": 42}))
+        assert "wire engine" not in out
+
+    def test_wire_campaign_renders_the_section(self):
+        out = render_stats(
+            _stats(
+                {
+                    "net.queries": 42,
+                    "wire.queries": 42,
+                    "wire.servers_hosted": 5,
+                    "wire.in_flight_peak": 16,
+                    "wire.batches": 7,
+                    "wire.batched_queries": 42,
+                    "wire.batch_peak": 9,
+                    "wire.response_cache_hits": 11,
+                    "wire.socket_errors": 0,
+                    "wire.demux_misses": 0,
+                    "wire.decode_errors": 1,
+                    "wire.wall_timeouts": 0,
+                }
+            )
+        )
+        assert "wire engine (repro.wire)" in out
+        assert "6.0 queries/flush" in out
+        assert "1 decode" in out
