@@ -32,7 +32,7 @@ import time
 
 from conftest import save_artifact
 
-from repro.campaign import run_campaign
+from repro.campaign import CampaignConfig, run_campaign
 
 PARALLEL_SCALE = float(os.environ.get("REPRO_BENCH_PARALLEL_SCALE", "2e-5"))
 PARALLEL_SEED = 7
@@ -54,11 +54,13 @@ def test_parallel_throughput(benchmark, results_dir, tmp_path):
         for workers in WORKER_COUNTS:
             start = time.perf_counter()
             campaigns[workers] = run_campaign(
-                scale=PARALLEL_SCALE,
-                seed=PARALLEL_SEED,
-                recheck=False,
-                store_dir=tmp_path / f"campaign-w{workers}",
-                workers=workers,
+                CampaignConfig(
+                    scale=PARALLEL_SCALE,
+                    seed=PARALLEL_SEED,
+                    recheck=False,
+                    store_dir=tmp_path / f"campaign-w{workers}",
+                    workers=workers,
+                )
             )
             wall[workers] = time.perf_counter() - start
 

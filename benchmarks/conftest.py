@@ -13,7 +13,7 @@ from typing import Any, Dict, Optional
 
 import pytest
 
-from repro.campaign import run_campaign
+from repro.campaign import CampaignConfig, run_campaign
 from repro.obs import Telemetry
 from repro.obs.stats import write_benchmark_metrics
 
@@ -29,7 +29,7 @@ METRICS_HUB = Telemetry(wall_clock=True)
 
 @pytest.fixture(scope="session")
 def campaign():
-    return run_campaign(scale=SCALE, seed=1, recheck=True)
+    return run_campaign(CampaignConfig(scale=SCALE, seed=1, recheck=True))
 
 
 @pytest.fixture(scope="session")

@@ -10,7 +10,7 @@ full-fidelity run the benchmark harness performs (28 760 zones).
 
 import sys
 
-from repro.campaign import run_campaign
+from repro.campaign import CampaignConfig, run_campaign
 from repro.reports import (
     check_shapes,
     compute_figure1,
@@ -32,7 +32,7 @@ def main() -> int:
     scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1e-5
     print(f"running a measurement campaign at scale {scale:g} "
           f"(~{287_600_000 * scale:,.0f} zones) ...\n")
-    campaign = run_campaign(scale=scale, seed=1, recheck=True)
+    campaign = run_campaign(CampaignConfig(scale=scale, seed=1, recheck=True))
     report, targets = campaign.report, campaign.world.targets
 
     print(render_table1(compute_table1(report), expected_table1(targets)))

@@ -6,7 +6,17 @@ all-nameserver scanner, the RFC 9615 authenticated-bootstrapping analysis
 pipeline that constitutes the paper's contribution, and a synthetic DNS
 ecosystem calibrated to the paper's published measurements.
 
-Typical use::
+Typical use — continuous monitoring over an evolving ecosystem::
+
+    from repro import Monitor, MonitorConfig
+
+    monitor = Monitor.init(MonitorConfig(root="./monitor", scale=1 / 100_000))
+    monitor.run_epoch()                # epoch 0: full baseline scan
+    for result in monitor.run_until(weeks=4):
+        print(result.epoch, result.zones_scanned, len(result.events))
+    print(monitor.diff().diff.changed, "zones reclassified last week")
+
+One-shot campaigns take a :class:`CampaignConfig`::
 
     from repro import CampaignConfig, run_campaign
 
@@ -52,6 +62,9 @@ __all__ = [
     "RetryPolicy",
     "QueryService",
     "build_index",
+    "Monitor",
+    "MonitorConfig",
+    "EpochDiff",
 ]
 
 _API = {
@@ -70,6 +83,9 @@ _API = {
     "RetryPolicy": ("repro.chaos", "RetryPolicy"),
     "QueryService": ("repro.query", "QueryService"),
     "build_index": ("repro.query", "build_index"),
+    "Monitor": ("repro.monitor", "Monitor"),
+    "MonitorConfig": ("repro.monitor", "MonitorConfig"),
+    "EpochDiff": ("repro.monitor", "EpochDiff"),
 }
 
 

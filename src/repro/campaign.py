@@ -9,9 +9,17 @@ The campaign API is config-first: a frozen :class:`CampaignConfig`
 carries every knob (scale, seed, store, workers, telemetry, …),
 validates the mutually-exclusive combinations in one place, and
 round-trips losslessly through the store manifest so a resume rebuilds
-the exact configuration the campaign started with.  The historical
-keyword form (``run_campaign(scale=..., seed=...)``) keeps working via
-a thin shim.
+the exact configuration the campaign started with.
+:func:`run_campaign` accepts a :class:`CampaignConfig` and nothing
+else; the historical per-setting keyword form was retired when the
+epoch-first monitoring API landed.
+
+A campaign may also be one *epoch* of a continuous-monitoring timeline
+(``epoch=...`` + ``monitor=...``): the world is rebuilt and replayed to
+that simulated week, and for epochs past the baseline only the zones
+the week's events touched are scanned — a delta campaign.  The
+orchestration lives in :class:`repro.monitor.Monitor`; the config layer
+here only knows how to reproduce the world and the changed subset.
 
 Campaigns can run fully in memory (the default, results returned as a
 list) or against a :mod:`repro.store` warehouse (``store_dir=...``):
@@ -34,6 +42,7 @@ from repro.chaos import ChaosConfig, RetryPolicy
 from repro.core.bootstrap import INCORRECT_OUTCOMES, SignalOutcome, assess_zone
 from repro.core.pipeline import AnalysisPipeline, AnalysisReport
 from repro.ecosystem.world import World, build_world
+from repro.monitor.spec import MonitorSpec
 from repro.obs.events import events_path
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, as_telemetry
 from repro.reports.table3 import apply_recheck
@@ -84,10 +93,20 @@ class CampaignConfig:
     # same analysis tables at the same seed/scale — not the same event
     # streams or simulated durations (real I/O reorders the schedule).
     transport: str = "sim"
+    # Monitoring-plane leaf: which simulated week this campaign observes
+    # (0 = baseline full scan, >= 1 = delta over the changed subset) and
+    # the seeded event stream that evolves the world between weeks.
+    # Both or neither; requires a store; the orchestration loop lives in
+    # repro.monitor.Monitor.
+    epoch: Optional[int] = None
+    parent_epoch: Optional[int] = None
+    monitor: Optional[MonitorSpec] = None
 
     def __post_init__(self):
         if self.store_dir is not None and not isinstance(self.store_dir, Path):
             object.__setattr__(self, "store_dir", Path(self.store_dir))
+        if self.epoch is not None and self.epoch > 0 and self.parent_epoch is None:
+            object.__setattr__(self, "parent_epoch", self.epoch - 1)
 
     def effective_retry(self) -> Optional[RetryPolicy]:
         """The retry policy the campaign actually runs with: the
@@ -135,6 +154,37 @@ class CampaignConfig:
                     "transport='wire' runs single-process (one shared socket "
                     "engine); combine with in_flight=N for concurrency"
                 )
+        if self.epoch is not None:
+            if self.epoch < 0:
+                raise ValueError(f"epoch must be >= 0 (got {self.epoch})")
+            if self.monitor is None:
+                raise ValueError("epoch=N requires a monitor spec (monitor=MonitorSpec(...))")
+            if self.store_dir is None:
+                raise ValueError("epoch campaigns require a store (store_dir=...)")
+            if world is not None:
+                raise ValueError(
+                    "epoch campaigns replay the world from the monitor spec; "
+                    "pass scale/seed, not world"
+                )
+            if self.recheck:
+                raise ValueError(
+                    "epoch campaigns require recheck=False: re-check outcomes are "
+                    "not persisted in store records, so a rechecked delta chain "
+                    "could not render identically to a from-scratch scan"
+                )
+            if self.use_sources:
+                raise ValueError(
+                    "epoch campaigns scan the change feed, not an acquired "
+                    "source list (use_sources must be False)"
+                )
+            expected_parent = None if self.epoch == 0 else self.epoch - 1
+            if self.parent_epoch != expected_parent:
+                raise ValueError(
+                    f"epoch {self.epoch} must chain onto parent_epoch "
+                    f"{expected_parent} (got {self.parent_epoch})"
+                )
+        elif self.monitor is not None:
+            raise ValueError("monitor=... requires epoch=N (which week to observe)")
 
     # -- manifest round-trip ----------------------------------------------
 
@@ -163,6 +213,8 @@ class CampaignConfig:
             config["retry"] = self.retry.to_dict()
         if self.transport != "sim":
             config["transport"] = self.transport
+        if self.monitor is not None:
+            config["monitor"] = self.monitor.to_dict()
         return config
 
     @classmethod
@@ -172,6 +224,9 @@ class CampaignConfig:
         chaos = config.get("chaos")
         retry = config.get("retry")
         return cls(
+            epoch=getattr(manifest, "epoch", None),
+            parent_epoch=getattr(manifest, "parent_epoch", None),
+            monitor=MonitorSpec.from_dict(config.get("monitor")),
             scale=manifest.scale,
             seed=manifest.seed,
             recheck=bool(config.get("recheck", True)),
@@ -270,18 +325,18 @@ def _recheck_pass(
     return resolved
 
 
-def run_campaign(config: Optional[CampaignConfig] = None, /, world=None, **kwargs) -> CampaignResult:
+def run_campaign(config: Optional[CampaignConfig] = None, /, world=None, **legacy) -> CampaignResult:
     """Run one full measurement campaign.
 
-    Config-first form::
+    Takes a :class:`CampaignConfig` and nothing else::
 
         run_campaign(CampaignConfig(scale=1e-4, seed=7, telemetry=True))
 
-    The historical keyword form (``run_campaign(scale=..., seed=...,
-    store_dir=..., workers=...)``) still works — the keywords are the
-    fields of :class:`CampaignConfig`, collected into one behind the
-    scenes.  A pre-built *world* may accompany either form for
-    sequential campaigns (parallel ones rebuild worlds per process).
+    A pre-built *world* may accompany the config for sequential
+    campaigns (parallel and epoch campaigns rebuild worlds per
+    process).  The historical per-setting keyword form is gone;
+    stray keywords raise a :class:`TypeError` naming the
+    :class:`CampaignConfig` field to use instead.
 
     With ``recheck=True``, zones classified with incorrect signal zones
     are scanned a second time and the report updated with the outcome —
@@ -313,27 +368,38 @@ def run_campaign(config: Optional[CampaignConfig] = None, /, world=None, **kwarg
     store-backed campaigns, kept on ``result.telemetry.events``
     otherwise.
     """
-    if config is not None:
-        if not isinstance(config, CampaignConfig):
+    if legacy:
+        known = sorted(set(legacy) & _CONFIG_FIELDS)
+        if known:
+            hints = ", ".join(f"CampaignConfig({name}=...)" for name in known)
             raise TypeError(
-                "run_campaign() takes a CampaignConfig as its only "
-                "positional argument; use keywords for individual settings"
+                "run_campaign() no longer accepts individual settings as "
+                f"keyword arguments; pass {hints} instead"
             )
-        if kwargs:
-            unknown = ", ".join(sorted(kwargs))
-            raise TypeError(
-                f"run_campaign() got both a CampaignConfig and keyword settings ({unknown}); "
-                "put everything in the config"
-            )
-    else:
-        unknown = set(kwargs) - _CONFIG_FIELDS
-        if unknown:
-            raise TypeError(
-                f"run_campaign() got unexpected keyword arguments: {', '.join(sorted(unknown))}"
-            )
-        config = CampaignConfig(**kwargs)
+        raise TypeError(
+            f"run_campaign() got unexpected keyword arguments: {', '.join(sorted(legacy))}"
+        )
+    if config is None:
+        config = CampaignConfig()
+    elif not isinstance(config, CampaignConfig):
+        raise TypeError(
+            "run_campaign() takes a CampaignConfig as its only positional argument"
+        )
     config.validate(world=world)
     return _run_validated(config, world)
+
+
+def _epoch_world_and_subset(config: CampaignConfig):
+    """The replayed world for ``config.epoch`` and, for delta epochs,
+    the changed-zone scan subset (None at epoch 0: scan everything).
+
+    Events are applied to a freshly rebuilt world *before* any query is
+    served, so every materialisation cache is still cold — exactly the
+    state a from-scratch scan of the same week would see.
+    """
+    from repro.monitor.timeline import scan_world
+
+    return scan_world(config.scale, config.seed, monitor=config.monitor, epoch=config.epoch)
 
 
 def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignResult:
@@ -355,8 +421,14 @@ def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignRe
             retry=config.effective_retry(),
             in_flight=config.in_flight,
             manifest_config=config.manifest_config(),
+            epoch=config.epoch,
+            parent_epoch=config.parent_epoch,
+            monitor=config.monitor,
         )
 
+    scan_override = None
+    if config.epoch is not None:
+        world, scan_override = _epoch_world_and_subset(config)
     telemetry = as_telemetry(config.telemetry)
     if world is None:
         world = build_world(scale=config.scale, seed=config.seed)
@@ -374,7 +446,7 @@ def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignRe
         network=wire_network,
     )
     try:
-        return _run_scan(config, world, scanner, telemetry)
+        return _run_scan(config, world, scanner, telemetry, scan_override=scan_override)
     finally:
         if wire_network is not None:
             wire_network.close()
@@ -391,9 +463,11 @@ def _wire_network(config: CampaignConfig, world: World):
 
 
 def _run_scan(
-    config: CampaignConfig, world: World, scanner, telemetry
+    config: CampaignConfig, world: World, scanner, telemetry, scan_override=None
 ) -> CampaignResult:
-    scan_list = _scan_list(world, config.use_sources)
+    # *scan_override* narrows the campaign to an explicit zone list —
+    # the delta-epoch change feed.
+    scan_list = scan_override if scan_override is not None else _scan_list(world, config.use_sources)
 
     if config.store_dir is None:
         results = []
@@ -428,6 +502,8 @@ def _run_scan(
         config=config.manifest_config(),
         checkpoint_every=config.checkpoint_every or DEFAULT_CHECKPOINT_EVERY,
         telemetry=telemetry,
+        epoch=config.epoch,
+        parent_epoch=config.parent_epoch,
     )
     if telemetry.enabled:
         telemetry.open_sink(events_path(store.root))
@@ -562,7 +638,18 @@ def resume_campaign(
     store.telemetry = hub
     if hub.enabled:
         hub.open_sink(events_path(root))
-    if world is None:
+    scan_override = None
+    if stored.epoch is not None:
+        # A delta campaign resumes into the same epoch: replay the world
+        # to the recorded week and re-derive the changed subset (the
+        # event stream is a pure function of the stored monitor spec).
+        if world is not None:
+            raise ValueError(
+                "epoch campaigns replay the world from the stored monitor "
+                "spec; do not pass world"
+            )
+        world, scan_override = _epoch_world_and_subset(stored)
+    elif world is None:
         world = build_world(scale=manifest.scale, seed=manifest.seed)
     elif (world.seed, world.scale) != (manifest.seed, manifest.scale):
         raise StoreError(
@@ -580,7 +667,9 @@ def resume_campaign(
         in_flight=stored.in_flight,
         network=wire_network,
     )
-    scan_list = _scan_list(world, stored.use_sources)
+    scan_list = (
+        scan_override if scan_override is not None else _scan_list(world, stored.use_sources)
+    )
 
     try:
         done = frozenset(store.completed_zones())

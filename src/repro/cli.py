@@ -1,11 +1,22 @@
 """Command line interface: regenerate the paper's tables and figures.
 
-Examples::
+Canonical command families::
 
-    repro-dnssec report --scale 1e-5 --artifact all
-    repro-dnssec checks --scale 1e-5
-    repro-dnssec audit --scale 1e-6 --zone <name>
-    repro-dnssec list-zones --scale 1e-6 --limit 20
+    repro-dnssec campaign run --scale 1e-5 --artifact all
+    repro-dnssec campaign run --store ./campaign --workers 4
+    repro-dnssec campaign resume --store ./campaign
+    repro-dnssec campaign stats --store ./campaign
+    repro-dnssec monitor init --store ./monitor --scale 1e-5
+    repro-dnssec monitor advance --store ./monitor --epochs 3
+    repro-dnssec monitor diff --store ./monitor
+
+``repro-dnssec report``, ``repro-dnssec store init|resume`` and the
+top-level ``stats`` remain as thin aliases for existing scripts; they
+print a deprecation pointer to stderr (stderr, so piped stdout stays
+byte-stable) and delegate to the canonical command.  Every subcommand
+spells its store flag ``--store`` (``--dir`` is accepted as a synonym)
+and shares the ``--workers`` / ``--in-flight`` / ``--transport`` /
+``--chaos`` / ``--retries`` vocabulary.
 """
 
 from __future__ import annotations
@@ -14,7 +25,6 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.campaign import run_campaign
 from repro.ecosystem.world import build_world
 from repro.reports.compare import check_shapes
 from repro.reports.figure1 import compute_figure1, expected_figure1, render_figure1
@@ -25,6 +35,12 @@ from repro.reports.table3 import compute_table3, expected_table3, render_table3
 ARTIFACTS = ("table1", "table2", "table3", "figure1", "tld")
 
 
+def _deprecated(old: str, new: str) -> None:
+    """Deprecation pointer for alias commands — stderr only, so CI jobs
+    diffing stdout against golden output are unaffected."""
+    print(f"note: '{old}' is deprecated; use '{new}'", file=sys.stderr)
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--scale",
@@ -33,6 +49,29 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
         help="population scale relative to the paper's 287.6M zones (default 1e-5)",
     )
     parser.add_argument("--seed", type=int, default=1, help="world seed (default 1)")
+
+
+def _add_store(
+    parser: argparse.ArgumentParser, required: bool = True, help: Optional[str] = None
+) -> None:
+    """The uniform store flag: ``--store``, with ``--dir`` kept as a
+    compatible synonym for scripts written against the old spelling."""
+    parser.add_argument(
+        "--store",
+        "--dir",
+        dest="store",
+        required=required,
+        help=help or "campaign store directory",
+    )
+
+
+def _add_workers(parser: argparse.ArgumentParser, help: Optional[str] = None) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=help or "scan with N worker processes (same report, less wall-clock)",
+    )
 
 
 def _chaos_spec(value: str):
@@ -98,37 +137,12 @@ def _add_transport(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def cmd_report(args: argparse.Namespace) -> int:
-    if args.workers:
-        # Parallel execution needs a store for the workers to commit
-        # into; the report itself is byte-identical to the sequential
-        # one, so a throwaway directory is all we need.
-        import tempfile
-        from pathlib import Path
+# -- canonical campaign family ----------------------------------------------
 
-        with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
-            campaign = run_campaign(
-                scale=args.scale,
-                seed=args.seed,
-                recheck=not args.no_recheck,
-                store_dir=Path(tmp) / "store",
-                workers=args.workers,
-                chaos=args.chaos,
-                retry=args.retries,
-                in_flight=args.in_flight,
-            )
-    else:
-        campaign = run_campaign(
-            scale=args.scale,
-            seed=args.seed,
-            recheck=not args.no_recheck,
-            chaos=args.chaos,
-            retry=args.retries,
-            in_flight=args.in_flight,
-            transport=getattr(args, "transport", "sim"),
-        )
+
+def _print_artifacts(campaign, artifact: str) -> None:
     report, targets = campaign.report, campaign.world.targets
-    wanted = ARTIFACTS if args.artifact == "all" else (args.artifact,)
+    wanted = ARTIFACTS if artifact == "all" else (artifact,)
     sections: List[str] = []
     if "table1" in wanted:
         sections.append(render_table1(compute_table1(report), expected_table1(targets)))
@@ -160,11 +174,287 @@ def cmd_report(args: argparse.Namespace) -> int:
                 f"  machine {machine.index}: {machine.zones} zones, "
                 f"{machine.queries} queries, {machine.duration:.0f}s"
             )
+
+
+def _heartbeat_printer(stats: dict) -> None:
+    """Live worker-liveness line (parallel runs with --telemetry)."""
+    worker = stats.get("worker", stats.get("index", "?"))
+    if stats.get("heartbeat"):
+        done, total = stats.get("zones_done", 0), stats.get("zones_total", "?")
+        print(f"  [w{worker:02d}] {done}/{total} zones", flush=True)
+    elif "duration" in stats:
+        print(
+            f"  [w{worker:02d}] finished: {stats.get('zones', '?')} zones, "
+            f"{stats.get('queries', '?')} queries",
+            flush=True,
+        )
+
+
+def _campaign_config(args: argparse.Namespace, store_dir, telemetry):
+    from repro.campaign import CampaignConfig
+
+    return CampaignConfig(
+        scale=args.scale,
+        seed=args.seed,
+        recheck=not args.no_recheck,
+        store_dir=store_dir,
+        checkpoint_every=getattr(args, "checkpoint_every", None),
+        num_shards=getattr(args, "shards", None),
+        compress=not getattr(args, "no_gzip", False),
+        stop_after=getattr(args, "stop_after", 0) or None,
+        workers=args.workers or None,
+        in_flight=args.in_flight,
+        telemetry=telemetry,
+        chaos=args.chaos,
+        retry=args.retries,
+        transport=getattr(args, "transport", "sim"),
+    )
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """One campaign, in-memory or store-backed.
+
+    Without ``--store`` the campaign runs in memory and prints the
+    selected report artifacts (the old ``report`` command); with
+    ``--store`` results are persisted shard-by-shard and the store
+    summary is printed (the old ``store init``).
+    """
+    from repro.campaign import run_campaign
+    from repro.parallel import ParallelCampaignError
+
+    telemetry: object = False
+    if getattr(args, "telemetry", False):
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        telemetry.on_heartbeat = _heartbeat_printer
+
+    store = getattr(args, "store", None)
+    if store is None:
+        if args.workers:
+            # Parallel execution needs a store for the workers to commit
+            # into; the report itself is byte-identical to the sequential
+            # one, so a throwaway directory is all we need.
+            import tempfile
+            from pathlib import Path
+
+            with tempfile.TemporaryDirectory(prefix="repro-campaign-") as tmp:
+                campaign = run_campaign(_campaign_config(args, Path(tmp) / "store", telemetry))
+        else:
+            campaign = run_campaign(_campaign_config(args, None, telemetry))
+        _print_artifacts(campaign, getattr(args, "artifact", "all"))
+        return 0
+
+    try:
+        config = _campaign_config(args, store, telemetry)
+        config.validate()
+    except ValueError as exc:
+        print(f"invalid campaign configuration: {exc}", file=sys.stderr)
+        return 2
+    try:
+        campaign = run_campaign(config)
+    except ParallelCampaignError as exc:
+        print(exc)
+        print(f"\nfinish with: repro-dnssec campaign resume --store {store}")
+        return 1
+    from repro.store import StoreReader
+
+    summary = StoreReader(store).summary()
+    print(summary.render())
+    if summary.status != "complete":
+        print(
+            f"\ncampaign interrupted; finish with: "
+            f"repro-dnssec campaign resume --store {store}"
+        )
+    else:
+        print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
     return 0
 
 
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    """Finish an interrupted campaign from its manifest.
+
+    Campaigns started with ``--workers`` resume in parallel with the
+    recorded worker count; ``--workers`` here overrides it (any subset
+    of crashed workers is tolerated — finished shares are skipped).
+    """
+    from repro.campaign import resume_campaign
+    from repro.store import StoreReader
+
+    telemetry = None
+    if args.telemetry:
+        from repro.obs import Telemetry
+
+        telemetry = Telemetry()
+        telemetry.on_heartbeat = _heartbeat_printer
+    campaign = resume_campaign(
+        args.store,
+        workers=args.workers or None,
+        telemetry=telemetry,
+        chaos=args.chaos,
+        retry=args.retries,
+        in_flight=args.in_flight,
+    )
+    print(StoreReader(args.store).summary().render())
+    print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
+    return 0
+
+
+def cmd_campaign_stats(args: argparse.Namespace) -> int:
+    """Render a campaign telemetry report from a store's event streams."""
+    from repro.obs import collect_stats, render_stats
+    from repro.store import StoreError
+
+    try:
+        stats = collect_stats(args.store)
+    except StoreError as exc:
+        print(f"cannot read campaign telemetry: {exc}", file=sys.stderr)
+        return 2
+    print(render_stats(stats))
+    return 0
+
+
+# -- deprecated aliases ------------------------------------------------------
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    _deprecated("repro-dnssec report", "repro-dnssec campaign run")
+    args.store = None
+    return cmd_campaign_run(args)
+
+
+def cmd_store_init(args: argparse.Namespace) -> int:
+    _deprecated("repro-dnssec store init", "repro-dnssec campaign run --store")
+    return cmd_campaign_run(args)
+
+
+def cmd_store_resume(args: argparse.Namespace) -> int:
+    _deprecated("repro-dnssec store resume", "repro-dnssec campaign resume")
+    return cmd_campaign_resume(args)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    _deprecated("repro-dnssec stats", "repro-dnssec campaign stats --store")
+    args.store = args.dir
+    return cmd_campaign_stats(args)
+
+
+# -- continuous monitoring (repro.monitor) -----------------------------------
+
+
+def cmd_monitor_init(args: argparse.Namespace) -> int:
+    """Create a monitor root: an evolving world observed week by week."""
+    from repro.monitor import Monitor, MonitorConfig, MonitorError, MonitorSpec
+
+    spec = MonitorSpec(seed=args.monitor_seed)
+    if args.event_rate_scale != 1.0:
+        spec = spec.scaled(args.event_rate_scale)
+    config = MonitorConfig(
+        root=args.store,
+        scale=args.scale,
+        seed=args.seed,
+        monitor=spec,
+        workers=args.workers or None,
+        in_flight=args.in_flight,
+        transport=args.transport,
+        telemetry=args.telemetry,
+        checkpoint_every=args.checkpoint_every,
+        num_shards=args.shards,
+        compress=not args.no_gzip,
+    )
+    try:
+        monitor = Monitor.init(config)
+    except MonitorError as exc:
+        print(f"cannot initialise monitor: {exc}", file=sys.stderr)
+        return 2
+    print(monitor.status().render())
+    print(f"\nadvance with: repro-dnssec monitor advance --store {args.store}")
+    return 0
+
+
+def cmd_monitor_advance(args: argparse.Namespace) -> int:
+    """Advance the monitor by N simulated weeks (delta campaigns).
+
+    An interrupted epoch is resumed first and counts as one of the N.
+    """
+    from repro.monitor import Monitor, MonitorError
+
+    try:
+        monitor = Monitor.open(args.store)
+    except MonitorError as exc:
+        print(f"cannot open monitor: {exc}", file=sys.stderr)
+        return 2
+    remaining = args.epochs
+    results = []
+    try:
+        if monitor.in_progress_epoch() is not None:
+            epoch = monitor.in_progress_epoch()
+            print(f"resuming interrupted epoch {epoch} ...")
+            results.append(monitor.resume())
+            remaining -= 1
+        while remaining > 0:
+            results.append(monitor.run_epoch())
+            remaining -= 1
+    except MonitorError as exc:
+        print(f"monitor advance failed: {exc}", file=sys.stderr)
+        return 1
+    for result in results:
+        kind = "baseline (full scan)" if result.epoch == 0 else "delta"
+        print(
+            f"epoch {result.epoch}: {kind}, scanned {result.zones_scanned} zones, "
+            f"{len(result.events)} events applied, "
+            f"{result.simulated_duration:.0f}s simulated"
+        )
+    print(monitor.status().render())
+    return 0
+
+
+def cmd_monitor_status(args: argparse.Namespace) -> int:
+    from repro.monitor import Monitor, MonitorError
+
+    try:
+        monitor = Monitor.open(args.store)
+    except MonitorError as exc:
+        print(f"cannot open monitor: {exc}", file=sys.stderr)
+        return 2
+    print(monitor.status().render())
+    return 0
+
+
+def cmd_monitor_diff(args: argparse.Namespace) -> int:
+    """Epoch-over-epoch classification diff (merged views, not raw stores)."""
+    from repro.monitor import Monitor, MonitorError, render_epoch_diff
+
+    try:
+        monitor = Monitor.open(args.store)
+        epoch_diff = monitor.diff(old=args.old, new=args.new)
+    except MonitorError as exc:
+        print(f"monitor diff failed: {exc}", file=sys.stderr)
+        return 2
+    print(render_epoch_diff(epoch_diff))
+    if args.checks:
+        # Shape checks over the new epoch's merged view: a failure names
+        # the diverging epoch/table pair (see repro.reports.compare).
+        report = monitor.analyze(epoch=epoch_diff.new_epoch)
+        checks = check_shapes(
+            report, compute_table3(report), epoch=epoch_diff.new_epoch
+        )
+        print()
+        for check in checks:
+            print(check)
+        failed = [c for c in checks if not c.passed]
+        print(f"\n{len(checks) - len(failed)}/{len(checks)} shape checks passed")
+        return 1 if failed else 0
+    return 0
+
+
+# -- one-shot inspection commands -------------------------------------------
+
+
 def cmd_checks(args: argparse.Namespace) -> int:
-    campaign = run_campaign(scale=args.scale, seed=args.seed)
+    from repro.campaign import CampaignConfig, run_campaign
+
+    campaign = run_campaign(CampaignConfig(scale=args.scale, seed=args.seed))
     checks = check_shapes(
         campaign.report, compute_table3(campaign.report), campaign.world.targets
     )
@@ -252,120 +542,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 # -- campaign warehouse ------------------------------------------------------
 
 
-def _heartbeat_printer(stats: dict) -> None:
-    """Live worker-liveness line (parallel runs with --telemetry)."""
-    worker = stats.get("worker", stats.get("index", "?"))
-    if stats.get("heartbeat"):
-        done, total = stats.get("zones_done", 0), stats.get("zones_total", "?")
-        print(f"  [w{worker:02d}] {done}/{total} zones", flush=True)
-    elif "duration" in stats:
-        print(
-            f"  [w{worker:02d}] finished: {stats.get('zones', '?')} zones, "
-            f"{stats.get('queries', '?')} queries",
-            flush=True,
-        )
-
-
-def cmd_store_init(args: argparse.Namespace) -> int:
-    """Start a store-backed campaign: scan and persist shard by shard."""
-    from repro.campaign import CampaignConfig, run_campaign
-    from repro.obs import Telemetry
-    from repro.parallel import ParallelCampaignError
-
-    telemetry: object = False
-    if args.telemetry:
-        telemetry = Telemetry()
-        telemetry.on_heartbeat = _heartbeat_printer
-    try:
-        config = CampaignConfig(
-            scale=args.scale,
-            seed=args.seed,
-            recheck=not args.no_recheck,
-            store_dir=args.dir,
-            checkpoint_every=args.checkpoint_every,
-            num_shards=args.shards,
-            compress=not args.no_gzip,
-            stop_after=args.stop_after or None,
-            workers=args.workers or None,
-            in_flight=args.in_flight,
-            telemetry=telemetry,
-            chaos=args.chaos,
-            retry=args.retries,
-            transport=getattr(args, "transport", "sim"),
-        )
-        config.validate()
-    except ValueError as exc:
-        print(f"invalid campaign configuration: {exc}", file=sys.stderr)
-        return 2
-    try:
-        campaign = run_campaign(config)
-    except ParallelCampaignError as exc:
-        print(exc)
-        print(f"\nfinish with: repro-dnssec store resume --dir {args.dir}")
-        return 1
-    from repro.store import StoreReader
-
-    summary = StoreReader(args.dir).summary()
-    print(summary.render())
-    if summary.status != "complete":
-        print(f"\ncampaign interrupted; finish with: repro-dnssec store resume --dir {args.dir}")
-    else:
-        print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
-    return 0
-
-
 def cmd_store_status(args: argparse.Namespace) -> int:
     """Inspect a campaign store (existence always checked; --verify
     re-hashes every shard against its manifest digest)."""
     from repro.store import StoreReader
 
-    reader = StoreReader(args.dir, verify_digests=args.verify)
+    reader = StoreReader(args.store, verify_digests=args.verify)
     print(reader.summary().render())
     if args.verify:
         print("integrity: all shard digests verified")
-    return 0
-
-
-def cmd_store_resume(args: argparse.Namespace) -> int:
-    """Finish an interrupted campaign from its manifest.
-
-    Campaigns started with ``--workers`` resume in parallel with the
-    recorded worker count; ``--workers`` here overrides it (any subset
-    of crashed workers is tolerated — finished shares are skipped).
-    """
-    from repro.campaign import resume_campaign
-    from repro.store import StoreReader
-
-    telemetry = None
-    if args.telemetry:
-        from repro.obs import Telemetry
-
-        telemetry = Telemetry()
-        telemetry.on_heartbeat = _heartbeat_printer
-    campaign = resume_campaign(
-        args.dir,
-        workers=args.workers or None,
-        telemetry=telemetry,
-        chaos=args.chaos,
-        retry=args.retries,
-        in_flight=args.in_flight,
-    )
-    print(StoreReader(args.dir).summary().render())
-    print(f"\n{len(campaign.rechecked)} transient failures resolved on re-check")
-    return 0
-
-
-def cmd_stats(args: argparse.Namespace) -> int:
-    """Render a campaign telemetry report from a store's event streams."""
-    from repro.obs import collect_stats, render_stats
-    from repro.store import StoreError
-
-    try:
-        stats = collect_stats(args.dir)
-    except StoreError as exc:
-        print(f"cannot read campaign telemetry: {exc}", file=sys.stderr)
-        return 2
-    print(render_stats(stats))
     return 0
 
 
@@ -382,7 +567,7 @@ def cmd_store_reanalyze(args: argparse.Namespace) -> int:
     """Stream a stored campaign back through the analysis pipeline."""
     from repro.store import StoreReader
 
-    report = StoreReader(args.dir, verify_digests=args.verify).reanalyze()
+    report = StoreReader(args.store, verify_digests=args.verify).reanalyze()
     _print_report_summary(report)
     return 0
 
@@ -420,14 +605,14 @@ def cmd_query_index(args: argparse.Namespace) -> int:
     telemetry = Telemetry()
     operator_db = None if args.no_operators else _campaign_operator_db()
     try:
-        snapshot = build_index(args.dir, operator_db=operator_db, telemetry=telemetry)
+        snapshot = build_index(args.store, operator_db=operator_db, telemetry=telemetry)
     except StoreError as exc:
         print(f"cannot index store: {exc}", file=sys.stderr)
         return 2
-    _flush_query_telemetry(telemetry, args.dir)
+    _flush_query_telemetry(telemetry, args.store)
     print(
         f"indexed {snapshot.records} zones into {snapshot.num_buckets} buckets "
-        f"under {args.dir}/index"
+        f"under {args.store}/index"
     )
     return 0
 
@@ -440,7 +625,7 @@ def cmd_query_get(args: argparse.Namespace) -> int:
 
     telemetry = Telemetry()
     try:
-        with QueryService(args.dir, telemetry=telemetry) as service:
+        with QueryService(args.store, telemetry=telemetry) as service:
             view = service.zone_status(args.zone)
             if view is not None and args.full:
                 record = service.zone_record(args.zone)
@@ -448,7 +633,7 @@ def cmd_query_get(args: argparse.Namespace) -> int:
     except QueryError as exc:
         print(f"query failed: {exc}", file=sys.stderr)
         return 2
-    _flush_query_telemetry(telemetry, args.dir)
+    _flush_query_telemetry(telemetry, args.store)
     if view is None:
         print(f"zone {args.zone} is not in the snapshot")
         return 1
@@ -459,7 +644,7 @@ def cmd_query_get(args: argparse.Namespace) -> int:
     if stale:
         print(
             "(snapshot is stale: the store has newer records — rebuild "
-            f"with: repro-dnssec query index --dir {args.dir})"
+            f"with: repro-dnssec query index --store {args.store})"
         )
     return 0
 
@@ -471,7 +656,7 @@ def cmd_query_list(args: argparse.Namespace) -> int:
 
     telemetry = Telemetry()
     try:
-        with QueryService(args.dir, telemetry=telemetry) as service:
+        with QueryService(args.store, telemetry=telemetry) as service:
             if args.status:
                 zones = service.zones_with_status(args.status)
                 label = f"status={args.status}"
@@ -483,12 +668,12 @@ def cmd_query_list(args: argparse.Namespace) -> int:
                 for status, count in sorted(counts.items(), key=lambda kv: -kv[1]):
                     print(f"  {status:<12} {count}")
                 print(f"{sum(counts.values())} zones indexed")
-                _flush_query_telemetry(telemetry, args.dir)
+                _flush_query_telemetry(telemetry, args.store)
                 return 0
     except QueryError as exc:
         print(f"query failed: {exc}", file=sys.stderr)
         return 2
-    _flush_query_telemetry(telemetry, args.dir)
+    _flush_query_telemetry(telemetry, args.store)
     shown = zones if args.limit == 0 else zones[: args.limit]
     for zone in shown:
         print(zone)
@@ -505,12 +690,12 @@ def cmd_query_dashboard(args: argparse.Namespace) -> int:
 
     telemetry = Telemetry()
     try:
-        with QueryService(args.dir, telemetry=telemetry) as service:
+        with QueryService(args.store, telemetry=telemetry) as service:
             print(zone_status_dashboard(service, limit=args.limit))
     except QueryError as exc:
         print(f"query failed: {exc}", file=sys.stderr)
         return 2
-    _flush_query_telemetry(telemetry, args.dir)
+    _flush_query_telemetry(telemetry, args.store)
     return 0
 
 
@@ -519,7 +704,7 @@ def cmd_query_verify(args: argparse.Namespace) -> int:
     from repro.query import QueryError, verify_snapshot
 
     try:
-        snapshot = verify_snapshot(args.dir)
+        snapshot = verify_snapshot(args.store)
     except QueryError as exc:
         print(f"snapshot verification failed: {exc}", file=sys.stderr)
         return 1
@@ -537,7 +722,7 @@ def cmd_query_serve(args: argparse.Namespace) -> int:
 
     telemetry = Telemetry()
     try:
-        service = QueryService(args.dir, telemetry=telemetry)
+        service = QueryService(args.store, telemetry=telemetry)
     except QueryError as exc:
         print(f"cannot serve: {exc}", file=sys.stderr)
         return 2
@@ -558,7 +743,7 @@ def cmd_query_serve(args: argparse.Namespace) -> int:
                     f"{view.outcome}\t{view.operator}"
                 )
             served += 1
-    _flush_query_telemetry(telemetry, args.dir)
+    _flush_query_telemetry(telemetry, args.store)
     print(f"served {served} lookups", flush=True)
     return 0
 
@@ -604,6 +789,66 @@ def cmd_list_zones(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trend(args: argparse.Namespace) -> int:
+    from repro.ecosystem.evolution import measure_trend
+
+    print(f"{'year':<6} {'secured %':>9} {'invalid %':>9} {'islands %':>9} {'signal':>7}")
+    for point in measure_trend(scale=args.scale, seed=args.seed):
+        print(
+            f"{point.year:<6} {point.secured_pct:>9.2f} {point.invalid_pct:>9.2f} "
+            f"{point.islands_pct:>9.2f} {point.with_signal:>7}"
+        )
+    return 0
+
+
+# -- parser ------------------------------------------------------------------
+
+
+def _add_campaign_run_options(parser: argparse.ArgumentParser) -> None:
+    """The full campaign-run vocabulary, shared by the canonical command
+    and its two deprecated aliases (``report`` and ``store init``)."""
+    _add_common(parser)
+    parser.add_argument("--artifact", choices=(*ARTIFACTS, "all"), default="all")
+    parser.add_argument(
+        "--no-recheck", action="store_true", help="skip the transient re-check pass"
+    )
+    parser.add_argument("--shards", type=int, default=None, help="zone-hash buckets")
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=None, help="records per durable commit"
+    )
+    parser.add_argument("--no-gzip", action="store_true", help="store plain JSONL shards")
+    parser.add_argument(
+        "--stop-after",
+        type=int,
+        default=0,
+        help="abort after N zones, leaving the store resumable (crash stand-in)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="stream deterministic telemetry events into <store>/events/",
+    )
+    _add_workers(parser)
+    _add_in_flight(parser)
+    _add_transport(parser)
+    _add_chaos(parser)
+
+
+def _add_campaign_resume_options(parser: argparse.ArgumentParser) -> None:
+    _add_workers(
+        parser,
+        help="resume with N worker processes (default: the campaign's recorded count)",
+    )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="stream telemetry for the resumed remainder (implied when the "
+        "campaign was started with --telemetry)",
+    )
+    _add_in_flight(parser)
+    _add_chaos(parser)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-dnssec",
@@ -612,20 +857,116 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    report = sub.add_parser("report", help="regenerate tables/figures")
-    _add_common(report)
-    report.add_argument("--artifact", choices=(*ARTIFACTS, "all"), default="all")
-    report.add_argument("--no-recheck", action="store_true", help="skip the transient re-check pass")
-    report.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="scan with N worker processes (same report, less wall-clock)",
+    # -- canonical: repro-dnssec campaign run|resume|stats
+    campaign = sub.add_parser(
+        "campaign", help="run, resume, and inspect scan campaigns"
     )
-    _add_in_flight(report)
-    _add_transport(report)
-    _add_chaos(report)
-    report.set_defaults(func=cmd_report)
+    campaign_sub = campaign.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="run one campaign (in-memory report, or persisted with --store)"
+    )
+    _add_store(campaign_run, required=False, help="persist results into this store")
+    _add_campaign_run_options(campaign_run)
+    campaign_run.set_defaults(func=cmd_campaign_run)
+
+    campaign_resume = campaign_sub.add_parser(
+        "resume", help="finish an interrupted campaign from its manifest"
+    )
+    _add_store(campaign_resume)
+    _add_campaign_resume_options(campaign_resume)
+    campaign_resume.set_defaults(func=cmd_campaign_resume)
+
+    campaign_stats = campaign_sub.add_parser(
+        "stats", help="render a campaign telemetry report from a store"
+    )
+    _add_store(campaign_stats)
+    campaign_stats.set_defaults(func=cmd_campaign_stats)
+
+    # -- canonical: repro-dnssec monitor init|advance|status|diff
+    monitor = sub.add_parser(
+        "monitor", help="continuous monitoring: epoch-based delta campaigns"
+    )
+    monitor_sub = monitor.add_subparsers(dest="monitor_command", required=True)
+
+    monitor_init = monitor_sub.add_parser(
+        "init", help="create a monitor root over an evolving world"
+    )
+    _add_store(monitor_init, help="monitor root directory to create")
+    _add_common(monitor_init)
+    monitor_init.add_argument(
+        "--monitor-seed",
+        type=int,
+        default=1,
+        help="seed for the operator-behaviour event stream (default 1)",
+    )
+    monitor_init.add_argument(
+        "--event-rate-scale",
+        type=float,
+        default=1.0,
+        help="multiply every per-zone weekly event rate (tiny test worlds "
+        "need >1 to see events at all)",
+    )
+    monitor_init.add_argument("--shards", type=int, default=None, help="zone-hash buckets")
+    monitor_init.add_argument(
+        "--checkpoint-every", type=int, default=None, help="records per durable commit"
+    )
+    monitor_init.add_argument(
+        "--no-gzip", action="store_true", help="store plain JSONL shards"
+    )
+    monitor_init.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="stream monitor.* counters and per-epoch spans into <root>/events/",
+    )
+    _add_workers(monitor_init, help="scan each epoch with N worker processes")
+    _add_in_flight(monitor_init)
+    _add_transport(monitor_init)
+    monitor_init.set_defaults(func=cmd_monitor_init)
+
+    monitor_advance = monitor_sub.add_parser(
+        "advance", help="advance the monitor by N simulated weeks"
+    )
+    _add_store(monitor_advance, help="monitor root directory")
+    monitor_advance.add_argument(
+        "--epochs",
+        type=int,
+        default=1,
+        help="how many epochs to advance (an interrupted epoch is resumed "
+        "first and counts as one)",
+    )
+    monitor_advance.set_defaults(func=cmd_monitor_advance)
+
+    monitor_status = monitor_sub.add_parser(
+        "status", help="per-epoch completion and event summary"
+    )
+    _add_store(monitor_status, help="monitor root directory")
+    monitor_status.set_defaults(func=cmd_monitor_status)
+
+    monitor_diff = monitor_sub.add_parser(
+        "diff", help="epoch-over-epoch classification diff"
+    )
+    _add_store(monitor_diff, help="monitor root directory")
+    monitor_diff.add_argument(
+        "--old", type=int, default=None, help="earlier epoch (default: new - 1)"
+    )
+    monitor_diff.add_argument(
+        "--new", type=int, default=None, help="later epoch (default: last complete)"
+    )
+    monitor_diff.add_argument(
+        "--checks",
+        action="store_true",
+        help="also run the paper shape checks on the new epoch's merged view "
+        "(failures name the diverging epoch/table)",
+    )
+    monitor_diff.set_defaults(func=cmd_monitor_diff)
+
+    # -- deprecated alias: report == campaign run (no store)
+    report = sub.add_parser(
+        "report", help="(deprecated: use 'campaign run') regenerate tables/figures"
+    )
+    _add_campaign_run_options(report)
+    report.set_defaults(func=cmd_report, store=None)
 
     checks = sub.add_parser("checks", help="run the shape checks against the paper")
     _add_common(checks)
@@ -659,64 +1000,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     store_sub = store.add_subparsers(dest="store_command", required=True)
 
+    # deprecated alias: store init == campaign run --store
     store_init = store_sub.add_parser(
-        "init", help="run a campaign persisting results shard-by-shard"
+        "init", help="(deprecated: use 'campaign run --store') run a persisted campaign"
     )
-    _add_common(store_init)
-    store_init.add_argument("--dir", required=True, help="store directory to create")
-    store_init.add_argument("--shards", type=int, default=None, help="zone-hash buckets")
-    store_init.add_argument(
-        "--checkpoint-every", type=int, default=None, help="records per durable commit"
-    )
-    store_init.add_argument("--no-gzip", action="store_true", help="store plain JSONL shards")
-    store_init.add_argument("--no-recheck", action="store_true")
-    store_init.add_argument(
-        "--stop-after",
-        type=int,
-        default=0,
-        help="abort after N zones, leaving the store resumable (crash stand-in)",
-    )
-    store_init.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="scan with N worker processes, each committing its shard range",
-    )
-    store_init.add_argument(
-        "--telemetry",
-        action="store_true",
-        help="stream deterministic telemetry events into <store>/events/",
-    )
-    _add_in_flight(store_init)
-    _add_transport(store_init)
-    _add_chaos(store_init)
+    _add_store(store_init, help="store directory to create")
+    _add_campaign_run_options(store_init)
     store_init.set_defaults(func=cmd_store_init)
 
     store_status = store_sub.add_parser("status", help="inspect a campaign store")
-    store_status.add_argument("--dir", required=True)
+    _add_store(store_status)
     store_status.add_argument(
         "--verify", action="store_true", help="re-hash every shard against the manifest"
     )
     store_status.set_defaults(func=cmd_store_status)
 
+    # deprecated alias: store resume == campaign resume
     store_resume = store_sub.add_parser(
-        "resume", help="finish an interrupted campaign from its manifest"
+        "resume", help="(deprecated: use 'campaign resume') finish an interrupted campaign"
     )
-    store_resume.add_argument("--dir", required=True)
-    store_resume.add_argument(
-        "--workers",
-        type=int,
-        default=0,
-        help="resume with N worker processes (default: the campaign's recorded count)",
-    )
-    store_resume.add_argument(
-        "--telemetry",
-        action="store_true",
-        help="stream telemetry for the resumed remainder (implied when the "
-        "campaign was started with --telemetry)",
-    )
-    _add_in_flight(store_resume)
-    _add_chaos(store_resume)
+    _add_store(store_resume)
+    _add_campaign_resume_options(store_resume)
     store_resume.set_defaults(func=cmd_store_resume)
 
     store_diff = store_sub.add_parser(
@@ -729,12 +1033,13 @@ def build_parser() -> argparse.ArgumentParser:
     store_reanalyze = store_sub.add_parser(
         "reanalyze", help="stream a stored campaign through the pipeline"
     )
-    store_reanalyze.add_argument("--dir", required=True)
+    _add_store(store_reanalyze)
     store_reanalyze.add_argument("--verify", action="store_true")
     store_reanalyze.set_defaults(func=cmd_store_reanalyze)
 
+    # deprecated alias: stats == campaign stats --store
     stats = sub.add_parser(
-        "stats", help="render a campaign telemetry report from a store"
+        "stats", help="(deprecated: use 'campaign stats') telemetry report from a store"
     )
     stats.add_argument("dir", help="campaign store directory")
     stats.set_defaults(func=cmd_stats)
@@ -747,7 +1052,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_index = query_sub.add_parser(
         "index", help="compact a store into its query snapshot"
     )
-    query_index.add_argument("--dir", required=True, help="campaign store directory")
+    _add_store(query_index)
     query_index.add_argument(
         "--no-operators",
         action="store_true",
@@ -756,7 +1061,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_index.set_defaults(func=cmd_query_index)
 
     query_get = query_sub.add_parser("get", help="point lookup for one zone")
-    query_get.add_argument("--dir", required=True)
+    _add_store(query_get)
     query_get.add_argument("zone", help="zone name (with or without trailing dot)")
     query_get.add_argument(
         "--full", action="store_true", help="print the full archived record as JSON"
@@ -766,7 +1071,7 @@ def build_parser() -> argparse.ArgumentParser:
     query_list = query_sub.add_parser(
         "list", help="enumerate zones by status class or operator"
     )
-    query_list.add_argument("--dir", required=True)
+    _add_store(query_list)
     query_list.add_argument("--status", help="status class (e.g. island, secure)")
     query_list.add_argument("--operator", help="operator name (e.g. Cloudflare)")
     query_list.add_argument("--limit", type=int, default=50, help="0 = unlimited")
@@ -775,20 +1080,20 @@ def build_parser() -> argparse.ArgumentParser:
     query_dashboard = query_sub.add_parser(
         "dashboard", help="per-operator deployment dashboard"
     )
-    query_dashboard.add_argument("--dir", required=True)
+    _add_store(query_dashboard)
     query_dashboard.add_argument("--limit", type=int, default=20)
     query_dashboard.set_defaults(func=cmd_query_dashboard)
 
     query_verify = query_sub.add_parser(
         "verify", help="re-hash the snapshot against its digests"
     )
-    query_verify.add_argument("--dir", required=True)
+    _add_store(query_verify)
     query_verify.set_defaults(func=cmd_query_verify)
 
     query_serve = query_sub.add_parser(
         "serve", help="answer zone lookups read from stdin"
     )
-    query_serve.add_argument("--dir", required=True)
+    _add_store(query_serve)
     query_serve.set_defaults(func=cmd_query_serve)
 
     bootstrap = sub.add_parser("bootstrap", help="run a registry acceptance policy")
@@ -805,18 +1110,6 @@ def build_parser() -> argparse.ArgumentParser:
     trend.add_argument("--seed", type=int, default=1)
     trend.set_defaults(func=cmd_trend)
     return parser
-
-
-def cmd_trend(args: argparse.Namespace) -> int:
-    from repro.ecosystem.evolution import measure_trend
-
-    print(f"{'year':<6} {'secured %':>9} {'invalid %':>9} {'islands %':>9} {'signal':>7}")
-    for point in measure_trend(scale=args.scale, seed=args.seed):
-        print(
-            f"{point.year:<6} {point.secured_pct:>9.2f} {point.invalid_pct:>9.2f} "
-            f"{point.islands_pct:>9.2f} {point.with_signal:>7}"
-        )
-    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:

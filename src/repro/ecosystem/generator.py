@@ -74,8 +74,14 @@ class _IpAllocator:
 
 
 def zone_keys(spec: ZoneSpec) -> KeyPair:
-    """The (deterministic) KSK a signed variant of *spec* uses."""
-    return KeyPair.generate(Algorithm.ED25519, ksk=True, seed=spec.seed("ksk"))
+    """The (deterministic) KSK a signed variant of *spec* uses.
+
+    Key rollovers (the monitoring plane's ``roll_key`` events) bump
+    ``spec.key_generation``; generation 0 keeps the historical seed so
+    worlds without rollovers are byte-identical to older builds.
+    """
+    purpose = "ksk" if spec.key_generation == 0 else f"ksk:g{spec.key_generation}"
+    return KeyPair.generate(Algorithm.ED25519, ksk=True, seed=spec.seed(purpose))
 
 
 def ghost_keys(spec: ZoneSpec) -> KeyPair:
@@ -292,6 +298,13 @@ class InfrastructureBuilder:
         self.registry_server = AuthoritativeServer("registries")
         self.operators: Dict[str, OperatorRuntime] = {}
         self.host_owner: Dict[str, str] = {}
+        # Retained mutation handles: the provider closures installed by
+        # install_customer_provider / install_signal_providers capture
+        # these dicts *by reference*, so the monitoring plane can evolve
+        # a built world in place (before any query is served — caches
+        # are still cold) by mutating them.
+        self.customer_spec_maps: Dict[str, Dict[Name, ZoneSpec]] = {}
+        self.signal_index: Dict[str, List[ZoneSpec]] = {}
 
     # -- registries ----------------------------------------------------------
 
@@ -452,6 +465,7 @@ class InfrastructureBuilder:
         self, specs_by_host: Dict[str, Dict[Name, ZoneSpec]]
     ) -> None:
         """Attach a lazy provider for customer zones to every host server."""
+        self.customer_spec_maps = specs_by_host
         for host, spec_map in specs_by_host.items():
             owner = self.host_owner.get(host)
             if owner is None:
@@ -480,6 +494,7 @@ class InfrastructureBuilder:
 
     def install_signal_providers(self, signal_index: Dict[str, List[ZoneSpec]]) -> None:
         """Attach signaling-zone providers to every AB operator server."""
+        self.signal_index = signal_index
         for name, runtime in self.operators.items():
             profile = runtime.profile
             if not profile.publishes_signal:

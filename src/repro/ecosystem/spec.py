@@ -97,6 +97,9 @@ class ZoneSpec:
     legacy_ns: bool = False
     serial: int = 1
     denial_mode: str = "nsec"  # "nsec" or "nsec3", per operator practice
+    # Bumped by the monitoring plane's key-rollover events; generation 0
+    # derives the historical "ksk" seed so existing worlds are unchanged.
+    key_generation: int = 0
 
     @property
     def is_signed(self) -> bool:

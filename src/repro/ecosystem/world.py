@@ -41,6 +41,11 @@ class World:
     profiles: Dict[str, object] = field(default_factory=dict)
     # suffix → registry Zone (live objects: provisioning installs DS here).
     registry_zones: Dict[str, object] = field(default_factory=dict)
+    # The InfrastructureBuilder that assembled this world.  Its retained
+    # spec-map / signal-index handles are captured by reference inside
+    # the lazy zone providers, which is what lets the monitoring plane
+    # (repro.ecosystem.mutate) evolve a freshly built world in place.
+    builder: Optional[InfrastructureBuilder] = None
 
     @property
     def zone_count(self) -> int:
@@ -278,4 +283,5 @@ def build_world(
         targets=targets,
         profiles=profiles,
         registry_zones=builder.registry_zones,
+        builder=builder,
     )

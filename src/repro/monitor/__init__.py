@@ -1,0 +1,61 @@
+"""Continuous monitoring: epoch-based delta campaigns over an evolving world.
+
+Lazy re-exports only — :mod:`repro.campaign` imports
+:mod:`repro.monitor.spec` for its config leaf, while
+:mod:`repro.monitor.plane` imports :mod:`repro.campaign` for the
+orchestration; keeping this package ``__init__`` lazy breaks the cycle.
+"""
+
+from typing import TYPE_CHECKING
+
+__all__ = [
+    "EpochDiff",
+    "EpochResult",
+    "Event",
+    "EventRates",
+    "Monitor",
+    "MonitorConfig",
+    "MonitorError",
+    "MonitorSpec",
+    "MonitorStatus",
+    "render_epoch_diff",
+]
+
+_API = {
+    "EpochDiff": ("repro.monitor.diff", "EpochDiff"),
+    "render_epoch_diff": ("repro.monitor.diff", "render_epoch_diff"),
+    "Event": ("repro.monitor.events", "Event"),
+    "EventRates": ("repro.monitor.spec", "EventRates"),
+    "MonitorSpec": ("repro.monitor.spec", "MonitorSpec"),
+    "EpochResult": ("repro.monitor.plane", "EpochResult"),
+    "Monitor": ("repro.monitor.plane", "Monitor"),
+    "MonitorConfig": ("repro.monitor.plane", "MonitorConfig"),
+    "MonitorError": ("repro.monitor.plane", "MonitorError"),
+    "MonitorStatus": ("repro.monitor.plane", "MonitorStatus"),
+}
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.monitor.diff import EpochDiff, render_epoch_diff
+    from repro.monitor.events import Event
+    from repro.monitor.plane import (
+        EpochResult,
+        Monitor,
+        MonitorConfig,
+        MonitorError,
+        MonitorStatus,
+    )
+    from repro.monitor.spec import EventRates, MonitorSpec
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _API[name]
+    except KeyError:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def __dir__():
+    return sorted(__all__)

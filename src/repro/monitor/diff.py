@@ -1,0 +1,59 @@
+"""Epoch-over-epoch diff reports.
+
+A delta campaign's store holds only the zones its week's events
+touched, so diffing two epoch *stores* directly would report every
+untouched zone as removed.  The monitor instead diffs two merged
+views — each zone's latest verdict across the chain up to the old and
+new epoch respectively — through the same
+:func:`repro.store.diff.diff_classifications` machinery the two-store
+diff uses, and decorates the result with the timeline facts a monitor
+operator cares about: which events fired and how many zones each delta
+actually re-scanned.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.monitor.events import Event
+from repro.store.diff import CampaignDiff, render_diff
+
+
+@dataclass
+class EpochDiff:
+    """What changed between two epochs of one monitor timeline."""
+
+    old_epoch: int
+    new_epoch: int
+    diff: CampaignDiff
+    # The operator actions applied across (old_epoch, new_epoch].
+    events: List[Event] = field(default_factory=list)
+    # Zones the delta campaigns in that window re-scanned.
+    zones_rescanned: int = 0
+
+    @property
+    def event_counts(self) -> Counter:
+        return Counter(event.kind for event in self.events)
+
+
+def render_epoch_diff(epoch_diff: EpochDiff, examples: int = 5) -> str:
+    """Human-readable epoch-over-epoch report."""
+    lines = [
+        f"monitor diff: epoch {epoch_diff.old_epoch} -> epoch {epoch_diff.new_epoch}",
+        f"events applied: {len(epoch_diff.events)}"
+        + (
+            " ("
+            + ", ".join(
+                f"{kind} {count}" for kind, count in sorted(epoch_diff.event_counts.items())
+            )
+            + ")"
+            if epoch_diff.events
+            else ""
+        ),
+        f"zones re-scanned: {epoch_diff.zones_rescanned}",
+        "",
+    ]
+    lines.append(render_diff(epoch_diff.diff, examples=examples))
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""Deterministic per-epoch event streams.
+
+Each simulated week, every *eligible* zone (see
+:func:`repro.ecosystem.mutate.eligible`) rolls one hash per event kind
+in a fixed order; the first applicable kind whose hash clears its rate
+fires.  The stream is a pure function of ``(monitor spec, epoch, zone
+name, replayed state)`` — no PRNG state, no dependence on world layout
+or iteration order — so any process can recompute the exact event list
+for any epoch.  This is the same layout-independent decision idiom the
+chaos plane uses (:func:`repro.chaos.retry.stable_unit`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.chaos.retry import stable_unit
+from repro.ecosystem import mutate
+from repro.ecosystem.mutate import EVENT_KINDS
+from repro.ecosystem.world import World
+from repro.monitor.spec import MonitorSpec
+
+
+@dataclass(frozen=True)
+class Event:
+    """One operator action at one epoch."""
+
+    epoch: int
+    kind: str
+    zone: str
+
+    def to_dict(self) -> dict:
+        return {"epoch": self.epoch, "kind": self.kind, "zone": self.zone}
+
+
+def events_for_epoch(world: World, monitor: MonitorSpec, epoch: int) -> List[Event]:
+    """The events that fire at *epoch*, given *world* in its pre-epoch
+    state.  At most one event per zone per epoch; applicability is
+    evaluated against the replayed state, so the stream self-consistently
+    narrates a zone's life (adopt → publish → bootstrap → roll → ...).
+    """
+    if epoch < 1:
+        raise ValueError("epochs are 1-based; epoch 0 is the baseline full scan")
+    events: List[Event] = []
+    for name in sorted(world.specs):
+        spec = world.specs[name]
+        if not mutate.eligible(world, spec):
+            continue
+        for kind in EVENT_KINDS:
+            if not mutate.applicable(world, spec, kind):
+                continue
+            if stable_unit("monitor", monitor.seed, epoch, kind, name) < monitor.rates.rate(kind):
+                events.append(Event(epoch=epoch, kind=kind, zone=name))
+                break
+    return events
+
+
+def apply_epoch(world: World, monitor: MonitorSpec, epoch: int) -> List[Event]:
+    """Advance *world* in place by one epoch; returns the applied events."""
+    events = events_for_epoch(world, monitor, epoch)
+    for event in events:
+        mutate.apply_event(world, event.kind, event.zone)
+    return events
+
+
+def changed_zones(events: Sequence[Event]) -> List[str]:
+    """The zone-serial/CSYNC-style change feed: zones touched by
+    *events*, sorted.  Every event bumps its zone's SOA serial, so this
+    is exactly the set a serial-watching monitor would flag."""
+    return sorted({event.zone for event in events})

@@ -1,0 +1,511 @@
+"""The continuous-monitoring plane: epoch-based delta campaigns.
+
+The paper's scan is a snapshot; deployment measurement is a *process* —
+operators keep adopting authenticated bootstrapping, rolling keys, and
+churning NS sets after any single scan completes.  :class:`Monitor`
+turns the one-shot campaign machinery into that process: a timeline of
+simulated weeks in which a seeded event stream evolves the world
+(:mod:`repro.monitor.events`), a zone-serial/CSYNC-style change feed
+flags the mutated zones, and each week only those zones are re-scanned
+into a fresh per-epoch store.
+
+Layout under one monitor root::
+
+    <root>/monitor.json             the MonitorConfig (identity, rates)
+    <root>/epochs/e0000/            epoch 0: baseline full-scan store
+    <root>/epochs/e0001/            epoch 1: delta store (changed zones)
+    <root>/epochs/eNNNN/monitor_events.json   the week's applied events
+    <root>/events/monitor.jsonl     timeline telemetry (epoch spans)
+
+The core invariant — enforced by the differential tests and CI — is
+that a chain of delta campaigns renders **byte-identical** final tables
+to a from-scratch full scan of the final world state, across serial,
+``workers=N``, ``in_flight=N``, and kill-and-resume execution.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.campaign import CampaignConfig, CampaignResult, resume_campaign, run_campaign
+from repro.core.bootstrap import assess_zone
+from repro.core.operators import OperatorDB
+from repro.core.pipeline import AnalysisPipeline, AnalysisReport
+from repro.ecosystem.profiles import build_profiles, operator_db_config
+from repro.monitor.diff import EpochDiff
+from repro.monitor.events import Event, events_for_epoch
+from repro.monitor.layout import (
+    EPOCH_EVENTS_FILENAME,
+    EPOCHS_DIR,
+    MONITOR_FORMAT_VERSION,
+    MONITOR_STATE_FILENAME,
+)
+from repro.monitor.spec import MonitorSpec
+from repro.monitor.timeline import world_at_epoch
+from repro.obs.events import monitor_events_path
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.store.diff import ZoneClassification, diff_classifications
+from repro.store.manifest import load_manifest, manifest_path
+from repro.store.reader import StoreReader
+from repro.store.shards import StoreError
+
+class MonitorError(RuntimeError):
+    """Monitor-plane misuse or damaged monitor state."""
+
+
+@dataclass(frozen=True)
+class MonitorConfig:
+    """Identity and per-epoch execution settings of one monitor root.
+
+    The campaign-level knobs (workers, in_flight, transport, …) are the
+    defaults every epoch's :class:`~repro.campaign.CampaignConfig` leaf
+    is built from; scale/seed/monitor are the timeline's *identity* and
+    are persisted in ``monitor.json`` so a later process advances the
+    same world the earlier ones observed.
+    """
+
+    root: Path
+    scale: float = 1 / 100_000
+    seed: int = 1
+    monitor: MonitorSpec = MonitorSpec()
+    workers: Optional[int] = None
+    in_flight: Optional[int] = None
+    transport: str = "sim"
+    telemetry: bool = False
+    checkpoint_every: Optional[int] = None
+    num_shards: Optional[int] = None
+    compress: bool = True
+
+    def __post_init__(self):
+        if not isinstance(self.root, Path):
+            object.__setattr__(self, "root", Path(self.root))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """The persisted form (everything but the root it lives in)."""
+        return {
+            "version": MONITOR_FORMAT_VERSION,
+            "scale": self.scale,
+            "seed": self.seed,
+            "monitor": self.monitor.to_dict(),
+            "workers": self.workers,
+            "in_flight": self.in_flight,
+            "transport": self.transport,
+            "telemetry": self.telemetry,
+            "checkpoint_every": self.checkpoint_every,
+            "num_shards": self.num_shards,
+            "compress": self.compress,
+        }
+
+    @classmethod
+    def from_dict(cls, root: Path, obj: Dict[str, Any]) -> "MonitorConfig":
+        version = obj.get("version")
+        if version != MONITOR_FORMAT_VERSION:
+            raise MonitorError(f"unsupported monitor.json version {version!r}")
+        known = {f.name for f in fields(cls)} - {"root", "monitor"}
+        settings = {key: obj[key] for key in known if key in obj}
+        return cls(
+            root=Path(root),
+            monitor=MonitorSpec.from_dict(obj.get("monitor")) or MonitorSpec(),
+            **settings,
+        )
+
+
+@dataclass
+class EpochResult:
+    """One :meth:`Monitor.run_epoch` / :meth:`Monitor.resume` outcome."""
+
+    epoch: int
+    store_dir: Path
+    events: List[Event]
+    zones_scanned: int
+    campaign: CampaignResult
+    complete: bool = True
+
+    @property
+    def simulated_duration(self) -> float:
+        return self.campaign.simulated_duration
+
+
+@dataclass
+class EpochStatus:
+    """Bookkeeping line for one epoch store."""
+
+    epoch: int
+    complete: bool
+    records: int
+    zones_total: Optional[int]
+    events: Optional[int]  # applied events, when recorded
+
+
+@dataclass
+class MonitorStatus:
+    root: Path
+    scale: float
+    seed: int
+    epochs: List[EpochStatus] = field(default_factory=list)
+
+    @property
+    def last_complete(self) -> Optional[int]:
+        done = [e.epoch for e in self.epochs if e.complete]
+        return max(done) if done else None
+
+    @property
+    def in_progress(self) -> Optional[int]:
+        open_epochs = [e.epoch for e in self.epochs if not e.complete]
+        return open_epochs[0] if open_epochs else None
+
+    def render(self) -> str:
+        lines = [
+            f"monitor at {self.root}",
+            f"world: scale={self.scale:g} seed={self.seed}",
+        ]
+        if not self.epochs:
+            lines.append("no epochs yet (run `repro monitor advance`)")
+            return "\n".join(lines)
+        for status in self.epochs:
+            state = "complete" if status.complete else "IN PROGRESS"
+            total = f"/{status.zones_total}" if status.zones_total is not None else ""
+            events = f", {status.events} events" if status.events is not None else ""
+            kind = "baseline" if status.epoch == 0 else "delta"
+            lines.append(
+                f"  epoch {status.epoch}: {state}, {kind}, "
+                f"{status.records}{total} zones{events}"
+            )
+        return "\n".join(lines)
+
+
+class Monitor:
+    """Epoch-first orchestration over one monitor root.
+
+    Typical use::
+
+        monitor = Monitor.init(MonitorConfig(root, scale=1e-4, seed=7))
+        monitor.run_epoch()          # epoch 0: baseline full scan
+        monitor.run_until(weeks=4)   # delta campaigns for weeks 1..4
+        report = monitor.analyze()   # merged view of the latest epoch
+        print(monitor.diff().diff.changed)
+    """
+
+    def __init__(self, config: MonitorConfig):
+        self.config = config
+        self.root = config.root
+        self._hub = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    @classmethod
+    def init(cls, config: MonitorConfig) -> "Monitor":
+        """Create a fresh monitor root (refuses to clobber one)."""
+        root = Path(config.root)
+        if (root / MONITOR_STATE_FILENAME).exists():
+            raise MonitorError(f"{root} already holds a monitor")
+        root.mkdir(parents=True, exist_ok=True)
+        (root / EPOCHS_DIR).mkdir(exist_ok=True)
+        state = root / MONITOR_STATE_FILENAME
+        state.write_text(
+            json.dumps(config.to_dict(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        return cls(config)
+
+    @classmethod
+    def open(cls, root: Path) -> "Monitor":
+        """Open an existing monitor root."""
+        root = Path(root)
+        state = root / MONITOR_STATE_FILENAME
+        if not state.exists():
+            raise MonitorError(f"no monitor at {root} (missing {MONITOR_STATE_FILENAME})")
+        try:
+            obj = json.loads(state.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise MonitorError(f"monitor.json at {root} is not valid JSON: {exc}") from exc
+        return cls(MonitorConfig.from_dict(root, obj))
+
+    # -- epoch bookkeeping -------------------------------------------------
+
+    def epoch_dir(self, epoch: int) -> Path:
+        return self.root / EPOCHS_DIR / f"e{epoch:04d}"
+
+    def epochs(self) -> List[int]:
+        """Every epoch with a store on disk, in order."""
+        epochs_root = self.root / EPOCHS_DIR
+        if not epochs_root.is_dir():
+            return []
+        found = []
+        for child in sorted(epochs_root.iterdir()):
+            if child.name.startswith("e") and manifest_path(child).exists():
+                found.append(int(child.name[1:]))
+        return found
+
+    def completed_epochs(self) -> List[int]:
+        return [e for e in self.epochs() if load_manifest(self.epoch_dir(e)).complete]
+
+    def in_progress_epoch(self) -> Optional[int]:
+        for epoch in self.epochs():
+            if not load_manifest(self.epoch_dir(epoch)).complete:
+                return epoch
+        return None
+
+    def next_epoch(self) -> int:
+        existing = self.epochs()
+        return (existing[-1] + 1) if existing else 0
+
+    # -- running -----------------------------------------------------------
+
+    def run_epoch(self, stop_after: Optional[int] = None) -> EpochResult:
+        """Advance the timeline by one epoch.
+
+        Epoch 0 is the baseline full scan; every later epoch replays the
+        event stream one week forward and re-scans only the changed
+        zones.  *stop_after* aborts the epoch's scan after N zones with
+        the store left in progress (the programmatic crash stand-in);
+        finish it with :meth:`resume`.
+        """
+        in_progress = self.in_progress_epoch()
+        if in_progress is not None:
+            raise MonitorError(
+                f"epoch {in_progress} is still in progress; resume() it before advancing"
+            )
+        epoch = self.next_epoch()
+        events = self._events_at(epoch)
+        config = self._campaign_config(epoch, stop_after=stop_after)
+        hub = self._telemetry()
+        with hub.span("epoch", epoch=epoch) as span:
+            campaign = run_campaign(config)
+            self._write_events(epoch, events)
+            manifest = load_manifest(self.epoch_dir(epoch))
+            span["events"] = len(events)
+            span["zones"] = manifest.records
+            span["complete"] = manifest.complete
+        hub.count("monitor.epochs")
+        hub.count("monitor.events_applied", len(events))
+        hub.count("monitor.zones_rescanned", manifest.records)
+        hub.flush_counters()
+        return EpochResult(
+            epoch=epoch,
+            store_dir=self.epoch_dir(epoch),
+            events=events,
+            zones_scanned=manifest.records,
+            campaign=campaign,
+            complete=manifest.complete,
+        )
+
+    def resume(self) -> EpochResult:
+        """Finish the in-progress epoch (after a kill or ``stop_after``)."""
+        epoch = self.in_progress_epoch()
+        if epoch is None:
+            raise MonitorError("no epoch is in progress; nothing to resume")
+        campaign = resume_campaign(
+            self.epoch_dir(epoch),
+            checkpoint_every=self.config.checkpoint_every,
+            telemetry=True if self.config.telemetry else None,
+        )
+        events = self._read_events(epoch)
+        if events is None:
+            events = self._events_at(epoch)
+            self._write_events(epoch, events)
+        manifest = load_manifest(self.epoch_dir(epoch))
+        hub = self._telemetry()
+        hub.event("epoch_resumed", epoch=epoch, zones=manifest.records)
+        return EpochResult(
+            epoch=epoch,
+            store_dir=self.epoch_dir(epoch),
+            events=events,
+            zones_scanned=manifest.records,
+            campaign=campaign,
+            complete=manifest.complete,
+        )
+
+    def run_until(self, weeks: int) -> List[EpochResult]:
+        """Run epochs (baseline included) until week *weeks* is observed."""
+        if weeks < 0:
+            raise ValueError("weeks must be >= 0")
+        results = []
+        if self.in_progress_epoch() is not None:
+            results.append(self.resume())
+        while self.next_epoch() <= weeks:
+            results.append(self.run_epoch())
+        return results
+
+    # -- reading back ------------------------------------------------------
+
+    def status(self) -> MonitorStatus:
+        status = MonitorStatus(
+            root=self.root, scale=self.config.scale, seed=self.config.seed
+        )
+        for epoch in self.epochs():
+            manifest = load_manifest(self.epoch_dir(epoch))
+            events = self._read_events(epoch)
+            status.epochs.append(
+                EpochStatus(
+                    epoch=epoch,
+                    complete=manifest.complete,
+                    records=manifest.records,
+                    zones_total=manifest.zones_total,
+                    events=len(events) if events is not None else None,
+                )
+            )
+        return status
+
+    def operator_db(self) -> OperatorDB:
+        """The NS-suffix attribution database (world-free — profiles
+        only), for re-analysing stored records."""
+        suffix_map, _ = operator_db_config(build_profiles())
+        return OperatorDB(suffixes=suffix_map)
+
+    def classifications(self, epoch: Optional[int] = None) -> Dict[str, ZoneClassification]:
+        """Each zone's verdict as of *epoch* (default: latest complete):
+        the classification from the newest epoch <= *epoch* that scanned
+        the zone."""
+        epoch = self._resolve_epoch(epoch)
+        classes: Dict[str, ZoneClassification] = {}
+        owner = self._zone_owners(epoch)
+        for e in self._chain(epoch):
+            reader = StoreReader(self.epoch_dir(e))
+            for result in reader.iter_results():
+                zone = result.zone.to_text()
+                if owner[zone] != e:
+                    continue
+                assessment = assess_zone(result)
+                classes[zone] = ZoneClassification(
+                    status=assessment.status,
+                    eligibility_value=assessment.eligibility.value,
+                    outcome=assessment.signal_outcome,
+                )
+        return classes
+
+    def analyze(self, epoch: Optional[int] = None) -> AnalysisReport:
+        """The merged analysis report as of *epoch* (default: latest
+        complete) — computed over each zone's newest stored record, so a
+        chain of deltas analyses exactly like one full scan."""
+        epoch = self._resolve_epoch(epoch)
+        owner = self._zone_owners(epoch)
+        pipeline = AnalysisPipeline(self.operator_db())
+
+        def merged():
+            for e in self._chain(epoch):
+                reader = StoreReader(self.epoch_dir(e))
+                for result in reader.iter_results():
+                    if owner[result.zone.to_text()] == e:
+                        yield result
+
+        return pipeline.analyze(merged())
+
+    def diff(self, old: Optional[int] = None, new: Optional[int] = None) -> EpochDiff:
+        """Epoch-over-epoch diff of merged views (default: the last
+        completed epoch against its parent)."""
+        new = self._resolve_epoch(new)
+        if old is None:
+            if new == 0:
+                raise MonitorError("epoch 0 has no parent to diff against")
+            old = new - 1
+        if not 0 <= old < new:
+            raise MonitorError(f"cannot diff epoch {old} -> {new}")
+        diff = diff_classifications(
+            self.classifications(old),
+            self.classifications(new),
+            old_root=f"epoch {old}",
+            new_root=f"epoch {new}",
+        )
+        events: List[Event] = []
+        rescanned = 0
+        for e in range(old + 1, new + 1):
+            events.extend(self._read_events(e) or [])
+            rescanned += load_manifest(self.epoch_dir(e)).records
+        return EpochDiff(
+            old_epoch=old,
+            new_epoch=new,
+            diff=diff,
+            events=events,
+            zones_rescanned=rescanned,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _campaign_config(self, epoch: int, stop_after: Optional[int] = None) -> CampaignConfig:
+        return CampaignConfig(
+            scale=self.config.scale,
+            seed=self.config.seed,
+            recheck=False,
+            store_dir=self.epoch_dir(epoch),
+            checkpoint_every=self.config.checkpoint_every,
+            num_shards=self.config.num_shards,
+            compress=self.config.compress,
+            stop_after=stop_after,
+            workers=self.config.workers,
+            in_flight=self.config.in_flight,
+            telemetry=self.config.telemetry,
+            transport=self.config.transport,
+            epoch=epoch,
+            monitor=self.config.monitor,
+        )
+
+    def _events_at(self, epoch: int) -> List[Event]:
+        """The events that separate *epoch* from its parent ([] at 0)."""
+        if epoch == 0:
+            return []
+        world, _ = world_at_epoch(
+            self.config.scale, self.config.seed, self.config.monitor, epoch - 1
+        )
+        return events_for_epoch(world, self.config.monitor, epoch)
+
+    def _events_file(self, epoch: int) -> Path:
+        return self.epoch_dir(epoch) / EPOCH_EVENTS_FILENAME
+
+    def _write_events(self, epoch: int, events: List[Event]) -> None:
+        payload = [event.to_dict() for event in events]
+        self._events_file(epoch).write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+    def _read_events(self, epoch: int) -> Optional[List[Event]]:
+        path = self._events_file(epoch)
+        if not path.exists():
+            return None
+        return [
+            Event(epoch=item["epoch"], kind=item["kind"], zone=item["zone"])
+            for item in json.loads(path.read_text(encoding="utf-8"))
+        ]
+
+    def _resolve_epoch(self, epoch: Optional[int]) -> int:
+        completed = self.completed_epochs()
+        if not completed:
+            raise MonitorError("no completed epochs yet")
+        if epoch is None:
+            return completed[-1]
+        if epoch not in completed:
+            raise MonitorError(f"epoch {epoch} is not a completed epoch of this monitor")
+        return epoch
+
+    def _chain(self, epoch: int) -> List[int]:
+        """Epochs 0..epoch, verified complete and gap-free."""
+        completed = set(self.completed_epochs())
+        chain = list(range(epoch + 1))
+        missing = [e for e in chain if e not in completed]
+        if missing:
+            raise MonitorError(
+                f"delta chain to epoch {epoch} is broken: missing epochs {missing}"
+            )
+        return chain
+
+    def _zone_owners(self, epoch: int) -> Dict[str, int]:
+        """zone → the newest epoch <= *epoch* that scanned it."""
+        owner: Dict[str, int] = {}
+        for e in self._chain(epoch):
+            for zone in StoreReader(self.epoch_dir(e)).zones():
+                existing = owner.get(zone)
+                if existing is None or e > existing:
+                    owner[zone] = e
+        return owner
+
+    def _telemetry(self):
+        if not self.config.telemetry:
+            return NULL_TELEMETRY
+        if self._hub is None:
+            self._hub = Telemetry(wall_clock=True)
+            sink = monitor_events_path(self.root)
+            sink.parent.mkdir(parents=True, exist_ok=True)
+            self._hub.open_sink(sink)
+        return self._hub

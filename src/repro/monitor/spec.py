@@ -1,0 +1,75 @@
+"""Monitor event-stream parameters.
+
+:class:`MonitorSpec` is the leaf configuration of the continuous-
+monitoring plane: a seed plus per-kind weekly event rates.  It is a
+frozen dataclass of numbers only, so it is picklable (spawn workers
+carry it inside their :class:`~repro.parallel.worker.WorkerSpec`) and
+round-trips losslessly through store manifests via
+:meth:`to_dict` / :meth:`from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class EventRates:
+    """Per-epoch (one simulated week) firing probability per event kind.
+
+    Defaults are calibrated so the clean island/secured cohort — the
+    only zones the event stream touches — churns a few percent per
+    week, keeping delta campaigns far below the 30 % re-scan budget.
+    """
+
+    adopt_signal: float = 0.01
+    publish_cds: float = 0.01
+    withdraw_cds: float = 0.005
+    bootstrap_ds: float = 0.02
+    roll_key: float = 0.03
+    churn_ns: float = 0.02
+    remove_ds: float = 0.005
+
+    def rate(self, kind: str) -> float:
+        return float(getattr(self, kind))
+
+    def scaled(self, factor: float) -> "EventRates":
+        """Uniformly scale every rate (capped at 1.0) — tiny test worlds
+        need boosted rates for events to fire at all."""
+        return EventRates(
+            **{f.name: min(1.0, getattr(self, f.name) * factor) for f in fields(self)}
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "EventRates":
+        return cls(**{f.name: float(obj[f.name]) for f in fields(cls) if f.name in obj})
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """Seeded description of the operator-behaviour timeline.
+
+    The event stream is a pure function of ``(spec, epoch, world)`` —
+    two processes holding equal specs derive identical events for every
+    epoch, which is what lets parallel workers recompute their delta
+    subsets independently instead of shipping zone lists around.
+    """
+
+    seed: int = 1
+    rates: EventRates = EventRates()
+
+    def scaled(self, factor: float) -> "MonitorSpec":
+        return replace(self, rates=self.rates.scaled(factor))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "rates": self.rates.to_dict()}
+
+    @classmethod
+    def from_dict(cls, obj: Optional[Dict[str, Any]]) -> Optional["MonitorSpec"]:
+        if obj is None:
+            return None
+        return cls(seed=int(obj.get("seed", 1)), rates=EventRates.from_dict(obj.get("rates", {})))

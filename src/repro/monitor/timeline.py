@@ -1,0 +1,64 @@
+"""Replaying a monitored world to any epoch.
+
+Worlds are cheap to build and events are a pure function of the spec,
+so a process needing "the world as of week *e*" simply rebuilds from
+scratch and replays epochs 1..e.  Replaying (rather than caching a
+mutated world) matters for correctness: some server behaviours are
+stateful and consumable (e.g. transient-SERVFAIL quirks answer bogus a
+fixed number of times), so every campaign must scan a *fresh* replica,
+exactly like the from-scratch full scan it is compared against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.ecosystem.world import World, build_world
+from repro.monitor.events import Event, apply_epoch, changed_zones
+from repro.monitor.spec import MonitorSpec
+
+
+def world_at_epoch(
+    scale: float, seed: int, monitor: MonitorSpec, epoch: int
+) -> Tuple[World, List[List[Event]]]:
+    """Build the world and replay events through *epoch* (0 = pristine).
+
+    Returns the evolved world and the per-epoch event history
+    (``history[e - 1]`` holds epoch *e*'s events).
+    """
+    if epoch < 0:
+        raise ValueError("epoch must be >= 0")
+    world = build_world(scale=scale, seed=seed)
+    history: List[List[Event]] = []
+    for e in range(1, epoch + 1):
+        history.append(apply_epoch(world, monitor, e))
+    return world, history
+
+
+def scan_world(
+    scale: float,
+    seed: int,
+    monitor: Optional[MonitorSpec] = None,
+    epoch: Optional[int] = None,
+):
+    """The world a campaign should scan, plus its scan-subset.
+
+    For plain campaigns (``epoch=None``) and the baseline epoch 0 the
+    subset is None (scan everything); for delta epochs it is the sorted
+    changed-zone list of the epoch's event batch.  Every campaign
+    participant — the sequential runner, the parallel parent, each
+    worker — goes through this one function, so they all agree on what
+    week *epoch* looks like and which zones changed.
+    """
+    if epoch is None:
+        return build_world(scale=scale, seed=seed), None
+    world, history = world_at_epoch(scale, seed, monitor, epoch)
+    if epoch == 0:
+        return world, None
+    from repro.dns.name import Name
+
+    subset = sorted(
+        (Name.from_text(zone) for zone in changed_zones(history[-1])),
+        key=lambda n: n.canonical_key(),
+    )
+    return world, subset

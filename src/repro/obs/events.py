@@ -28,6 +28,12 @@ EVENT_STREAM_FILENAME = "stream.jsonl"
 # mixing the two would break the campaign stream's determinism contract.
 QUERY_STREAM_FILENAME = "query.jsonl"
 
+# The monitoring plane's own stream, one per *monitor* root (not per
+# epoch store): epoch spans, applied-event counts, re-scan sizes.  Each
+# epoch's campaign keeps writing its ordinary stream under its own
+# epoch store; this one narrates the timeline.
+MONITOR_STREAM_FILENAME = "monitor.jsonl"
+
 # The parallel engine's worker-store directory (defined here, at the
 # bottom of the dependency graph, so the observability reader needs no
 # import from repro.parallel).
@@ -42,6 +48,11 @@ def events_path(store_root: Path) -> Path:
 def query_events_path(store_root: Path) -> Path:
     """Where the read-serving plane's event stream lives."""
     return Path(store_root) / EVENTS_DIR / QUERY_STREAM_FILENAME
+
+
+def monitor_events_path(monitor_root: Path) -> Path:
+    """Where a monitor root's timeline event stream lives."""
+    return Path(monitor_root) / EVENTS_DIR / MONITOR_STREAM_FILENAME
 
 
 def read_events(path: Path) -> List[Dict[str, Any]]:

@@ -293,8 +293,16 @@ def run_parallel_campaign(
     retry=None,
     in_flight: Optional[int] = None,
     manifest_config: Optional[Dict[str, Any]] = None,
+    epoch: Optional[int] = None,
+    parent_epoch: Optional[int] = None,
+    monitor=None,
 ):
     """Run one campaign across *workers* processes (see module docs).
+
+    With *epoch*/*monitor* set (the monitoring plane), the parent and
+    every worker replay the seeded event stream to that simulated week
+    and — for epoch >= 1 — scan only the changed-zone subset, which
+    each worker recomputes in-process from the picklable monitor spec.
 
     *faults* is a testing hook: ``{worker_index: crash_after_n_zones}``
     hard-kills the given workers mid-scan, leaving a resumable store.
@@ -306,11 +314,13 @@ def run_parallel_campaign(
     manifest (the :class:`repro.campaign.CampaignConfig` serialization).
     """
     from repro.campaign import _scan_list
-    from repro.ecosystem.world import build_world
+    from repro.monitor.timeline import scan_world
 
     telemetry = as_telemetry(telemetry)
     num_shards = num_shards or DEFAULT_NUM_SHARDS
     checkpoint_every = checkpoint_every or DEFAULT_CHECKPOINT_EVERY
+    if epoch is not None and epoch > 0 and parent_epoch is None:
+        parent_epoch = epoch - 1  # same default chaining as CampaignConfig
     root = Path(store_dir)
     ranges = bucket_ranges(num_shards, workers)  # validates workers vs shards
 
@@ -324,6 +334,8 @@ def run_parallel_campaign(
             manifest_config["retry"] = retry.to_dict()
         if in_flight is not None:
             manifest_config["in_flight"] = in_flight
+        if monitor is not None:
+            manifest_config["monitor"] = monitor.to_dict()
     store = CampaignStore.create(
         root,
         seed=seed,
@@ -333,6 +345,8 @@ def run_parallel_campaign(
         config=manifest_config,
         checkpoint_every=checkpoint_every,
         telemetry=telemetry,
+        epoch=epoch,
+        parent_epoch=parent_epoch,
     )
     if telemetry.enabled:
         telemetry.open_sink(events_path(root))
@@ -352,15 +366,20 @@ def run_parallel_campaign(
             retry=retry,
             in_flight=in_flight,
             crash_after=(faults or {}).get(index),
+            epoch=epoch,
+            monitor=monitor,
         )
         for index, bucket_range in enumerate(ranges)
     ]
     processes = _spawn_workers(specs)
 
-    # Overlap: the parent rebuilds its world while the workers scan.
-    world = build_world(scale=scale, seed=seed)
+    # Overlap: the parent rebuilds (and, for epochs, replays) its world
+    # while the workers scan.
+    world, subset = scan_world(scale, seed, monitor=monitor, epoch=epoch)
     telemetry.bind_clock(world.network.clock)
-    store.manifest.zones_total = len(_scan_list(world, use_sources))
+    store.manifest.zones_total = len(
+        subset if subset is not None else _scan_list(world, use_sources)
+    )
     save_manifest(root, store.manifest)
 
     _join_workers(root, specs, processes, telemetry=telemetry)
@@ -392,7 +411,7 @@ def resume_parallel_campaign(
     stay disjoint).
     """
     from repro.campaign import _scan_list
-    from repro.ecosystem.world import build_world
+    from repro.monitor.timeline import scan_world
 
     root = Path(store_dir)
     telemetry = as_telemetry(telemetry)
@@ -437,7 +456,9 @@ def resume_parallel_campaign(
         telemetry.open_sink(events_path(root))
 
     if manifest.complete:
-        world = build_world(scale=manifest.scale, seed=manifest.seed)
+        world, _ = scan_world(
+            manifest.scale, manifest.seed, monitor=stored.monitor, epoch=stored.epoch
+        )
         telemetry.bind_clock(world.network.clock)
         return _finish(store, world, recheck, telemetry=telemetry, chaos=chaos, retry=retry)
 
@@ -462,6 +483,8 @@ def resume_parallel_campaign(
             chaos=chaos,
             retry=retry,
             in_flight=in_flight,
+            epoch=stored.epoch,
+            monitor=stored.monitor,
         )
         for index, bucket_range in enumerate(ranges)
     ]
@@ -475,13 +498,17 @@ def resume_parallel_campaign(
             CampaignStore.open(wroot, checkpoint_every=checkpoint_every).complete()
 
     processes = _spawn_workers(specs)
-    world = build_world(scale=manifest.scale, seed=manifest.seed)
+    world, subset = scan_world(
+        manifest.scale, manifest.seed, monitor=stored.monitor, epoch=stored.epoch
+    )
     telemetry.bind_clock(world.network.clock)
     _join_workers(root, specs, processes, telemetry=telemetry)
 
     manifest.config["workers"] = workers
     if manifest.zones_total is None:
-        manifest.zones_total = len(_scan_list(world, use_sources))
+        manifest.zones_total = len(
+            subset if subset is not None else _scan_list(world, use_sources)
+        )
     # Merge every worker store on disk — including leftovers from an
     # earlier run with a different worker count.
     merge_worker_manifests(store, _existing_worker_roots(root), telemetry=telemetry)

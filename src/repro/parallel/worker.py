@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 from repro.chaos import ChaosConfig, RetryPolicy
+from repro.monitor.spec import MonitorSpec
 from repro.obs.events import events_path
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.store.checkpoint import DEFAULT_CHECKPOINT_EVERY, CampaignStore
@@ -69,6 +70,13 @@ class WorkerSpec:
     # Fault injection for tests: hard-exit (no checkpoint, no stats)
     # after committing results for this many zones.
     crash_after: Optional[int] = field(default=None)
+    # Monitoring plane: when set, the worker replays the seeded event
+    # stream to this epoch before scanning, and (for epoch >= 1)
+    # narrows its share to the changed-zone subset.  The subset is
+    # *recomputed* in-process from the (picklable) monitor spec — the
+    # event stream is layout-independent, so no zone lists are shipped.
+    epoch: Optional[int] = None
+    monitor: Optional[MonitorSpec] = None
 
 
 def worker_stats_path(store_dir: Path) -> Path:
@@ -126,11 +134,13 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
 
     # Imported lazily: worlds are heavy and the fast path above avoids them.
     from repro.campaign import _scan_list
-    from repro.ecosystem.world import build_world
+    from repro.monitor.timeline import scan_world
     from repro.scanner.fleet import make_machine_scanner
 
     telemetry = Telemetry() if spec.telemetry else NULL_TELEMETRY
-    world = build_world(scale=spec.scale, seed=spec.seed)
+    world, scan_override = scan_world(
+        spec.scale, spec.seed, monitor=spec.monitor, epoch=spec.epoch
+    )
     world.network.enable_response_cache()
     if spec.chaos is not None and spec.chaos.enabled:
         # Each machine gets its own decision stream: derived, not
@@ -143,7 +153,9 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
     if spec.in_flight is not None:
         config = replace(config, in_flight=spec.in_flight)
     scanner, clock = make_machine_scanner(world, config=config, telemetry=telemetry)
-    scan_list = _scan_list(world, spec.use_sources)
+    scan_list = (
+        scan_override if scan_override is not None else _scan_list(world, spec.use_sources)
+    )
     mine = zones_for_buckets(scan_list, spec.num_shards, buckets)
 
     if own_manifest is None:

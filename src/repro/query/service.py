@@ -40,6 +40,7 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.dns.name import Name, NameError_
+from repro.monitor.layout import epoch_dir, is_monitor_root, list_epoch_dirs
 from repro.obs.telemetry import as_telemetry
 from repro.scanner.results import ZoneScanResult
 from repro.scanner.serialize import result_from_obj
@@ -155,11 +156,29 @@ class QueryService:
         if cache_size < 1:
             raise ValueError("cache_size must be >= 1")
         self.root = Path(store_root)
-        self.snapshot: SnapshotInfo = load_snapshot(self.root)
         self.cache_size = cache_size
         self.telemetry = as_telemetry(telemetry)
         self._cache: "OrderedDict[str, Optional[ZoneStatusView]]" = OrderedDict()
         self._handles: Dict[Tuple[int, str], Any] = {}
+        # Monitoring plane: a monitor root is served by delegating each
+        # lookup to the per-epoch sub-service of the newest epoch whose
+        # snapshot holds the zone (newest-wins, like the merged
+        # analysis).  self.snapshot stays None in that mode.
+        self._epoch_services: Dict[int, "QueryService"] = {}
+        self._monitor_epochs: List[int] = []
+        if is_monitor_root(self.root):
+            self._monitor_epochs = [
+                epoch
+                for epoch in list_epoch_dirs(self.root)
+                if load_manifest(epoch_dir(self.root, epoch)).complete
+            ]
+            if not self._monitor_epochs:
+                raise QueryError(
+                    f"monitor at {self.root} has no completed epochs to serve"
+                )
+            self.snapshot: Optional[SnapshotInfo] = None
+        else:
+            self.snapshot = load_snapshot(self.root)
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -167,6 +186,9 @@ class QueryService:
         for fp in self._handles.values():
             fp.close()
         self._handles.clear()
+        for service in self._epoch_services.values():
+            service.close()
+        self._epoch_services.clear()
 
     def __enter__(self) -> "QueryService":
         return self
@@ -180,6 +202,9 @@ class QueryService:
         """True when the live manifest has moved past the pinned
         generation (new segments committed since the index was built).
         The service keeps serving the pinned snapshot either way."""
+        if self._monitor_epochs:
+            # A monitor root is stale when its newest served epoch is.
+            return self._epoch_service(self._monitor_epochs[-1]).check_stale()
         manifest = load_manifest(self.root)
         stale = not self.snapshot.is_fresh(manifest)
         if self.telemetry.enabled:
@@ -190,12 +215,28 @@ class QueryService:
 
     # -- point lookups -----------------------------------------------------
 
-    def zone_status(self, name: str) -> Optional[ZoneStatusView]:
+    def zone_status(
+        self, name: str, epoch: Optional[int] = None
+    ) -> Optional[ZoneStatusView]:
         """Point lookup: the hot-field view for one zone, or ``None``.
 
         Cache → binary search of the bucket ``.idx`` → one meta row.
         Never streams a bucket, never touches a shard segment.
+
+        On a monitor root, *epoch* selects the simulated week to answer
+        as of (default: the newest complete epoch): the lookup walks
+        epochs from there down to the baseline and returns the newest
+        view of the zone — the same newest-wins rule the merged epoch
+        analysis applies.  On a plain store, a non-matching *epoch* is
+        an error.
         """
+        if self._monitor_epochs:
+            service = self._service_holding(name, epoch)
+            return service.zone_status(name) if service is not None else None
+        if epoch is not None and epoch != self.snapshot.epoch:
+            raise QueryError(
+                f"this snapshot holds epoch {self.snapshot.epoch}, not epoch {epoch}"
+            )
         zone = _normalize_zone(name)
         tel = self.telemetry
         if tel.enabled:
@@ -218,10 +259,15 @@ class QueryService:
             tel.count("query.negative")
         return view
 
-    def zone_record(self, name: str) -> Optional[ZoneScanResult]:
+    def zone_record(
+        self, name: str, epoch: Optional[int] = None
+    ) -> Optional[ZoneScanResult]:
         """The full archived record behind :meth:`zone_status` — one
         seek + one read of the re-packed bucket data file."""
-        view = self.zone_status(name)
+        if self._monitor_epochs:
+            service = self._service_holding(name, epoch)
+            return service.zone_record(name) if service is not None else None
+        view = self.zone_status(name, epoch=epoch)
         if view is None:
             return None
         files = self.snapshot.bucket_files(view.bucket)
@@ -237,6 +283,12 @@ class QueryService:
     def iter_status(self) -> Iterator[ZoneStatusView]:
         """Every zone's hot-field view, in deterministic snapshot order
         (bucket, then zone hash) — reads columns, not records."""
+        # Guard at call time, not first next() — misuse should not hide
+        # inside a lazily-consumed generator.
+        self._require_single_store("iter_status")
+        return self._iter_status()
+
+    def _iter_status(self) -> Iterator[ZoneStatusView]:
         if self.telemetry.enabled:
             self.telemetry.count("query.enumerations")
         columns = [self._column(name) for name in
@@ -271,6 +323,7 @@ class QueryService:
 
     def zones_with_status(self, status: str) -> List[str]:
         """Zone names in one status class (e.g. ``"island"``)."""
+        self._require_single_store("zones_with_status")
         if self.telemetry.enabled:
             self.telemetry.count("query.enumerations")
         return [
@@ -281,6 +334,7 @@ class QueryService:
 
     def zones_for_operator(self, operator: str) -> List[str]:
         """Zone names attributed to one operator (the operator scan)."""
+        self._require_single_store("zones_for_operator")
         if self.telemetry.enabled:
             self.telemetry.count("query.enumerations")
         return [
@@ -290,6 +344,49 @@ class QueryService:
         ]
 
     # -- internals ---------------------------------------------------------
+
+    def _require_single_store(self, operation: str) -> None:
+        """Enumerations are per-store: a delta epoch holds only the
+        week's changed zones, so enumerating a monitor root would
+        silently mix populations.  The merged longitudinal view lives
+        on :meth:`repro.monitor.Monitor.analyze` / ``classifications``;
+        a single week is one epoch store away."""
+        if self._monitor_epochs:
+            newest = epoch_dir(self.root, self._monitor_epochs[-1])
+            raise QueryError(
+                f"{operation} is not defined on a monitor root — open a "
+                f"per-epoch store (e.g. QueryService({str(newest)!r})) or use "
+                "repro.monitor.Monitor.analyze() for the merged view"
+            )
+
+    def _epoch_service(self, epoch: int) -> "QueryService":
+        service = self._epoch_services.get(epoch)
+        if service is None:
+            service = QueryService(
+                epoch_dir(self.root, epoch),
+                cache_size=self.cache_size,
+                telemetry=self.telemetry,
+            )
+            self._epoch_services[epoch] = service
+        return service
+
+    def _service_holding(
+        self, name: str, epoch: Optional[int]
+    ) -> Optional["QueryService"]:
+        """The newest per-epoch sub-service (at or below *epoch*) whose
+        snapshot holds the zone, or None when no epoch scanned it."""
+        if epoch is None:
+            epoch = self._monitor_epochs[-1]
+        candidates = [e for e in self._monitor_epochs if e <= epoch]
+        if not candidates:
+            raise QueryError(
+                f"monitor at {self.root} has no complete epoch <= {epoch}"
+            )
+        for e in reversed(candidates):
+            service = self._epoch_service(e)
+            if service.zone_status(name) is not None:
+                return service
+        return None
 
     def _lookup(self, zone: str) -> Optional[ZoneStatusView]:
         bucket = shard_for_zone(zone, self.snapshot.num_buckets)
@@ -367,6 +464,7 @@ class QueryService:
         return text.splitlines()
 
     def _column_counts(self, name: str) -> Counter:
+        self._require_single_store("enumeration")
         if self.telemetry.enabled:
             self.telemetry.count("query.enumerations")
         return Counter(self._column(name))
@@ -375,6 +473,17 @@ class QueryService:
 
     def summary(self) -> str:
         """What ``repro-dnssec query serve``'s banner prints."""
+        if self._monitor_epochs:
+            newest = self._epoch_service(self._monitor_epochs[-1])
+            return "\n".join(
+                [
+                    f"monitor:   {self.root}",
+                    f"epochs:    {len(self._monitor_epochs)} complete "
+                    f"(serving as of epoch {self._monitor_epochs[-1]})",
+                    f"campaign:  seed={newest.snapshot.seed} "
+                    f"scale={newest.snapshot.scale:g}",
+                ]
+            )
         manifest = load_manifest(self.root)
         fresh = self.snapshot.is_fresh(manifest)
         behind = manifest.records - (self.snapshot.pinned_records or self.snapshot.records)

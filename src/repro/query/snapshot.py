@@ -51,6 +51,7 @@ from repro.core.bootstrap import SignalOutcome, assess_zone
 from repro.core.operators import UNKNOWN_OPERATOR, OperatorDB
 from repro.core.pipeline import signal_operator_for
 from repro.dnssec.validator import DEFAULT_VALIDATION_TIME
+from repro.monitor.layout import epoch_dir, is_monitor_root, list_epoch_dirs
 from repro.obs.telemetry import as_telemetry
 from repro.scanner.serialize import result_to_obj
 from repro.store.manifest import CampaignManifest, load_manifest
@@ -149,6 +150,9 @@ class SnapshotInfo:
     zones_digest: str
     operators_attributed: bool
     validation_now: int
+    # Monitoring plane: the epoch of the indexed campaign store (None
+    # for plain campaigns — such snapshots serialise unchanged).
+    epoch: Optional[int] = None
     buckets: List[Dict[str, Any]] = field(default_factory=list)
     columns: Dict[str, Dict[str, str]] = field(default_factory=dict)
     pin: Dict[str, Any] = field(default_factory=dict)
@@ -249,8 +253,24 @@ def build_index(
     exactly what :meth:`StoreReader.reanalyze`'s default does — so the
     differential invariant (index answers == full-scan ground truth)
     holds whichever way both sides are called.
+
+    Monitoring plane: pointed at a monitor root instead of a single
+    campaign store, the build recurses — one snapshot per complete
+    epoch store — and returns the newest epoch's :class:`SnapshotInfo`,
+    so the epoch-aware :class:`~repro.query.service.QueryService` finds
+    every per-epoch index already in place.
     """
     root = Path(store_root)
+    if is_monitor_root(root):
+        newest: Optional[SnapshotInfo] = None
+        for epoch in list_epoch_dirs(root):
+            store = epoch_dir(root, epoch)
+            if not load_manifest(store).complete:
+                continue
+            newest = build_index(store, operator_db=operator_db, now=now, telemetry=telemetry)
+        if newest is None:
+            raise StoreError(f"monitor at {root} has no completed epochs to index")
+        return newest
     manifest = load_manifest(root)
     telemetry = as_telemetry(telemetry)
     db = operator_db or OperatorDB()
@@ -376,6 +396,8 @@ def build_index(
         "buckets": bucket_entries,
         "columns": column_entries,
     }
+    if manifest.epoch is not None:
+        snapshot_obj["epoch"] = manifest.epoch
     (tmp_dir / SNAPSHOT_FILENAME).write_text(
         json.dumps(snapshot_obj, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
@@ -436,6 +458,7 @@ def load_snapshot(store_root: Path) -> SnapshotInfo:
         zones_digest=obj["zones_digest"],
         operators_attributed=obj["operators_attributed"],
         validation_now=obj["validation_now"],
+        epoch=obj.get("epoch"),
         buckets=obj["buckets"],
         columns=obj["columns"],
         pin=pin,

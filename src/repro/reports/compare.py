@@ -9,7 +9,7 @@ Each check returns a :class:`ShapeCheck` with a pass/fail and detail.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from repro.core.bootstrap import BootstrapEligibility
 from repro.core.pipeline import AnalysisReport
@@ -22,10 +22,39 @@ class ShapeCheck:
     name: str
     passed: bool
     detail: str
+    # Provenance: which paper table the assertion guards and, for
+    # monitored campaigns, which epoch produced the numbers — so a
+    # failing check in a delta chain names the diverging artefact
+    # instead of just "some shape broke".
+    table: str = ""
+    epoch: Optional[int] = None
 
     def __str__(self) -> str:
         marker = "PASS" if self.passed else "FAIL"
-        return f"[{marker}] {self.name}: {self.detail}"
+        line = f"[{marker}] {self.name}: {self.detail}"
+        provenance = [p for p in (self.table, None if self.epoch is None else f"epoch {self.epoch}") if p]
+        if provenance:
+            line += f" ({', '.join(provenance)})"
+        return line
+
+
+# Which paper artefact each shape assertion guards (see the paper's
+# Tables 1-3): status distribution, per-operator CDS publishing, and
+# the authenticated-bootstrapping funnel respectively.
+_TABLE_FOR_CHECK = {
+    "dnssec-rare": "table1",
+    "secured-about-5-percent": "table1",
+    "invalid-under-half-percent": "table1",
+    "godaddy-biggest-operator": "table2",
+    "google-dominates-cds": "table2",
+    "cloudflare-delete-islands": "table2",
+    "inconsistency-is-multi-operator": "table2",
+    "three-ab-operators": "table3",
+    "cloudflare-dominates-ab": "table3",
+    "ab-implemented-correctly": "table3",
+    "ab-deployment-space-small": "table3",
+    "signal-rrs-not-cleaned-up": "table3",
+}
 
 
 def _pct(numerator: int, denominator: int) -> float:
@@ -33,13 +62,19 @@ def _pct(numerator: int, denominator: int) -> float:
 
 
 def check_shapes(
-    report: AnalysisReport, table3: Table3Data, targets=None
+    report: AnalysisReport,
+    table3: Table3Data,
+    targets=None,
+    epoch: Optional[int] = None,
 ) -> List[ShapeCheck]:
     """Run every shape assertion the paper's narrative rests on.
 
     When *targets* (the world's scaled PaperTargets) is given, checks
     that are distorted by rare-case preservation at small scales fall
-    back to exact comparison against the scaled expectation.
+    back to exact comparison against the scaled expectation.  *epoch*
+    stamps every check with the simulated week it measured (the
+    monitoring plane passes it), so failures name the diverging
+    epoch/table pair.
     """
     checks: List[ShapeCheck] = []
     resolved = report.total_resolved
@@ -178,4 +213,7 @@ def check_shapes(
             "(paper: 86.9 %)",
         )
     )
+    for check in checks:
+        check.table = _TABLE_FOR_CHECK.get(check.name, "")
+        check.epoch = epoch
     return checks

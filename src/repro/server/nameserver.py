@@ -51,6 +51,13 @@ class AuthoritativeServer:
         self._provider_apexes.update(apexes)
         self._providers.append(provider)
 
+    def claim_apex(self, apex: Name) -> None:
+        """Extend an installed provider's authority to one more apex
+        (NS churn moves a customer zone between host servers; the
+        destination's provider map gains the spec, and this makes the
+        server answer for it)."""
+        self._provider_apexes.add(apex)
+
     def add_behavior(self, behavior: "ServerBehavior") -> None:
         self.behaviors.append(behavior)
 

@@ -87,6 +87,8 @@ class CampaignStore:
         config: Optional[Dict[str, Any]] = None,
         checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
         telemetry=None,
+        epoch: Optional[int] = None,
+        parent_epoch: Optional[int] = None,
     ) -> "CampaignStore":
         """Initialise a fresh store directory (refuses to clobber one)."""
         root = Path(root)
@@ -101,6 +103,8 @@ class CampaignStore:
             compress=compress,
             config=dict(config or {}),
             zones_total=zones_total,
+            epoch=epoch,
+            parent_epoch=parent_epoch,
         )
         save_manifest(root, manifest)
         return cls(root, manifest, checkpoint_every=checkpoint_every, telemetry=telemetry)

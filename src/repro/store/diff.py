@@ -75,11 +75,26 @@ class CampaignDiff:
 
 def diff_stores(old: StoreReader, new: StoreReader) -> CampaignDiff:
     """Compare two stored campaigns zone by zone."""
-    old_classes = classify_store(old)
-    new_classes = classify_store(new)
+    return diff_classifications(
+        classify_store(old), classify_store(new), str(old.root), str(new.root)
+    )
+
+
+def diff_classifications(
+    old_classes: Dict[str, ZoneClassification],
+    new_classes: Dict[str, ZoneClassification],
+    old_root: str = "",
+    new_root: str = "",
+) -> CampaignDiff:
+    """Diff two classification maps directly.
+
+    The monitoring plane uses this to compare *merged* views (each
+    zone's latest verdict across a chain of delta campaigns) that no
+    single store holds.
+    """
     diff = CampaignDiff(
-        old_root=str(old.root),
-        new_root=str(new.root),
+        old_root=old_root,
+        new_root=new_root,
         old_zones=len(old_classes),
         new_zones=len(new_classes),
         added=sorted(set(new_classes) - set(old_classes)),

@@ -45,6 +45,12 @@ class CampaignManifest:
     created: float = field(default_factory=time.time)
     updated: float = field(default_factory=time.time)
     version: int = FORMAT_VERSION
+    # Monitoring-plane identity: which simulated week this campaign
+    # observed, and which epoch it is a delta against (None on the
+    # baseline epoch 0; both None on plain, non-monitored campaigns —
+    # such manifests serialise byte-identically to the pre-epoch format).
+    epoch: Optional[int] = None
+    parent_epoch: Optional[int] = None
 
     @property
     def records(self) -> int:
@@ -60,7 +66,7 @@ class CampaignManifest:
         return max((info.sequence for info in self.shards), default=-1) + 1
 
     def to_obj(self) -> Dict[str, Any]:
-        return {
+        obj = {
             "version": self.version,
             "seed": self.seed,
             "scale": self.scale,
@@ -73,6 +79,10 @@ class CampaignManifest:
             "updated": self.updated,
             "shards": [info.to_obj() for info in self.shards],
         }
+        if self.epoch is not None:
+            obj["epoch"] = self.epoch
+            obj["parent_epoch"] = self.parent_epoch
+        return obj
 
     @classmethod
     def from_obj(cls, obj: Dict[str, Any]) -> "CampaignManifest":
@@ -91,6 +101,8 @@ class CampaignManifest:
             created=obj.get("created", 0.0),
             updated=obj.get("updated", 0.0),
             version=version,
+            epoch=obj.get("epoch"),
+            parent_epoch=obj.get("parent_epoch"),
         )
 
 

@@ -3,7 +3,7 @@
 
 import pytest
 
-from repro.campaign import run_campaign
+from repro.campaign import CampaignConfig, run_campaign
 from repro.core.bootstrap import INCORRECT_OUTCOMES, SignalOutcome
 from repro.ecosystem.spec import SignalScenario
 
@@ -12,7 +12,7 @@ SCALE = 1e-6
 
 @pytest.fixture(scope="module")
 def campaign():
-    return run_campaign(scale=SCALE, seed=41, recheck=True)
+    return run_campaign(CampaignConfig(scale=SCALE, seed=41, recheck=True))
 
 
 class TestRecheck:
@@ -51,8 +51,10 @@ class TestRecheck:
 
 class TestSourcesMode:
     def test_acquired_list_scans(self):
-        acquired = run_campaign(scale=SCALE, seed=41, recheck=False, use_sources=True)
-        full = run_campaign(scale=SCALE, seed=41, recheck=False)
+        acquired = run_campaign(
+            CampaignConfig(scale=SCALE, seed=41, recheck=False, use_sources=True)
+        )
+        full = run_campaign(CampaignConfig(scale=SCALE, seed=41, recheck=False))
         # CT-log sampling makes the acquired list a subset.
         assert acquired.report.total_scanned <= full.report.total_scanned
         assert acquired.report.total_scanned > 0
@@ -60,8 +62,10 @@ class TestSourcesMode:
     def test_acquired_percentages_close_to_full(self):
         from repro.core import DnssecStatus
 
-        acquired = run_campaign(scale=2e-6, seed=42, recheck=False, use_sources=True)
-        full = run_campaign(scale=2e-6, seed=42, recheck=False)
+        acquired = run_campaign(
+            CampaignConfig(scale=2e-6, seed=42, recheck=False, use_sources=True)
+        )
+        full = run_campaign(CampaignConfig(scale=2e-6, seed=42, recheck=False))
 
         def secured_pct(report):
             return report.status_count(DnssecStatus.SECURE) / max(1, report.total_resolved)

@@ -94,7 +94,7 @@ class TestStoreCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "status:    in-progress" in out
-        assert "store resume" in out
+        assert "campaign resume" in out
 
         rc = main(["store", "status", "--dir", store_a, "--verify"])
         assert rc == 0

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.campaign import run_campaign
+from repro.campaign import CampaignConfig, run_campaign
 from repro.core.feasibility import estimate_feasibility, render_feasibility
 
 SCALE = 2e-6
@@ -10,7 +10,7 @@ SCALE = 2e-6
 
 @pytest.fixture(scope="module")
 def feasibility():
-    campaign = run_campaign(scale=SCALE, seed=37, recheck=False)
+    campaign = run_campaign(CampaignConfig(scale=SCALE, seed=37, recheck=False))
     network = campaign.world.network
     bytes_per_query = (network.bytes_sent + network.bytes_received) / max(
         1, network.queries_sent

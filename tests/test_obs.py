@@ -36,7 +36,7 @@ def stream_bytes(root) -> dict:
 @pytest.fixture(scope="module")
 def plain():
     """Telemetry-off baseline campaign."""
-    return run_campaign(scale=SCALE, seed=SEED, recheck=True)
+    return run_campaign(CampaignConfig(scale=SCALE, seed=SEED, recheck=True))
 
 
 @pytest.fixture(scope="module")
@@ -197,13 +197,19 @@ class TestCampaignConfig:
         # A config built from the manifest serializes back to the same dict.
         assert rebuilt.manifest_config() == manifest.config
 
-    def test_config_form_equals_legacy_kwargs(self, plain):
+    def test_config_form_is_deterministic(self, plain):
         config_form = run_campaign(CampaignConfig(scale=SCALE, seed=SEED, recheck=True))
         assert rendered_artifacts(config_form) == rendered_artifacts(plain)
 
-    def test_rejects_mixing_config_and_kwargs(self):
-        with pytest.raises(TypeError, match="CampaignConfig"):
+    def test_rejects_legacy_kwargs_naming_the_config_field(self):
+        # The historical per-setting keyword form is gone; each known
+        # field is pointed at its CampaignConfig spelling.
+        with pytest.raises(TypeError, match=r"CampaignConfig\(seed=\.\.\.\)"):
             run_campaign(CampaignConfig(), seed=2)
+        with pytest.raises(
+            TypeError, match=r"CampaignConfig\(scale=\.\.\.\), CampaignConfig\(workers=\.\.\.\)"
+        ):
+            run_campaign(scale=1e-6, workers=2)
         with pytest.raises(TypeError, match="positional"):
             run_campaign(1e-6)
         with pytest.raises(TypeError, match="unexpected"):
@@ -239,7 +245,11 @@ class TestCli:
         assert "cannot read campaign telemetry" in err
 
     def test_stats_without_events_says_so(self, tmp_path, capsys):
-        run_campaign(scale=SCALE, seed=SEED, store_dir=tmp_path / "store", recheck=False)
+        run_campaign(
+            CampaignConfig(
+                scale=SCALE, seed=SEED, store_dir=tmp_path / "store", recheck=False
+            )
+        )
         assert main(["stats", str(tmp_path / "store")]) == 0
         assert "no telemetry events recorded" in capsys.readouterr().out
 

@@ -8,7 +8,7 @@ seed/scale — including after a worker crash and a resume.
 
 import pytest
 
-from repro.campaign import resume_campaign, run_campaign
+from repro.campaign import CampaignConfig, resume_campaign, run_campaign
 from repro.dns.name import Name
 from repro.parallel import (
     ParallelCampaignError,
@@ -40,7 +40,7 @@ def rendered_artifacts(campaign) -> dict:
 
 @pytest.fixture(scope="module")
 def sequential():
-    return run_campaign(scale=SCALE, seed=SEED, recheck=True)
+    return run_campaign(CampaignConfig(scale=SCALE, seed=SEED, recheck=True))
 
 
 @pytest.fixture(scope="module")
@@ -116,7 +116,7 @@ class TestByteIdentity:
         self, tmp_path, sequential_artifacts
     ):
         campaign = run_campaign(
-            scale=SCALE, seed=SEED, store_dir=tmp_path / "seq-store"
+            CampaignConfig(scale=SCALE, seed=SEED, store_dir=tmp_path / "seq-store")
         )
         assert rendered_artifacts(campaign) == sequential_artifacts
 
@@ -170,10 +170,11 @@ class TestCrashAndResume:
 class TestWiring:
     def test_workers_requires_a_store(self):
         with pytest.raises(ValueError, match="store_dir"):
-            run_campaign(scale=SCALE, seed=SEED, workers=2)
+            run_campaign(CampaignConfig(scale=SCALE, seed=SEED, workers=2))
 
     def test_workers_rejects_prebuilt_world(self, tmp_path, sequential):
         with pytest.raises(ValueError, match="world"):
             run_campaign(
-                world=sequential.world, store_dir=tmp_path / "s", workers=2
+                CampaignConfig(store_dir=tmp_path / "s", workers=2),
+                world=sequential.world,
             )

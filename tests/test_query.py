@@ -10,7 +10,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.campaign import resume_campaign, run_campaign
+from repro.campaign import CampaignConfig, resume_campaign, run_campaign
 from repro.cli import main as cli_main
 from repro.core.operators import OperatorDB
 from repro.obs import Telemetry
@@ -55,17 +55,27 @@ def layout_stores(tmp_path_factory):
     different segment layouts."""
     root = tmp_path_factory.mktemp("query-layouts")
     serial = run_campaign(
-        scale=SCALE, seed=SEED, store_dir=root / "serial", checkpoint_every=32
+        CampaignConfig(
+            scale=SCALE, seed=SEED, store_dir=root / "serial", checkpoint_every=32
+        )
     )
     run_campaign(
-        scale=SCALE, seed=SEED, store_dir=root / "workers", checkpoint_every=32, workers=2
+        CampaignConfig(
+            scale=SCALE,
+            seed=SEED,
+            store_dir=root / "workers",
+            checkpoint_every=32,
+            workers=2,
+        )
     )
     run_campaign(
-        scale=SCALE,
-        seed=SEED,
-        store_dir=root / "resumed",
-        checkpoint_every=32,
-        stop_after=70,
+        CampaignConfig(
+            scale=SCALE,
+            seed=SEED,
+            store_dir=root / "resumed",
+            checkpoint_every=32,
+            stop_after=70,
+        )
     )
     resume_campaign(root / "resumed")
     return {"root": root, "campaign": serial}

@@ -8,7 +8,7 @@ just shape) is required here.
 
 import pytest
 
-from repro.campaign import run_campaign
+from repro.campaign import CampaignConfig, run_campaign
 from repro.core.bootstrap import SignalOutcome
 from repro.reports import (
     check_shapes,
@@ -33,7 +33,7 @@ SCALE = 1 / 1_000_000
 
 @pytest.fixture(scope="module")
 def campaign():
-    return run_campaign(scale=SCALE, seed=3, recheck=True)
+    return run_campaign(CampaignConfig(scale=SCALE, seed=3, recheck=True))
 
 
 class TestRenderHelpers:
@@ -190,6 +190,6 @@ class TestCampaign:
         assert campaign.simulated_duration > 0
 
     def test_no_recheck_leaves_transients_incorrect(self):
-        campaign = run_campaign(scale=SCALE, seed=3, recheck=False)
+        campaign = run_campaign(CampaignConfig(scale=SCALE, seed=3, recheck=False))
         assert campaign.rechecked == {}
         assert campaign.report.outcome_count(SignalOutcome.INCORRECT_SIGNAL_DNSSEC) >= 2

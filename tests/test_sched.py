@@ -50,7 +50,7 @@ def rendered_artifacts(campaign) -> dict:
 
 @pytest.fixture(scope="module")
 def sequential():
-    return run_campaign(scale=SCALE, seed=SEED, recheck=True)
+    return run_campaign(CampaignConfig(scale=SCALE, seed=SEED, recheck=True))
 
 
 @pytest.fixture(scope="module")

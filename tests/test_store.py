@@ -7,7 +7,7 @@ import json
 
 import pytest
 
-from repro.campaign import resume_campaign, run_campaign
+from repro.campaign import CampaignConfig, resume_campaign, run_campaign
 from repro.core import assess_zone
 from repro.scanner import Scanner
 from repro.scanner.serialize import result_from_obj, result_to_obj
@@ -289,17 +289,21 @@ def campaign_stores(tmp_path_factory):
     one, and one plain in-memory run — all at the same seed/scale."""
     root = tmp_path_factory.mktemp("campaign-stores")
     full = run_campaign(
-        scale=SCALE, seed=SEED, store_dir=root / "full", checkpoint_every=32
+        CampaignConfig(
+            scale=SCALE, seed=SEED, store_dir=root / "full", checkpoint_every=32
+        )
     )
     partial = run_campaign(
-        scale=SCALE,
-        seed=SEED,
-        store_dir=root / "interrupted",
-        checkpoint_every=32,
-        stop_after=70,
+        CampaignConfig(
+            scale=SCALE,
+            seed=SEED,
+            store_dir=root / "interrupted",
+            checkpoint_every=32,
+            stop_after=70,
+        )
     )
     resumed = resume_campaign(root / "interrupted")
-    memory = run_campaign(scale=SCALE, seed=SEED)
+    memory = run_campaign(CampaignConfig(scale=SCALE, seed=SEED))
     return {
         "root": root,
         "full": full,
@@ -369,7 +373,7 @@ class TestCampaignResume:
 
     def test_stop_after_requires_store(self):
         with pytest.raises(ValueError, match="stop_after"):
-            run_campaign(scale=SCALE, seed=SEED, stop_after=5)
+            run_campaign(CampaignConfig(scale=SCALE, seed=SEED, stop_after=5))
 
 
 class TestDiff:
@@ -390,11 +394,15 @@ class TestDiff:
         from repro.provisioning import AuthenticatedBootstrapPolicy, BootstrapEngine
 
         world = build_world(scale=SCALE, seed=7)
-        run_campaign(world=world, recheck=False, store_dir=tmp_path / "epoch1")
+        run_campaign(
+            CampaignConfig(recheck=False, store_dir=tmp_path / "epoch1"), world=world
+        )
         engine = BootstrapEngine(world, AuthenticatedBootstrapPolicy())
         outcome = engine.run()
         assert outcome.secured, "provisioning should secure at least one island"
-        run_campaign(world=world, recheck=False, store_dir=tmp_path / "epoch2")
+        run_campaign(
+            CampaignConfig(recheck=False, store_dir=tmp_path / "epoch2"), world=world
+        )
 
         diff = diff_stores(
             StoreReader(tmp_path / "epoch1"), StoreReader(tmp_path / "epoch2")
@@ -517,3 +525,62 @@ class TestReaderHardening:
         )
         assert bucket_stats.skipped == 1
         assert bucket_stats.records == len(in_bucket)
+
+
+class TestEpochManifest:
+    """Monitoring plane: epoch identity rides the manifest losslessly,
+    and stores written by plain campaigns stay byte-stable (no epoch
+    keys appear unless the campaign was one)."""
+
+    def test_plain_manifest_serialises_without_epoch_keys(self, mini_results, tmp_path):
+        root = tmp_path / "store"
+        fill_store(root, mini_results)
+        obj = json.loads((root / "manifest.json").read_text())
+        assert "epoch" not in obj and "parent_epoch" not in obj
+        manifest = load_manifest(root)
+        assert manifest.epoch is None and manifest.parent_epoch is None
+
+    def test_epoch_identity_round_trips(self, mini_results, tmp_path):
+        root = tmp_path / "store"
+        fill_store(root, mini_results, epoch=3, parent_epoch=2)
+        manifest = load_manifest(root)
+        assert (manifest.epoch, manifest.parent_epoch) == (3, 2)
+        obj = json.loads((root / "manifest.json").read_text())
+        assert (obj["epoch"], obj["parent_epoch"]) == (3, 2)
+
+    def test_baseline_epoch_has_no_parent(self, mini_results, tmp_path):
+        root = tmp_path / "store"
+        fill_store(root, mini_results, epoch=0)
+        manifest = load_manifest(root)
+        assert manifest.epoch == 0 and manifest.parent_epoch is None
+
+    def test_config_resumes_an_epoch_campaign_from_its_manifest(self, tmp_path):
+        from repro.monitor import MonitorSpec
+
+        spec = MonitorSpec(seed=7).scaled(20.0)
+        root = tmp_path / "e0001"
+        run_campaign(
+            CampaignConfig(
+                scale=SCALE,
+                seed=SEED,
+                recheck=False,
+                store_dir=root,
+                stop_after=2,
+                epoch=1,
+                monitor=spec,
+            )
+        )
+        manifest = load_manifest(root)
+        assert not manifest.complete
+        assert (manifest.epoch, manifest.parent_epoch) == (1, 0)
+
+        rebuilt = CampaignConfig.from_manifest(manifest, store_dir=root)
+        assert (rebuilt.epoch, rebuilt.parent_epoch) == (1, 0)
+        assert rebuilt.monitor == spec
+        assert rebuilt.manifest_config() == manifest.config
+
+        resumed = resume_campaign(root)
+        final = load_manifest(root)
+        assert final.complete
+        assert (final.epoch, final.parent_epoch) == (1, 0)
+        assert resumed.report is not None

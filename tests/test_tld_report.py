@@ -2,13 +2,13 @@
 
 import pytest
 
-from repro.campaign import run_campaign
+from repro.campaign import CampaignConfig, run_campaign
 from repro.reports.tld import compute_tld_report, render_tld_report
 
 
 @pytest.fixture(scope="module")
 def campaign():
-    return run_campaign(scale=2e-6, seed=23, recheck=False)
+    return run_campaign(CampaignConfig(scale=2e-6, seed=23, recheck=False))
 
 
 class TestTldReport:

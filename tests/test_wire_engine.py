@@ -59,7 +59,9 @@ def rendered_artifacts(campaign) -> dict:
 
 @pytest.fixture(scope="module")
 def sequential_artifacts():
-    return rendered_artifacts(run_campaign(scale=SCALE, seed=SEED, recheck=True))
+    return rendered_artifacts(
+        run_campaign(CampaignConfig(scale=SCALE, seed=SEED, recheck=True))
+    )
 
 
 # ---------------------------------------------------------------------------
