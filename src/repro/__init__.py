@@ -16,6 +16,17 @@ Typical use — continuous monitoring over an evolving ecosystem::
         print(result.epoch, result.zones_scanned, len(result.events))
     print(monitor.diff().diff.changed, "zones reclassified last week")
 
+Add an RFC 9615 parental agent to close the bootstrapping loop — it
+acts after each completed epoch, provisioning DS for zones whose
+signal chain authenticates, and the next delta epoch confirms the
+island → secured transition::
+
+    from repro import Agent
+
+    for result in monitor.run_until(weeks=8, agent=Agent()):
+        if result.agent is not None:
+            print(result.epoch, result.agent.secured)
+
 One-shot campaigns take a :class:`CampaignConfig`::
 
     from repro import CampaignConfig, run_campaign
@@ -65,6 +76,8 @@ __all__ = [
     "Monitor",
     "MonitorConfig",
     "EpochDiff",
+    "Agent",
+    "AgentConfig",
 ]
 
 _API = {
@@ -86,6 +99,8 @@ _API = {
     "Monitor": ("repro.monitor", "Monitor"),
     "MonitorConfig": ("repro.monitor", "MonitorConfig"),
     "EpochDiff": ("repro.monitor", "EpochDiff"),
+    "Agent": ("repro.agent", "Agent"),
+    "AgentConfig": ("repro.agent", "AgentConfig"),
 }
 
 

@@ -1,0 +1,215 @@
+"""Typed agent decisions and the append-only actions ledger.
+
+Every zone the parental agent considers produces exactly one
+:class:`AgentAction` — ``secured`` when a DS was provisioned and the
+verification re-scan confirmed the full chain, ``rejected`` otherwise,
+always carrying a stable machine-readable reason code.  Actions are
+persisted to ``<monitor-root>/agent/actions.jsonl``, one sorted-key
+JSON object per line with no timestamps, so the ledger is byte-stable
+across runs, layouts, and ``PYTHONHASHSEED``.
+
+Crash safety follows the store idiom: appends first truncate a torn
+(non-newline-terminated) tail left by a killed process, then write
+whole lines and fsync.  Re-runs are idempotent — zones already
+recorded for an epoch are skipped, never re-appended.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+AGENT_DIR = "agent"
+ACTIONS_FILENAME = "actions.jsonl"
+
+# Actions.
+SECURED = "secured"
+REJECTED = "rejected"
+
+# Stable reason codes, one per way a zone can fail RFC 9615 / RFC 8078
+# acceptance (plus the accept code).  Ordering of the checks lives in
+# :func:`repro.agent.plane.decide`; these strings are the ledger
+# contract and must never be renamed.
+CHAIN_AUTHENTICATED = "chain_authenticated"
+ZONE_WENT_DARK = "zone_went_dark"
+DS_ALREADY_PRESENT = "ds_already_present"
+NO_SIGNAL = "no_signal"
+DELETE_REQUEST = "delete_request"
+ALGORITHM_NOT_PERMITTED = "algorithm_not_permitted"
+ZONE_UNSIGNED = "zone_unsigned"
+ZONE_DNSSEC_INVALID = "zone_dnssec_invalid"
+CDS_DISAGREEMENT = "cds_disagreement"
+CDS_SIGNATURE_INVALID = "cds_signature_invalid"
+SIGNAL_ZONE_CUT = "signal_zone_cut"
+SIGNAL_COVERAGE_GAP = "signal_coverage_gap"
+UNAUTHENTICATED_CHAIN = "unauthenticated_chain"
+SIGNAL_MISMATCH = "signal_mismatch"
+NO_ZONE_CDS = "no_zone_cds"
+VERIFICATION_FAILED = "verification_failed"
+
+REASON_CODES = frozenset(
+    {
+        CHAIN_AUTHENTICATED,
+        ZONE_WENT_DARK,
+        DS_ALREADY_PRESENT,
+        NO_SIGNAL,
+        DELETE_REQUEST,
+        ALGORITHM_NOT_PERMITTED,
+        ZONE_UNSIGNED,
+        ZONE_DNSSEC_INVALID,
+        CDS_DISAGREEMENT,
+        CDS_SIGNATURE_INVALID,
+        SIGNAL_ZONE_CUT,
+        SIGNAL_COVERAGE_GAP,
+        UNAUTHENTICATED_CHAIN,
+        SIGNAL_MISMATCH,
+        NO_ZONE_CDS,
+        VERIFICATION_FAILED,
+    }
+)
+
+
+class LedgerError(Exception):
+    """A ledger line that is not a well-formed AgentAction."""
+
+
+@dataclass(frozen=True)
+class AgentAction:
+    """One accept/reject decision, as recorded in the ledger."""
+
+    zone: str  # bare name, matching the monitor event stream
+    epoch: int  # the completed epoch whose scan the agent acted on
+    action: str  # SECURED | REJECTED
+    reason: str  # a REASON_CODES member
+    ds: Tuple[str, ...] = ()  # provisioned DS rdatas (secured only)
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "action": self.action,
+            "epoch": self.epoch,
+            "reason": self.reason,
+            "zone": self.zone,
+        }
+        if self.ds:
+            out["ds"] = list(self.ds)
+        return out
+
+    def to_line(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, obj: Dict[str, Any]) -> "AgentAction":
+        try:
+            action = cls(
+                zone=str(obj["zone"]),
+                epoch=int(obj["epoch"]),
+                action=str(obj["action"]),
+                reason=str(obj["reason"]),
+                ds=tuple(str(d) for d in obj.get("ds", [])),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise LedgerError(f"malformed ledger entry: {obj!r}") from exc
+        if action.action not in (SECURED, REJECTED):
+            raise LedgerError(f"unknown action {action.action!r}")
+        if action.reason not in REASON_CODES:
+            raise LedgerError(f"unknown reason code {action.reason!r}")
+        return action
+
+
+def ledger_path(monitor_root) -> Path:
+    """``<monitor-root>/agent/actions.jsonl``."""
+    return Path(monitor_root) / AGENT_DIR / ACTIONS_FILENAME
+
+
+def read_ledger(path) -> List[AgentAction]:
+    """All recorded actions, in append order.
+
+    A torn final line (a crash mid-append) is ignored; corruption
+    anywhere else raises :class:`LedgerError`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    data = path.read_bytes()
+    lines = data.split(b"\n")
+    torn_tail = lines.pop() if lines else b""
+    actions: List[AgentAction] = []
+    for index, raw in enumerate(lines):
+        if not raw.strip():
+            continue
+        try:
+            actions.append(AgentAction.from_dict(json.loads(raw)))
+        except json.JSONDecodeError as exc:
+            raise LedgerError(f"{path}:{index + 1}: undecodable ledger line") from exc
+    if torn_tail.strip():
+        # No trailing newline: the writer died mid-line.  The entry was
+        # never durable, so the reader treats it as absent; the next
+        # append truncates it.
+        pass
+    return actions
+
+
+def append_actions(path, actions: Sequence[AgentAction]) -> None:
+    """Durably append *actions*, truncating any torn tail first."""
+    if not actions:
+        return
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "a+b") as fh:
+        _truncate_torn_tail(fh)
+        for action in actions:
+            fh.write(action.to_line().encode("utf-8") + b"\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+
+
+def _truncate_torn_tail(fh) -> None:
+    size = fh.seek(0, os.SEEK_END)
+    if size == 0:
+        return
+    fh.seek(size - 1)
+    if fh.read(1) == b"\n":
+        return
+    # Walk back to the last newline and cut there.
+    data = _tail_bytes(fh, size)
+    keep = data.rfind(b"\n") + 1 + max(0, size - len(data))
+    fh.truncate(keep)
+    fh.seek(keep)
+
+
+def _tail_bytes(fh, size: int, window: int = 1 << 16) -> bytes:
+    start = max(0, size - window)
+    fh.seek(start)
+    return fh.read(size - start)
+
+
+def recorded_zones(actions: Sequence[AgentAction], epoch: int) -> Set[str]:
+    """Zones already decided for *epoch* (idempotent re-run skip set)."""
+    return {a.zone for a in actions if a.epoch == epoch}
+
+
+def secured_pairs(actions: Sequence[AgentAction]) -> List[Tuple[int, str]]:
+    """``(epoch, zone)`` install pairs for
+    :meth:`repro.monitor.MonitorSpec.with_installs`."""
+    return sorted((a.epoch, a.zone) for a in actions if a.action == SECURED)
+
+
+@dataclass
+class AgentRun:
+    """The outcome of one :meth:`repro.agent.Agent.run` invocation."""
+
+    epoch: int
+    considered: int = 0
+    actions: List[AgentAction] = field(default_factory=list)
+    skipped: int = 0  # already recorded for this epoch (idempotent re-run)
+
+    @property
+    def secured(self) -> List[str]:
+        return [a.zone for a in self.actions if a.action == SECURED]
+
+    @property
+    def rejected(self) -> List[AgentAction]:
+        return [a for a in self.actions if a.action == REJECTED]

@@ -1,0 +1,87 @@
+"""Convergence reporting over the agent actions ledger.
+
+Everything here is a pure function of the ledger contents, so the
+rendered report inherits the ledger's byte-stability across layouts:
+identical ledgers ⇒ identical reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.agent.actions import SECURED, AgentAction
+from repro.reports.render import render_table
+
+
+@dataclass
+class ConvergenceReport:
+    """How fast the agent drives islands into the chain of trust."""
+
+    epochs: List[int] = field(default_factory=list)  # epochs the agent acted on
+    secured_per_epoch: Dict[int, int] = field(default_factory=dict)
+    rejections: Counter = field(default_factory=Counter)  # reason → count
+    #: zone → epochs-from-first-consideration-to-secured (0 = first try)
+    time_to_secure: Dict[str, int] = field(default_factory=dict)
+    considered: int = 0
+    secured: int = 0
+
+    @property
+    def time_to_secure_histogram(self) -> Dict[int, int]:
+        hist: Counter = Counter(self.time_to_secure.values())
+        return dict(sorted(hist.items()))
+
+
+def compute_convergence(actions: Sequence[AgentAction]) -> ConvergenceReport:
+    """Fold the ledger into the convergence report."""
+    report = ConvergenceReport()
+    first_seen: Dict[str, int] = {}
+    for action in actions:
+        report.considered += 1
+        first_seen.setdefault(action.zone, action.epoch)
+        if action.epoch not in report.secured_per_epoch:
+            report.epochs.append(action.epoch)
+            report.secured_per_epoch[action.epoch] = 0
+        if action.action == SECURED:
+            report.secured += 1
+            report.secured_per_epoch[action.epoch] += 1
+            report.time_to_secure[action.zone] = action.epoch - first_seen[action.zone]
+        else:
+            report.rejections[action.reason] += 1
+    report.epochs.sort()
+    return report
+
+
+def render_convergence(report: ConvergenceReport) -> str:
+    """The three tables the tentpole asks for: zones secured per epoch,
+    the time-to-secure distribution, and the rejection breakdown."""
+    sections = []
+    sections.append(
+        render_table(
+            ["Epoch", "Secured"],
+            [[e, report.secured_per_epoch[e]] for e in report.epochs],
+            title="Zones secured per epoch",
+        )
+    )
+    hist = report.time_to_secure_histogram
+    sections.append(
+        render_table(
+            ["Epochs to secure", "Zones"],
+            [[delay, count] for delay, count in hist.items()] or [["-", 0]],
+            title="Time to secure (epochs after first consideration)",
+        )
+    )
+    rejections = sorted(report.rejections.items(), key=lambda kv: (-kv[1], kv[0]))
+    sections.append(
+        render_table(
+            ["Rejection reason", "Zones"],
+            rejections or [["-", 0]],
+            title="Rejection breakdown",
+        )
+    )
+    summary = (
+        f"decisions: {report.considered}  secured: {report.secured}  "
+        f"rejected: {report.considered - report.secured}"
+    )
+    return "\n\n".join(sections + [summary])

@@ -93,6 +93,11 @@ class CampaignConfig:
     # same analysis tables at the same seed/scale — not the same event
     # streams or simulated durations (real I/O reorders the schedule).
     transport: str = "sim"
+    # Paced replay for the wire engine: 0.0 (default) collapses every
+    # simulated wait to "now" (run flat out); N > 0 plays simulated
+    # seconds back at N× wall speed through the ClockBridge.  Wire-only:
+    # the in-memory fabric has no wall clock to pace against.
+    time_scale: float = 0.0
     # Monitoring-plane leaf: which simulated week this campaign observes
     # (0 = baseline full scan, >= 1 = delta over the changed subset) and
     # the seeded event stream that evolves the world between weeks.
@@ -154,6 +159,13 @@ class CampaignConfig:
                     "transport='wire' runs single-process (one shared socket "
                     "engine); combine with in_flight=N for concurrency"
                 )
+        if self.time_scale < 0:
+            raise ValueError(f"time_scale must be >= 0 (got {self.time_scale})")
+        if self.time_scale and self.transport != "wire":
+            raise ValueError(
+                "time_scale paces the wire engine's clock bridge; it requires "
+                "transport='wire'"
+            )
         if self.epoch is not None:
             if self.epoch < 0:
                 raise ValueError(f"epoch must be >= 0 (got {self.epoch})")
@@ -213,6 +225,8 @@ class CampaignConfig:
             config["retry"] = self.retry.to_dict()
         if self.transport != "sim":
             config["transport"] = self.transport
+        if self.time_scale:
+            config["time_scale"] = self.time_scale
         if self.monitor is not None:
             config["monitor"] = self.monitor.to_dict()
         return config
@@ -241,6 +255,7 @@ class CampaignConfig:
             chaos=ChaosConfig.from_dict(chaos) if chaos is not None else None,
             retry=RetryPolicy.from_dict(retry) if retry is not None else None,
             transport=config.get("transport", "sim"),
+            time_scale=float(config.get("time_scale", 0.0)),
         )
 
 
@@ -459,7 +474,7 @@ def _wire_network(config: CampaignConfig, world: World):
         return None
     from repro.wire import WireNetwork
 
-    return WireNetwork(world.network).start()
+    return WireNetwork(world.network, time_scale=config.time_scale).start()
 
 
 def _run_scan(

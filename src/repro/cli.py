@@ -208,6 +208,7 @@ def _campaign_config(args: argparse.Namespace, store_dir, telemetry):
         chaos=args.chaos,
         retry=args.retries,
         transport=getattr(args, "transport", "sim"),
+        time_scale=getattr(args, "time_scale", 0.0),
     )
 
 
@@ -384,16 +385,21 @@ def cmd_monitor_advance(args: argparse.Namespace) -> int:
     except MonitorError as exc:
         print(f"cannot open monitor: {exc}", file=sys.stderr)
         return 2
+    agent = None
+    if getattr(args, "agent", False):
+        from repro.agent import Agent
+
+        agent = Agent()
     remaining = args.epochs
     results = []
     try:
         if monitor.in_progress_epoch() is not None:
             epoch = monitor.in_progress_epoch()
             print(f"resuming interrupted epoch {epoch} ...")
-            results.append(monitor.resume())
+            results.append(monitor.resume(agent=agent))
             remaining -= 1
         while remaining > 0:
-            results.append(monitor.run_epoch())
+            results.append(monitor.run_epoch(agent=agent))
             remaining -= 1
     except MonitorError as exc:
         print(f"monitor advance failed: {exc}", file=sys.stderr)
@@ -405,6 +411,12 @@ def cmd_monitor_advance(args: argparse.Namespace) -> int:
             f"{len(result.events)} events applied, "
             f"{result.simulated_duration:.0f}s simulated"
         )
+        if result.agent is not None:
+            print(
+                f"  agent: {result.agent.considered} considered, "
+                f"{len(result.agent.secured)} secured, "
+                f"{len(result.agent.rejected)} rejected"
+            )
     print(monitor.status().render())
     return 0
 
@@ -445,6 +457,84 @@ def cmd_monitor_diff(args: argparse.Namespace) -> int:
         failed = [c for c in checks if not c.passed]
         print(f"\n{len(checks) - len(failed)}/{len(checks)} shape checks passed")
         return 1 if failed else 0
+    return 0
+
+
+# -- the parental agent: repro-dnssec agent run|status|actions ---------------
+
+
+def _open_monitor(store):
+    from repro.monitor import Monitor, MonitorError
+
+    try:
+        return Monitor.open(store), None
+    except MonitorError as exc:
+        return None, exc
+
+
+def cmd_agent_run(args: argparse.Namespace) -> int:
+    """Act on a completed epoch: re-authenticate, provision, verify."""
+    from repro.agent import Agent, AgentError
+    from repro.obs import Telemetry
+    from repro.obs.events import agent_events_path
+
+    monitor, error = _open_monitor(args.store)
+    if monitor is None:
+        print(f"cannot open monitor: {error}", file=sys.stderr)
+        return 2
+    telemetry = Telemetry() if args.telemetry else None
+    try:
+        run = Agent().run(monitor, epoch=args.epoch, telemetry=telemetry)
+    except AgentError as exc:
+        print(f"agent run failed: {exc}", file=sys.stderr)
+        return 1
+    if telemetry is not None:
+        telemetry.flush_counters()
+        if telemetry.events:
+            telemetry.open_sink(agent_events_path(monitor.root))
+            telemetry.close()
+    print(
+        f"epoch {run.epoch}: {run.considered} zones considered, "
+        f"{len(run.secured)} secured, {len(run.rejected)} rejected, "
+        f"{run.skipped} already recorded"
+    )
+    for zone in run.secured:
+        print(f"  secured {zone}")
+    if run.actions:
+        print(f"\nledger: {args.store}/agent/actions.jsonl")
+    return 0
+
+
+def cmd_agent_status(args: argparse.Namespace) -> int:
+    """The convergence report over the recorded actions ledger."""
+    from repro.agent import compute_convergence, ledger_path, read_ledger, render_convergence
+
+    monitor, error = _open_monitor(args.store)
+    if monitor is None:
+        print(f"cannot open monitor: {error}", file=sys.stderr)
+        return 2
+    ledger = read_ledger(ledger_path(monitor.root))
+    if not ledger:
+        print("no agent actions recorded yet")
+        return 0
+    print(render_convergence(compute_convergence(ledger)))
+    return 0
+
+
+def cmd_agent_actions(args: argparse.Namespace) -> int:
+    """Dump ledger entries (canonical JSON lines, filterable)."""
+    from repro.agent import ledger_path, read_ledger
+
+    monitor, error = _open_monitor(args.store)
+    if monitor is None:
+        print(f"cannot open monitor: {error}", file=sys.stderr)
+        return 2
+    for action in read_ledger(ledger_path(monitor.root)):
+        if args.epoch is not None and action.epoch != args.epoch:
+            continue
+        if args.action is not None and action.action != args.action:
+            continue
+        print(action.to_line())
     return 0
 
 
@@ -831,6 +921,14 @@ def _add_campaign_run_options(parser: argparse.ArgumentParser) -> None:
     _add_workers(parser)
     _add_in_flight(parser)
     _add_transport(parser)
+    parser.add_argument(
+        "--time-scale",
+        type=float,
+        default=0.0,
+        help="pace wire replay: N wall seconds per simulated second, e.g. "
+        "0.01 plays 100 simulated seconds in ~1s (0 = run flat out; "
+        "requires --transport wire)",
+    )
     _add_chaos(parser)
 
 
@@ -935,6 +1033,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many epochs to advance (an interrupted epoch is resumed "
         "first and counts as one)",
     )
+    monitor_advance.add_argument(
+        "--agent",
+        action="store_true",
+        help="run the RFC 9615 parental agent after each completed epoch "
+        "(verified installs feed the next epoch's change feed)",
+    )
     monitor_advance.set_defaults(func=cmd_monitor_advance)
 
     monitor_status = monitor_sub.add_parser(
@@ -960,6 +1064,50 @@ def build_parser() -> argparse.ArgumentParser:
         "(failures name the diverging epoch/table)",
     )
     monitor_diff.set_defaults(func=cmd_monitor_diff)
+
+    # -- canonical: repro-dnssec agent run|status|actions
+    agent = sub.add_parser(
+        "agent", help="the RFC 9615 parental agent: provision DS for verified signals"
+    )
+    agent_sub = agent.add_subparsers(dest="agent_command", required=True)
+
+    agent_run = agent_sub.add_parser(
+        "run", help="act on a completed epoch (re-authenticate, provision, verify)"
+    )
+    _add_store(agent_run, help="monitor root directory")
+    agent_run.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        help="completed epoch to act on (default: newest complete)",
+    )
+    agent_run.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="append agent.* counters to <root>/events/agent.jsonl",
+    )
+    agent_run.set_defaults(func=cmd_agent_run)
+
+    agent_status = agent_sub.add_parser(
+        "status", help="convergence report over the actions ledger"
+    )
+    _add_store(agent_status, help="monitor root directory")
+    agent_status.set_defaults(func=cmd_agent_status)
+
+    agent_actions = agent_sub.add_parser(
+        "actions", help="dump ledger entries as canonical JSON lines"
+    )
+    _add_store(agent_actions, help="monitor root directory")
+    agent_actions.add_argument(
+        "--epoch", type=int, default=None, help="only this epoch's decisions"
+    )
+    agent_actions.add_argument(
+        "--action",
+        choices=("secured", "rejected"),
+        default=None,
+        help="only decisions with this outcome",
+    )
+    agent_actions.set_defaults(func=cmd_agent_actions)
 
     # -- deprecated alias: report == campaign run (no store)
     report = sub.add_parser(

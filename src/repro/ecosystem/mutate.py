@@ -171,6 +171,18 @@ def _bootstrap_ds(world: World, spec: ZoneSpec) -> ZoneSpec:
     return new
 
 
+def bootstrap_zone(world: World, zone: str) -> ZoneSpec:
+    """Apply a parental-agent DS install to *zone* (no eligibility gate).
+
+    Replay counterpart of an :class:`~repro.agent` accept decision: the
+    agent verified the zone's live CDS at decision time, so replay
+    installs the spec-derived DS unconditionally — exactly what
+    ``_bootstrap_ds`` does for the operator-driven event, minus the
+    seeded-rate gate.
+    """
+    return _bootstrap_ds(world, world.specs[zone])
+
+
 def _roll_key(world: World, spec: ZoneSpec) -> ZoneSpec:
     from repro.provisioning.engine import install_ds
 

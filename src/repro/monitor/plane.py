@@ -30,6 +30,7 @@ from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Any, Dict, List, Optional
 
+from repro.agent.actions import ledger_path, read_ledger, secured_pairs
 from repro.campaign import CampaignConfig, CampaignResult, resume_campaign, run_campaign
 from repro.core.bootstrap import assess_zone
 from repro.core.operators import OperatorDB
@@ -45,7 +46,7 @@ from repro.monitor.layout import (
 )
 from repro.monitor.spec import MonitorSpec
 from repro.monitor.timeline import world_at_epoch
-from repro.obs.events import monitor_events_path
+from repro.obs.events import agent_events_path, monitor_events_path
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.store.diff import ZoneClassification, diff_classifications
 from repro.store.manifest import load_manifest, manifest_path
@@ -123,6 +124,7 @@ class EpochResult:
     zones_scanned: int
     campaign: CampaignResult
     complete: bool = True
+    agent: Optional[Any] = None  # AgentRun when an agent acted on this epoch
 
     @property
     def simulated_duration(self) -> float:
@@ -254,7 +256,9 @@ class Monitor:
 
     # -- running -----------------------------------------------------------
 
-    def run_epoch(self, stop_after: Optional[int] = None) -> EpochResult:
+    def run_epoch(
+        self, stop_after: Optional[int] = None, agent=None
+    ) -> EpochResult:
         """Advance the timeline by one epoch.
 
         Epoch 0 is the baseline full scan; every later epoch replays the
@@ -262,6 +266,11 @@ class Monitor:
         zones.  *stop_after* aborts the epoch's scan after N zones with
         the store left in progress (the programmatic crash stand-in);
         finish it with :meth:`resume`.
+
+        With an *agent* (:class:`repro.agent.Agent`), the agent acts on
+        the epoch once its scan completes: verified DS installs enter
+        the replay ledger, so the next epoch's change feed re-scans
+        those zones and confirms the island → secured transition.
         """
         in_progress = self.in_progress_epoch()
         if in_progress is not None:
@@ -283,6 +292,9 @@ class Monitor:
         hub.count("monitor.events_applied", len(events))
         hub.count("monitor.zones_rescanned", manifest.records)
         hub.flush_counters()
+        agent_run = None
+        if agent is not None and manifest.complete:
+            agent_run = self._run_agent(agent, epoch)
         return EpochResult(
             epoch=epoch,
             store_dir=self.epoch_dir(epoch),
@@ -290,9 +302,10 @@ class Monitor:
             zones_scanned=manifest.records,
             campaign=campaign,
             complete=manifest.complete,
+            agent=agent_run,
         )
 
-    def resume(self) -> EpochResult:
+    def resume(self, agent=None) -> EpochResult:
         """Finish the in-progress epoch (after a kill or ``stop_after``)."""
         epoch = self.in_progress_epoch()
         if epoch is None:
@@ -309,6 +322,12 @@ class Monitor:
         manifest = load_manifest(self.epoch_dir(epoch))
         hub = self._telemetry()
         hub.event("epoch_resumed", epoch=epoch, zones=manifest.records)
+        agent_run = None
+        if agent is not None and manifest.complete:
+            # Idempotent: zones the killed run already recorded for this
+            # epoch are skipped, so a crash between scan and agent (or
+            # mid-agent) resumes into the same ledger bytes.
+            agent_run = self._run_agent(agent, epoch)
         return EpochResult(
             epoch=epoch,
             store_dir=self.epoch_dir(epoch),
@@ -316,17 +335,18 @@ class Monitor:
             zones_scanned=manifest.records,
             campaign=campaign,
             complete=manifest.complete,
+            agent=agent_run,
         )
 
-    def run_until(self, weeks: int) -> List[EpochResult]:
+    def run_until(self, weeks: int, agent=None) -> List[EpochResult]:
         """Run epochs (baseline included) until week *weeks* is observed."""
         if weeks < 0:
             raise ValueError("weeks must be >= 0")
         results = []
         if self.in_progress_epoch() is not None:
-            results.append(self.resume())
+            results.append(self.resume(agent=agent))
         while self.next_epoch() <= weeks:
-            results.append(self.run_epoch())
+            results.append(self.run_epoch(agent=agent))
         return results
 
     # -- reading back ------------------------------------------------------
@@ -439,17 +459,53 @@ class Monitor:
             telemetry=self.config.telemetry,
             transport=self.config.transport,
             epoch=epoch,
-            monitor=self.config.monitor,
+            monitor=self._composed_spec(),
         )
+
+    def _composed_spec(self) -> MonitorSpec:
+        """The base spec plus every verified agent install on record.
+
+        ``monitor.json`` keeps the pristine configured spec; installs
+        live in the agent ledger and are composed in here, the single
+        point where specs are handed to campaigns and replays.  The
+        composed spec is frozen into each epoch's store manifest, so
+        resume paths (which rebuild from the manifest alone) see the
+        same world without re-reading the ledger.  Replay ignores
+        installs at or after the target epoch, so late ledger entries
+        never disturb earlier epochs.
+        """
+        ledger = read_ledger(ledger_path(self.root))
+        if not ledger:
+            return self.config.monitor
+        return self.config.monitor.with_installs(secured_pairs(ledger))
+
+    def _run_agent(self, agent, epoch: int):
+        """Let *agent* act on a completed epoch, streaming its counters
+        to ``events/agent.jsonl`` (per-session additive, like the query
+        plane's stream)."""
+        hub = Telemetry() if self.config.telemetry else NULL_TELEMETRY
+        run = agent.run(self, epoch=epoch, telemetry=hub)
+        if hub is not NULL_TELEMETRY:
+            hub.flush_counters()
+            if hub.events:
+                hub.open_sink(agent_events_path(self.root))
+                hub.close()
+        return run
 
     def _events_at(self, epoch: int) -> List[Event]:
         """The events that separate *epoch* from its parent ([] at 0)."""
         if epoch == 0:
             return []
-        world, _ = world_at_epoch(
-            self.config.scale, self.config.seed, self.config.monitor, epoch - 1
-        )
-        return events_for_epoch(world, self.config.monitor, epoch)
+        spec = self._composed_spec()
+        world, _ = world_at_epoch(self.config.scale, self.config.seed, spec, epoch - 1)
+        # Agent installs from the parent epoch land before this epoch's
+        # draws are tested for applicability — the same order the scan
+        # path replays them in (see ``world_at_epoch``).
+        from repro.ecosystem.mutate import bootstrap_zone
+
+        for zone in spec.installs_at(epoch - 1):
+            bootstrap_zone(world, zone)
+        return events_for_epoch(world, spec, epoch)
 
     def _events_file(self, epoch: int) -> Path:
         return self.epoch_dir(epoch) / EPOCH_EVENTS_FILENAME

@@ -11,7 +11,7 @@ round-trips losslessly through store manifests via
 from __future__ import annotations
 
 from dataclasses import dataclass, fields, replace
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 
 @dataclass(frozen=True)
@@ -61,15 +61,42 @@ class MonitorSpec:
 
     seed: int = 1
     rates: EventRates = EventRates()
+    #: DS installs performed by a parental agent, as sorted
+    #: ``(epoch_acted, zone)`` pairs.  An install recorded after epoch
+    #: *e*'s scan takes effect at the start of epoch ``e + 1`` — replay
+    #: applies it before that epoch's event batch.  The event-hash draws
+    #: (:func:`repro.monitor.events.events_for_epoch`) never see this
+    #: field, so agent action shifts outcomes only through world state.
+    installs: Tuple[Tuple[int, str], ...] = ()
 
     def scaled(self, factor: float) -> "MonitorSpec":
         return replace(self, rates=self.rates.scaled(factor))
 
+    def installs_at(self, epoch: int) -> List[str]:
+        """Zones whose agent install was recorded after *epoch*'s scan."""
+        return sorted(zone for acted, zone in self.installs if acted == epoch)
+
+    def with_installs(self, pairs: Iterable[Tuple[int, str]]) -> "MonitorSpec":
+        """A spec whose install ledger is extended by *pairs* (deduplicated,
+        kept sorted so equal ledgers compare equal regardless of order)."""
+        merged = sorted(set(self.installs) | {(int(e), str(z)) for e, z in pairs})
+        return replace(self, installs=tuple(merged))
+
     def to_dict(self) -> Dict[str, Any]:
-        return {"seed": self.seed, "rates": self.rates.to_dict()}
+        out: Dict[str, Any] = {"seed": self.seed, "rates": self.rates.to_dict()}
+        if self.installs:
+            # Omitted when empty so pre-agent manifests stay byte-stable.
+            out["installs"] = [[epoch, zone] for epoch, zone in self.installs]
+        return out
 
     @classmethod
     def from_dict(cls, obj: Optional[Dict[str, Any]]) -> Optional["MonitorSpec"]:
         if obj is None:
             return None
-        return cls(seed=int(obj.get("seed", 1)), rates=EventRates.from_dict(obj.get("rates", {})))
+        return cls(
+            seed=int(obj.get("seed", 1)),
+            rates=EventRates.from_dict(obj.get("rates", {})),
+            installs=tuple(
+                (int(epoch), str(zone)) for epoch, zone in obj.get("installs", [])
+            ),
+        )

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro.ecosystem.mutate import bootstrap_zone
 from repro.ecosystem.world import World, build_world
 from repro.monitor.events import Event, apply_epoch, changed_zones
 from repro.monitor.spec import MonitorSpec
@@ -25,12 +26,20 @@ def world_at_epoch(
 
     Returns the evolved world and the per-epoch event history
     (``history[e - 1]`` holds epoch *e*'s events).
+
+    Agent installs recorded in ``monitor.installs`` after epoch *e*'s
+    scan are applied at the start of epoch ``e + 1`` — before that
+    epoch's event batch — so the DS lands on exactly the world state
+    the agent verified.  Installs recorded at or after the target epoch
+    have not happened yet and are ignored.
     """
     if epoch < 0:
         raise ValueError("epoch must be >= 0")
     world = build_world(scale=scale, seed=seed)
     history: List[List[Event]] = []
     for e in range(1, epoch + 1):
+        for zone in monitor.installs_at(e - 1):
+            bootstrap_zone(world, zone)
         history.append(apply_epoch(world, monitor, e))
     return world, history
 
@@ -45,10 +54,13 @@ def scan_world(
 
     For plain campaigns (``epoch=None``) and the baseline epoch 0 the
     subset is None (scan everything); for delta epochs it is the sorted
-    changed-zone list of the epoch's event batch.  Every campaign
-    participant — the sequential runner, the parallel parent, each
-    worker — goes through this one function, so they all agree on what
-    week *epoch* looks like and which zones changed.
+    changed-zone list of the epoch's event batch, unioned with any
+    agent installs from the previous epoch (securing a zone changes its
+    delegation, so the next delta re-scans it and confirms the
+    island → secured transition).  Every campaign participant — the
+    sequential runner, the parallel parent, each worker — goes through
+    this one function, so they all agree on what week *epoch* looks
+    like and which zones changed.
     """
     if epoch is None:
         return build_world(scale=scale, seed=seed), None
@@ -57,8 +69,9 @@ def scan_world(
         return world, None
     from repro.dns.name import Name
 
+    changed = set(changed_zones(history[-1])) | set(monitor.installs_at(epoch - 1))
     subset = sorted(
-        (Name.from_text(zone) for zone in changed_zones(history[-1])),
+        (Name.from_text(zone) for zone in changed),
         key=lambda n: n.canonical_key(),
     )
     return world, subset

@@ -34,6 +34,11 @@ QUERY_STREAM_FILENAME = "query.jsonl"
 # epoch store; this one narrates the timeline.
 MONITOR_STREAM_FILENAME = "monitor.jsonl"
 
+# The parental agent's stream, one per monitor root: decision counters
+# per agent session, appended additively like the query plane's stream
+# (agent sessions happen after the campaign streams are sealed).
+AGENT_STREAM_FILENAME = "agent.jsonl"
+
 # The parallel engine's worker-store directory (defined here, at the
 # bottom of the dependency graph, so the observability reader needs no
 # import from repro.parallel).
@@ -53,6 +58,11 @@ def query_events_path(store_root: Path) -> Path:
 def monitor_events_path(monitor_root: Path) -> Path:
     """Where a monitor root's timeline event stream lives."""
     return Path(monitor_root) / EVENTS_DIR / MONITOR_STREAM_FILENAME
+
+
+def agent_events_path(monitor_root: Path) -> Path:
+    """Where a monitor root's agent event stream lives."""
+    return Path(monitor_root) / EVENTS_DIR / AGENT_STREAM_FILENAME
 
 
 def read_events(path: Path) -> List[Dict[str, Any]]:

@@ -17,12 +17,20 @@ from typing import Any, Dict, List, Optional
 
 from repro.obs.events import (
     WORKERS_DIR,
+    agent_events_path,
     campaign_event_streams,
+    monitor_events_path,
     query_events_path,
     read_events,
 )
 from repro.reports.render import format_count, format_duration, render_table
 from repro.store.manifest import load_manifest
+from repro.store.shards import StoreError
+
+# Monitor-root layout constants, duplicated here (like WORKERS_DIR) so
+# the observability reader needs no import from repro.monitor.
+MONITOR_STATE_FILENAME = "monitor.json"
+EPOCHS_DIR = "epochs"
 
 
 @dataclass
@@ -67,6 +75,14 @@ class CampaignStats:
     # not a deterministic function of (seed, scale, config).
     query_counters: Dict[str, float] = field(default_factory=dict)
     query_sessions: int = 0
+    # Parental agent (events/agent.jsonl) — same per-session-additive
+    # discipline as the query stream: agent sessions run after epochs
+    # complete and append one counters event each.
+    agent_counters: Dict[str, float] = field(default_factory=dict)
+    agent_sessions: int = 0
+    # True when the root holds a monitor (epochs/eNNNN stores) rather
+    # than a single campaign store.
+    monitor_root: bool = False
 
 
 def _machine_stats(root: Path) -> List[Dict[str, Any]]:
@@ -92,11 +108,19 @@ def _machine_stats(root: Path) -> List[Dict[str, Any]]:
 def collect_stats(store_root: Path) -> CampaignStats:
     """Read manifest + event streams + machine stats for one campaign.
 
+    A monitor root (``monitor.json`` + per-epoch stores, no manifest of
+    its own) is summarised across its epoch stores instead.
+
     Raises :class:`repro.store.StoreError` when *store_root* holds no
     campaign (the CLI turns that into a nonzero exit).
     """
     root = Path(store_root)
-    manifest = load_manifest(root)
+    try:
+        manifest = load_manifest(root)
+    except StoreError:
+        if (root / MONITOR_STATE_FILENAME).exists():
+            return _collect_monitor_stats(root)
+        raise
     stats = CampaignStats(
         root=str(root),
         status=manifest.status,
@@ -140,6 +164,81 @@ def collect_stats(store_root: Path) -> CampaignStats:
             stats.query_sessions += 1
             for name, value in event["counters"].items():
                 stats.query_counters[name] = stats.query_counters.get(name, 0) + value
+    stats.agent_sessions = _fold_session_counters(
+        agent_events_path(root), stats.agent_counters
+    )
+    return stats
+
+
+def _fold_session_counters(path: Path, into: Dict[str, float]) -> int:
+    """Sum per-session counter totals from an additive stream.
+
+    Counters are cumulative within one producer session and additive
+    across sessions; a ``seq`` that fails to advance marks a new
+    session, so the fold adds each session's final counters event.
+    Returns the session count (0 when the stream does not exist).
+    """
+    if not path.exists():
+        return 0
+    sessions = 0
+    pending: Optional[Dict[str, float]] = None
+    pending_seq = -1
+    for event in read_events(path):
+        if event.get("kind") != "counters":
+            continue
+        seq = event.get("seq", 0)
+        if pending is not None and seq <= pending_seq:
+            sessions += 1
+            for name, value in pending.items():
+                into[name] = into.get(name, 0) + value
+        pending, pending_seq = event["counters"], seq
+    if pending is not None:
+        sessions += 1
+        for name, value in pending.items():
+            into[name] = into.get(name, 0) + value
+    return sessions
+
+
+def _collect_monitor_stats(root: Path) -> CampaignStats:
+    """Summarise a monitor root: epoch stores + timeline/agent streams."""
+    state = json.loads((root / MONITOR_STATE_FILENAME).read_text(encoding="utf-8"))
+    stats = CampaignStats(
+        root=str(root),
+        status="monitor",
+        seed=int(state.get("seed", 0)),
+        scale=float(state.get("scale", 0.0)),
+        records=0,
+        zones_total=None,
+        monitor_root=True,
+    )
+    epochs_dir = root / EPOCHS_DIR
+    epochs = 0
+    if epochs_dir.is_dir():
+        for child in sorted(epochs_dir.iterdir()):
+            try:
+                manifest = load_manifest(child)
+            except StoreError:
+                continue
+            epochs += 1
+            stats.records += manifest.records
+            if stats.zones_total is None:
+                stats.zones_total = manifest.zones_total
+    stats.status = f"monitor ({epochs} epoch store(s))"
+    timeline = monitor_events_path(root)
+    if timeline.exists():
+        stats.streams += 1
+        for event in read_events(timeline):
+            stats.events += 1
+            if event.get("kind") == "span":
+                agg = stats.spans.setdefault(event["name"], SpanStats())
+                agg.add(event["t1"] - event["t0"], event.get("records"))
+        _fold_session_counters(timeline, stats.counters)
+    stats.agent_sessions = _fold_session_counters(
+        agent_events_path(root), stats.agent_counters
+    )
+    if stats.agent_sessions:
+        stats.streams += 1
+        stats.events += len(read_events(agent_events_path(root)))
     return stats
 
 
@@ -215,6 +314,69 @@ def _render_wire_engine(counters: Dict[str, float]) -> List[str]:
     ]
 
 
+def _render_agent(stats: CampaignStats) -> List[str]:
+    """The ``parental agent`` stats section.
+
+    Present only when an agent has acted on the root — campaigns and
+    monitors that never ran one render byte-identically to before.
+    """
+    a = stats.agent_counters
+    if not a:
+        return []
+    lines = [
+        "",
+        f"parental agent ({stats.agent_sessions} session(s))",
+        f"  considered:   {format_count(int(a.get('agent.considered', 0)))} zones "
+        f"across {format_count(int(a.get('agent.epochs_acted', 0)))} epoch(s)",
+        f"  secured:      {format_count(int(a.get('agent.secured', 0)))} DS provisioned "
+        "and verified",
+        f"  rejected:     {format_count(int(a.get('agent.rejected', 0)))}",
+        f"  re-scans:     {format_count(int(a.get('agent.rescans', 0)))} "
+        f"({format_count(int(a.get('agent.rollbacks', 0)))} rollbacks, RFC 8078 s3)",
+    ]
+    reasons = {
+        name.removeprefix("agent.reason."): value
+        for name, value in a.items()
+        if name.startswith("agent.reason.")
+    }
+    if reasons:
+        rows = [
+            [reason, format_count(int(count))]
+            for reason, count in sorted(reasons.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]
+        lines += ["", render_table(["decision reason", "zones"], rows)]
+    return lines
+
+
+def _render_monitor_root(stats: CampaignStats, lines: List[str]) -> str:
+    """The monitor-root flavour of the stats report: timeline counters
+    and spans, then the agent and query-plane sections."""
+    c = stats.counters
+    if c.get("monitor.epochs"):
+        lines += [
+            "",
+            "monitor timeline",
+            f"  epochs run:       {format_count(int(c.get('monitor.epochs', 0)))}",
+            f"  events applied:   {format_count(int(c.get('monitor.events_applied', 0)))}",
+            f"  zones re-scanned: {format_count(int(c.get('monitor.zones_rescanned', 0)))}",
+        ]
+    if stats.spans:
+        span_rows = [
+            [
+                name,
+                format_count(agg.count),
+                format_duration(agg.total),
+                format_duration(agg.mean),
+                format_duration(agg.longest),
+            ]
+            for name, agg in sorted(stats.spans.items())
+        ]
+        lines += ["", render_table(["span", "count", "total", "mean", "max"], span_rows)]
+    lines += _render_agent(stats)
+    lines += _render_query_plane(stats)
+    return "\n".join(lines)
+
+
 def render_stats(stats: CampaignStats) -> str:
     """The campaign telemetry report, paper-style plain text."""
     counters = stats.counters
@@ -226,6 +388,8 @@ def render_stats(stats: CampaignStats) -> str:
         f"zones:     {format_count(stats.records)}/{planned} persisted",
         f"events:    {format_count(stats.events)} across {stats.streams} stream(s)",
     ]
+    if stats.monitor_root:
+        return _render_monitor_root(stats, lines)
     if not stats.events:
         if stats.query_counters:
             lines += _render_query_plane(stats)
@@ -348,6 +512,7 @@ def render_stats(stats: CampaignStats) -> str:
                 ["machine", "zones", "queries", "duration (simulated)"], machine_rows
             ),
         ]
+    lines += _render_agent(stats)
     lines += _render_query_plane(stats)
     return "\n".join(lines)
 
