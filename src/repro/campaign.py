@@ -43,6 +43,7 @@ from repro.core.bootstrap import INCORRECT_OUTCOMES, SignalOutcome, assess_zone
 from repro.core.pipeline import AnalysisPipeline, AnalysisReport
 from repro.ecosystem.world import World, build_world
 from repro.monitor.spec import MonitorSpec
+from repro.scenarios.spec import ScenarioSpec
 from repro.obs.events import events_path
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry, as_telemetry
 from repro.reports.table3 import apply_recheck
@@ -106,6 +107,11 @@ class CampaignConfig:
     epoch: Optional[int] = None
     parent_epoch: Optional[int] = None
     monitor: Optional[MonitorSpec] = None
+    # Key-transition / adversarial-operator plane for *plain* campaigns
+    # (repro.scenarios).  Epoch campaigns carry scenarios inside the
+    # monitor spec instead, so every replaying participant agrees on
+    # the scenario population; validate() rejects setting both.
+    scenarios: Optional[ScenarioSpec] = None
 
     def __post_init__(self):
         if self.store_dir is not None and not isinstance(self.store_dir, Path):
@@ -197,6 +203,11 @@ class CampaignConfig:
                 )
         elif self.monitor is not None:
             raise ValueError("monitor=... requires epoch=N (which week to observe)")
+        if self.scenarios is not None and self.monitor is not None:
+            raise ValueError(
+                "scenarios ride the monitor spec for epoch campaigns "
+                "(use MonitorSpec(scenarios=...), not CampaignConfig.scenarios)"
+            )
 
     # -- manifest round-trip ----------------------------------------------
 
@@ -229,6 +240,8 @@ class CampaignConfig:
             config["time_scale"] = self.time_scale
         if self.monitor is not None:
             config["monitor"] = self.monitor.to_dict()
+        if self.scenarios is not None:
+            config["scenarios"] = self.scenarios.to_dict()
         return config
 
     @classmethod
@@ -241,6 +254,7 @@ class CampaignConfig:
             epoch=getattr(manifest, "epoch", None),
             parent_epoch=getattr(manifest, "parent_epoch", None),
             monitor=MonitorSpec.from_dict(config.get("monitor")),
+            scenarios=ScenarioSpec.from_dict(config.get("scenarios")),
             scale=manifest.scale,
             seed=manifest.seed,
             recheck=bool(config.get("recheck", True)),
@@ -439,6 +453,7 @@ def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignRe
             epoch=config.epoch,
             parent_epoch=config.parent_epoch,
             monitor=config.monitor,
+            scenarios=config.scenarios,
         )
 
     scan_override = None
@@ -446,7 +461,7 @@ def _run_validated(config: CampaignConfig, world: Optional[World]) -> CampaignRe
         world, scan_override = _epoch_world_and_subset(config)
     telemetry = as_telemetry(config.telemetry)
     if world is None:
-        world = build_world(scale=config.scale, seed=config.seed)
+        world = build_world(scale=config.scale, seed=config.seed, scenarios=config.scenarios)
     if config.chaos is not None and config.chaos.enabled:
         world.network.install_chaos(config.chaos)
     # Campaigns never mutate zones mid-run, so repeated identical queries
@@ -665,7 +680,9 @@ def resume_campaign(
             )
         world, scan_override = _epoch_world_and_subset(stored)
     elif world is None:
-        world = build_world(scale=manifest.scale, seed=manifest.seed)
+        world = build_world(
+            scale=manifest.scale, seed=manifest.seed, scenarios=stored.scenarios
+        )
     elif (world.seed, world.scale) != (manifest.seed, manifest.scale):
         raise StoreError(
             f"world (seed={world.seed}, scale={world.scale:g}) does not match "

@@ -32,7 +32,7 @@ from repro.reports.table1 import compute_table1, expected_table1, render_table1
 from repro.reports.table2 import compute_table2, expected_table2, render_table2
 from repro.reports.table3 import compute_table3, expected_table3, render_table3
 
-ARTIFACTS = ("table1", "table2", "table3", "figure1", "tld")
+ARTIFACTS = ("table1", "table2", "table3", "figure1", "tld", "security")
 
 
 def _deprecated(old: str, new: str) -> None:
@@ -113,6 +113,28 @@ def _add_chaos(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _scenario_spec(value: str):
+    """argparse type for --scenarios: 'off', 'default', or 'field=value,...'."""
+    from repro.scenarios import ScenarioSpec
+
+    try:
+        return ScenarioSpec.from_spec(value)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+
+
+def _add_scenarios(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--scenarios",
+        type=_scenario_spec,
+        default=None,
+        metavar="SPEC",
+        help="key-transition & adversarial operator plane (repro.scenarios): "
+        "'default', or 'seed=2,intensity=4,mishap=0.3,transitions=false,...' "
+        "(seeded; worlds are identical across layouts and resume)",
+    )
+
+
 def _add_in_flight(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--in-flight",
@@ -156,6 +178,10 @@ def _print_artifacts(campaign, artifact: str) -> None:
         from repro.reports.tld import compute_tld_report, render_tld_report
 
         sections.append(render_tld_report(compute_tld_report(report)))
+    if "security" in wanted:
+        from repro.reports.table_security import compute_security, render_security
+
+        sections.append(render_security(compute_security(report)))
     print("\n\n".join(sections))
     queries = campaign.world.network.queries_sent
     if campaign.machines:
@@ -209,6 +235,7 @@ def _campaign_config(args: argparse.Namespace, store_dir, telemetry):
         retry=args.retries,
         transport=getattr(args, "transport", "sim"),
         time_scale=getattr(args, "time_scale", 0.0),
+        scenarios=getattr(args, "scenarios", None),
     )
 
 
@@ -321,6 +348,8 @@ def cmd_campaign_stats(args: argparse.Namespace) -> int:
 def cmd_report(args: argparse.Namespace) -> int:
     _deprecated("repro-dnssec report", "repro-dnssec campaign run")
     args.store = None
+    if getattr(args, "artifact_pos", None):
+        args.artifact = args.artifact_pos
     return cmd_campaign_run(args)
 
 
@@ -347,7 +376,7 @@ def cmd_monitor_init(args: argparse.Namespace) -> int:
     """Create a monitor root: an evolving world observed week by week."""
     from repro.monitor import Monitor, MonitorConfig, MonitorError, MonitorSpec
 
-    spec = MonitorSpec(seed=args.monitor_seed)
+    spec = MonitorSpec(seed=args.monitor_seed, scenarios=getattr(args, "scenarios", None))
     if args.event_rate_scale != 1.0:
         spec = spec.scaled(args.event_rate_scale)
     config = MonitorConfig(
@@ -665,14 +694,31 @@ def cmd_store_reanalyze(args: argparse.Namespace) -> int:
 # -- read-serving plane (repro.query) ----------------------------------------
 
 
-def _campaign_operator_db():
+def _campaign_operator_db(store_dir=None):
     """The same operator DB every world carries — the profile catalogue
     is seed/scale-independent, so no world build is needed to attribute
-    operators during an index build."""
+    operators during an index build.  When *store_dir* is given, the
+    manifest decides whether the adversarial scenario operators join
+    the catalogue (their suffixes only ever match scenario zones)."""
     from repro.core.operators import OperatorDB
     from repro.ecosystem.profiles import build_profiles, operator_db_config
 
-    suffixes, _ = operator_db_config(build_profiles())
+    adversarial = False
+    if store_dir is not None:
+        try:
+            from pathlib import Path
+
+            from repro.store.manifest import load_manifest
+
+            config = load_manifest(Path(store_dir)).config
+            monitor = config.get("monitor") or {}
+            adversarial = (
+                config.get("scenarios") is not None
+                or monitor.get("scenarios") is not None
+            )
+        except Exception:
+            adversarial = False
+    suffixes, _ = operator_db_config(build_profiles(adversarial=adversarial))
     return OperatorDB(suffixes=suffixes)
 
 
@@ -693,7 +739,7 @@ def cmd_query_index(args: argparse.Namespace) -> int:
     from repro.store import StoreError
 
     telemetry = Telemetry()
-    operator_db = None if args.no_operators else _campaign_operator_db()
+    operator_db = None if args.no_operators else _campaign_operator_db(args.store)
     try:
         snapshot = build_index(args.store, operator_db=operator_db, telemetry=telemetry)
     except StoreError as exc:
@@ -921,6 +967,7 @@ def _add_campaign_run_options(parser: argparse.ArgumentParser) -> None:
     _add_workers(parser)
     _add_in_flight(parser)
     _add_transport(parser)
+    _add_scenarios(parser)
     parser.add_argument(
         "--time-scale",
         type=float,
@@ -1020,6 +1067,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workers(monitor_init, help="scan each epoch with N worker processes")
     _add_in_flight(monitor_init)
     _add_transport(monitor_init)
+    _add_scenarios(monitor_init)
     monitor_init.set_defaults(func=cmd_monitor_init)
 
     monitor_advance = monitor_sub.add_parser(
@@ -1112,6 +1160,14 @@ def build_parser() -> argparse.ArgumentParser:
     # -- deprecated alias: report == campaign run (no store)
     report = sub.add_parser(
         "report", help="(deprecated: use 'campaign run') regenerate tables/figures"
+    )
+    report.add_argument(
+        "artifact_pos",
+        nargs="?",
+        choices=(*ARTIFACTS, "all"),
+        default=None,
+        metavar="ARTIFACT",
+        help="artifact to print (e.g. 'security'); same as --artifact",
     )
     _add_campaign_run_options(report)
     report.set_defaults(func=cmd_report, store=None)

@@ -121,6 +121,44 @@ class SignalReport:
         )
 
 
+class SignalThreat(enum.Enum):
+    """Adversarial failure mode of an unacceptable signal (if any).
+
+    Labels the *attack shape* a conformant RFC 9615 verifier defeats,
+    complementing :class:`SignalZoneStatus` (which labels one chain).
+    """
+
+    NONE = "none"
+    SPLIT_VIEW = "split_view"  # NSes/servers disagree on the CDS RRset
+    UNSIGNED_CHAIN = "unsigned_chain"  # signal zone not securely delegated
+    SPOOFED_SIGNAL = "spoofed_signal"  # records present but not validly signed
+
+
+def classify_signal_threat(report: SignalReport) -> SignalThreat:
+    """Which adversarial shape (if any) *report* exhibits.
+
+    Checked in fixed precedence — disagreement, then a missing chain of
+    trust, then bad signatures — so a signal failing several checks gets
+    one stable label regardless of per-NS ordering.
+    """
+    if not report.any_signal:
+        return SignalThreat.NONE
+    present = [entry for entry in report.per_ns if entry.present]
+    if not report.consistent:
+        return SignalThreat.SPLIT_VIEW
+    if any(
+        entry.chain_status in (SignalZoneStatus.INSECURE, SignalZoneStatus.UNKNOWN)
+        for entry in present
+    ):
+        return SignalThreat.UNSIGNED_CHAIN
+    if any(
+        entry.chain_status == SignalZoneStatus.BOGUS or entry.sigs_valid is False
+        for entry in present
+    ):
+        return SignalThreat.SPOOFED_SIGNAL
+    return SignalThreat.NONE
+
+
 def _evaluate_one(scan: SignalScan, now: int) -> PerNsSignal:
     entry = PerNsSignal(ns_host=scan.ns_host)
     if scan.name_too_long:

@@ -36,6 +36,68 @@ class DnssecStatus(enum.Enum):
     ISLAND = "island"
 
 
+class KeyTransitionState(enum.Enum):
+    """Observable key-lifecycle state of a scanned zone (RFC 6781/7344).
+
+    Inferred purely from the published DNSKEY and parent DS RRsets, the
+    same way an external scanner would: a zone mid-rollover shows extra
+    keys or extra/orphaned DS records that a single snapshot can still
+    classify deterministically.
+    """
+
+    NONE = "none"
+    PREPUBLISH = "prepublish"  # successor DNSKEY published, DS still old
+    DOUBLE_DS = "double_ds"  # both generations in DNSKEY *and* DS
+    ALGORITHM_ROLLOVER = "algorithm_rollover"  # DNSKEYs span algorithms
+    STRANDED_KSK = "stranded_ksk"  # no DS matches any published DNSKEY
+    DANGLING_DS = "dangling_ds"  # DS at the parent, no DNSKEY at all
+
+
+def classify_transition(result: ZoneScanResult) -> KeyTransitionState:
+    """Which key-transition window (if any) a snapshot catches.
+
+    Decision order matters and is fixed: missing DNSKEY under a DS is
+    always ``DANGLING_DS``; multiple algorithms always win over count
+    heuristics (an algorithm roll necessarily double-publishes); a DS
+    set matching *no* key is ``STRANDED_KSK`` regardless of key count.
+    The order — not dict/set iteration — decides ties, so the label is
+    stable across processes and hash seeds.
+    """
+    if not result.resolved:
+        return KeyTransitionState.NONE
+    has_ds = result.ds is not None and result.ds.has_data
+    has_dnskey = result.dnskey is not None and result.dnskey.has_data
+    if not has_dnskey:
+        return KeyTransitionState.DANGLING_DS if has_ds else KeyTransitionState.NONE
+
+    dnskeys = list(result.dnskey.rrset.rdatas)
+    if len({int(key.algorithm) for key in dnskeys}) > 1:
+        return KeyTransitionState.ALGORITHM_ROLLOVER
+
+    if has_ds:
+        from repro.dnssec.ds import ds_matches_dnskey
+
+        matched_keys = {
+            index
+            for index, key in enumerate(dnskeys)
+            for ds in result.ds.rrset.rdatas
+            if ds_matches_dnskey(result.zone, ds, key)
+        }
+        if not matched_keys:
+            return KeyTransitionState.STRANDED_KSK
+        if len(dnskeys) > 1:
+            if len(matched_keys) > 1:
+                return KeyTransitionState.DOUBLE_DS
+            return KeyTransitionState.PREPUBLISH
+        return KeyTransitionState.NONE
+
+    # Islands publish no parent DS; a double-published DNSKEY RRset is
+    # the only transition signature a snapshot can see.
+    if len(dnskeys) > 1:
+        return KeyTransitionState.PREPUBLISH
+    return KeyTransitionState.NONE
+
+
 def classify_status(
     result: ZoneScanResult, now: int = DEFAULT_VALIDATION_TIME
 ) -> Tuple[DnssecStatus, Optional[FailureReason]]:

@@ -24,9 +24,19 @@ from repro.dnssec.signer import DEFAULT_INCEPTION, corrupt_signature, sign_rrset
 from repro.ecosystem import psl
 from repro.ecosystem.profiles import OperatorProfile
 from repro.ecosystem.spec import CdsScenario, SignalScenario, StatusScenario, ZoneSpec
+from repro.scenarios.transitions import (
+    ALGORITHM_ROLL_TARGET,
+    KIND_ALGORITHM,
+    PHASE_DANGLING,
+    PHASE_DOUBLE_DS,
+    PHASE_DOUBLE_SIG,
+    PHASE_PREPUBLISH,
+    PHASE_STRANDED,
+)
 from repro.server.behaviors import (
     CorruptSignaturesBehavior,
     LegacyUnknownTypeBehavior,
+    StripSignaturesBehavior,
     SyntheticCutBehavior,
 )
 from repro.server.nameserver import AuthoritativeServer
@@ -73,6 +83,31 @@ class _IpAllocator:
         return f"fd00::{self._v6:x}"
 
 
+# ZoneSpec.algorithm values → DNSSEC algorithms.  Only algorithms with
+# seeded (deterministic) key generation may appear here.
+_ALG_BY_NAME = {
+    "": Algorithm.ED25519,
+    "ed25519": Algorithm.ED25519,
+    "ecdsap256": Algorithm.ECDSAP256SHA256,
+}
+
+
+def key_for(spec: ZoneSpec, generation: int, algorithm_name: str = "") -> KeyPair:
+    """The deterministic KSK for one ``(generation, algorithm)`` slot.
+
+    Generation 0 with the default algorithm keeps the historical
+    ``"ksk"`` seed so worlds without rollovers are byte-identical to
+    older builds; every other slot gets its own derived seed.
+    """
+    if generation == 0 and not algorithm_name:
+        purpose = "ksk"
+    elif not algorithm_name:
+        purpose = f"ksk:g{generation}"
+    else:
+        purpose = f"ksk:g{generation}:{algorithm_name}"
+    return KeyPair.generate(_ALG_BY_NAME[algorithm_name], ksk=True, seed=spec.seed(purpose))
+
+
 def zone_keys(spec: ZoneSpec) -> KeyPair:
     """The (deterministic) KSK a signed variant of *spec* uses.
 
@@ -80,8 +115,44 @@ def zone_keys(spec: ZoneSpec) -> KeyPair:
     ``spec.key_generation``; generation 0 keeps the historical seed so
     worlds without rollovers are byte-identical to older builds.
     """
-    purpose = "ksk" if spec.key_generation == 0 else f"ksk:g{spec.key_generation}"
-    return KeyPair.generate(Algorithm.ED25519, ksk=True, seed=spec.seed(purpose))
+    return key_for(spec, spec.key_generation, spec.algorithm)
+
+
+def successor_keys(spec: ZoneSpec) -> KeyPair:
+    """The key a zone mid-rollover is transitioning *to*."""
+    algorithm = spec.algorithm
+    if spec.rollover_kind == KIND_ALGORITHM:
+        algorithm = ALGORITHM_ROLL_TARGET.get(spec.algorithm, "ecdsap256")
+    return key_for(spec, spec.key_generation + 1, algorithm)
+
+
+def transition_keys(
+    spec: ZoneSpec,
+) -> Tuple[List[KeyPair], List[KeyPair], List[KeyPair], List[KeyPair]]:
+    """Key roles during a rollover window.
+
+    Returns ``(published, signing, parent_ds, cds)``: the DNSKEYs the
+    zone publishes, the keys actually signing it, the keys the parent
+    DS RRset names, and the keys the zone advertises in CDS/CDNSKEY.
+    Empty ``published`` means the zone is unsigned (the dangling-DS
+    mishap).  For a zone at rest all four are ``[zone_keys(spec)]``.
+    """
+    cur = zone_keys(spec)
+    phase = spec.rollover_phase
+    if not phase:
+        return [cur], [cur], [cur], [cur]
+    succ = successor_keys(spec)
+    if phase == PHASE_PREPUBLISH:
+        return [cur, succ], [cur], [cur], [cur]
+    if phase == PHASE_DOUBLE_DS:
+        return [cur, succ], [cur], [cur, succ], [cur, succ]
+    if phase == PHASE_DOUBLE_SIG:
+        return [cur, succ], [cur, succ], [cur, succ], [cur, succ]
+    if phase == PHASE_STRANDED:
+        return [succ], [succ], [cur], [succ]
+    if phase == PHASE_DANGLING:
+        return [], [], [cur], []
+    raise ValueError(f"unknown rollover phase: {phase!r}")
 
 
 def ghost_keys(spec: ZoneSpec) -> KeyPair:
@@ -111,12 +182,41 @@ def _cds_pair(spec: ZoneSpec, key: KeyPair) -> Tuple[List[CDS], List[CDNSKEY]]:
     return [cds_from_dnskey(owner, key.dnskey())], [key.cdnskey()]
 
 
+def _cds_set(spec: ZoneSpec, keys: List[KeyPair]) -> Tuple[List[CDS], List[CDNSKEY]]:
+    owner = Name.from_text(spec.name)
+    return (
+        [cds_from_dnskey(owner, key.dnskey()) for key in keys],
+        [key.cdnskey() for key in keys],
+    )
+
+
+def _downgraded_cds_pair(spec: ZoneSpec) -> Tuple[List[CDS], List[CDNSKEY]]:
+    """CDS/CDNSKEY advertising the zone's key under RSASHA1 (5).
+
+    The algorithm-downgrade a conformant parental agent must refuse
+    (RFC 8624 forbids new RSASHA1 delegations): key material and key
+    tag are the zone's real KSK, only the algorithm octet lies.
+    """
+    dnskey = zone_keys(spec).dnskey()
+    downgraded = CDNSKEY(
+        dnskey.flags, dnskey.protocol, int(Algorithm.RSASHA1), dnskey.public_key
+    )
+    owner = Name.from_text(spec.name)
+    return [cds_from_dnskey(owner, downgraded)], [downgraded]
+
+
 def customer_cds_rdatas(spec: ZoneSpec, variant: int) -> Tuple[List[CDS], List[CDNSKEY]]:
     """What CDS/CDNSKEY the zone publishes, per scenario and NS variant."""
     if spec.cds == CdsScenario.NONE:
         return [], []
     if spec.cds == CdsScenario.DELETE:
         return [cds_delete_rdata()], [cdnskey_delete_rdata()]
+    if spec.cds == CdsScenario.DOWNGRADE:
+        return _downgraded_cds_pair(spec)
+    if spec.rollover_phase:
+        # Mid-rollover, the zone advertises every key it wants DS for
+        # (RFC 7344 §6.1: the CDS RRset *is* the desired DS RRset).
+        return _cds_set(spec, transition_keys(spec)[3])
     if spec.cds == CdsScenario.MISMATCH or spec.cds == CdsScenario.UNSIGNED_CDS:
         return _cds_pair(spec, ghost_keys(spec))
     if spec.cds == CdsScenario.INCONSISTENT and variant != 0:
@@ -141,6 +241,8 @@ def signal_cds_rdatas(spec: ZoneSpec) -> Tuple[List[CDS], List[CDNSKEY]]:
     the key it intends to use.
     """
     if spec.cds == CdsScenario.NONE:
+        if spec.rollover_phase:
+            return _cds_set(spec, transition_keys(spec)[3])
         return _cds_pair(spec, zone_keys(spec))
     return customer_cds_rdatas(spec, variant=0)
 
@@ -165,7 +267,19 @@ def materialize_customer_zone(spec: ZoneSpec, host: Optional[str]) -> Zone:
     if cdnskey_rdatas:
         zone.add_rrset(RRset(origin, RRType.CDNSKEY, _ZONE_TTL, cdnskey_rdatas))
 
-    if spec.is_signed:
+    if spec.is_signed and spec.rollover_phase:
+        published, signing, _, _ = transition_keys(spec)
+        if published:
+            # Mid-rollover: publish every key in the window, sign with
+            # the phase's signer set (both keys during an algorithm
+            # roll, the incumbent during pre-publish / double-DS).
+            zone.add_rrset(
+                RRset(origin, RRType.DNSKEY, _ZONE_TTL, [k.dnskey() for k in published])
+            )
+            sign_zone(zone, signing, denial=spec.denial_mode)
+        # No published keys: the dangling-DS mishap — the operator
+        # unsigned the zone while the parent DS lives on.
+    elif spec.is_signed:
         if spec.cds == CdsScenario.MULTISIGNER:
             # Both operators' DNSKEYs are published everywhere; each
             # operator's servers sign with their *own* key (RFC 8901
@@ -414,11 +528,12 @@ class InfrastructureBuilder:
                     signal_origin = Name.from_text(f"_signal.{host}")
                     for ns_host in profile.hosts[:2]:
                         zone.add(signal_origin, _ZONE_TTL, NS(ns_host))
-                    zone.add(
-                        signal_origin,
-                        _ZONE_TTL,
-                        ds_from_dnskey(signal_origin, signal_zone_key(host).dnskey()),
-                    )
+                    if not profile.signal_unsigned:
+                        zone.add(
+                            signal_origin,
+                            _ZONE_TTL,
+                            ds_from_dnskey(signal_origin, signal_zone_key(host).dnskey()),
+                        )
             key = operator_zone_key(zone_name)
             sign_zone(zone, [key])
             for server in runtime.all_servers():
@@ -454,6 +569,10 @@ class InfrastructureBuilder:
         for ns_host in spec.ns_hosts:
             registry.add(spec.name, _ZONE_TTL, NS(ns_host))
         if spec.wants_parent_ds:
+            if spec.rollover_phase:
+                for key in transition_keys(spec)[2]:
+                    registry.add(spec.name, _ZONE_TTL, ds_from_dnskey(origin, key.dnskey()))
+                return
             key = (
                 ghost_keys(spec)
                 if spec.status == StatusScenario.INVALID_ERRANT_DS
@@ -524,11 +643,16 @@ class InfrastructureBuilder:
         self,
         transient_names: Dict[str, List[Name]],
         cut_names: Dict[str, List[Name]],
+        spoof_names: Optional[Dict[str, List[Name]]] = None,
     ) -> None:
-        """Attach transient-signature and synthetic-cut behaviours."""
+        """Attach transient-signature, synthetic-cut, and
+        signature-stripping behaviours."""
         for operator, names in transient_names.items():
             for server in self.operators[operator].all_servers():
                 server.add_behavior(CorruptSignaturesBehavior(names, failures=2))
         for operator, names in cut_names.items():
             for server in self.operators[operator].all_servers():
                 server.add_behavior(SyntheticCutBehavior(names))
+        for operator, names in (spoof_names or {}).items():
+            for server in self.operators[operator].all_servers():
+                server.add_behavior(StripSignaturesBehavior(names))

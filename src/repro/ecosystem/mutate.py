@@ -23,7 +23,7 @@ delta campaigns' change feed (zone-serial / CSYNC-style) keys on.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.chaos.retry import stable_unit
 from repro.dns.name import Name
@@ -31,9 +31,21 @@ from repro.dns.rdata import NS
 from repro.dns.rrset import RRset
 from repro.dns.types import RRType
 from repro.dnssec.ds import cds_from_dnskey
-from repro.ecosystem.generator import zone_keys
+from repro.ecosystem.generator import transition_keys, zone_keys
 from repro.ecosystem.spec import CdsScenario, SignalScenario, StatusScenario, ZoneSpec
 from repro.ecosystem.world import World
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.transitions import (
+    ADVANCE_EVENT,
+    ALGORITHM_ROLL_TARGET,
+    KIND_ALGORITHM,
+    KIND_DANGLING_DS,
+    KIND_DOUBLE_DS,
+    KIND_STRANDED_KSK,
+    PHASE_FOR_KIND,
+    RECOVERABLE_PHASES,
+    choose_roll_kind,
+)
 
 # Fixed evaluation order: the first applicable kind whose hash clears
 # its rate wins, so a zone sees at most one event per epoch and the
@@ -67,6 +79,11 @@ def eligible(world: World, spec: ZoneSpec) -> bool:
     """
     if spec.secondary_operator is not None or spec.legacy_ns:
         return False
+    if spec.rollover_phase:
+        # Mid-rollover zones belong to the forced advance_rollover
+        # event (or, for mishap phases, to nobody) until the window
+        # closes — overlapping transitions would not replay cleanly.
+        return False
     if spec.status not in (StatusScenario.ISLAND, StatusScenario.SECURE):
         return False
     if spec.cds not in (CdsScenario.NONE, CdsScenario.OK):
@@ -78,6 +95,11 @@ def eligible(world: World, spec: ZoneSpec) -> bool:
 
 def applicable(world: World, spec: ZoneSpec, kind: str) -> bool:
     """Whether *kind* can fire for *spec* in its current replayed state."""
+    if kind == ADVANCE_EVENT:
+        # The forced window-closing event: fires for every zone in a
+        # recoverable phase, bypassing the eligibility gate (which
+        # excludes mid-rollover zones by design).
+        return spec.rollover_phase in RECOVERABLE_PHASES
     if not eligible(world, spec):
         return False
     profile = world.profiles[spec.operator]
@@ -105,17 +127,22 @@ def applicable(world: World, spec: ZoneSpec, kind: str) -> bool:
     raise MutationError(f"unknown event kind {kind!r}")
 
 
-def apply_event(world: World, kind: str, zone: str) -> ZoneSpec:
+def apply_event(
+    world: World, kind: str, zone: str, scenarios: Optional[ScenarioSpec] = None
+) -> ZoneSpec:
     """Apply one event to *world*, returning the updated spec.
 
     Raises :class:`MutationError` when the event is not applicable —
     the event stream only emits applicable events, so hitting this
-    means the caller replayed epochs out of order.
+    means the caller replayed epochs out of order.  *scenarios* shapes
+    the ``roll_key`` event: with transitions enabled it opens a
+    hash-chosen rollover window instead of the conservative double-DS
+    one.
     """
     spec = world.specs[zone]
     if not applicable(world, spec, kind):
         raise MutationError(f"event {kind} is not applicable to {zone}")
-    return _APPLIERS[kind](world, spec)
+    return _APPLIERS[kind](world, spec, scenarios)
 
 
 # -- per-kind application ----------------------------------------------------
@@ -140,7 +167,7 @@ def _replace_spec(world: World, spec: ZoneSpec, **changes) -> ZoneSpec:
     return new
 
 
-def _adopt_signal(world: World, spec: ZoneSpec) -> ZoneSpec:
+def _adopt_signal(world: World, spec: ZoneSpec, scenarios=None) -> ZoneSpec:
     new = _replace_spec(world, spec, signal=SignalScenario.OK)
     builder = world.builder
     for host in dict.fromkeys(new.ns_hosts):
@@ -150,20 +177,30 @@ def _adopt_signal(world: World, spec: ZoneSpec) -> ZoneSpec:
     return new
 
 
-def _publish_cds(world: World, spec: ZoneSpec) -> ZoneSpec:
+def _publish_cds(world: World, spec: ZoneSpec, scenarios=None) -> ZoneSpec:
     return _replace_spec(world, spec, cds=CdsScenario.OK)
 
 
-def _withdraw_cds(world: World, spec: ZoneSpec) -> ZoneSpec:
+def _withdraw_cds(world: World, spec: ZoneSpec, scenarios=None) -> ZoneSpec:
     return _replace_spec(world, spec, cds=CdsScenario.NONE)
 
 
-def _own_cds_rrset(spec: ZoneSpec) -> RRset:
+def _keys_cds_rrset(spec: ZoneSpec, keys) -> RRset:
     owner = Name.from_text(spec.name)
-    return RRset(owner, RRType.CDS, _TTL, [cds_from_dnskey(owner, zone_keys(spec).dnskey())])
+    return RRset(
+        owner, RRType.CDS, _TTL, [cds_from_dnskey(owner, key.dnskey()) for key in keys]
+    )
 
 
-def _bootstrap_ds(world: World, spec: ZoneSpec) -> ZoneSpec:
+def _own_cds_rrset(spec: ZoneSpec) -> RRset:
+    """The CDS RRset the zone currently advertises (what an accept
+    decision installs).  Mid-rollover this carries every key in the
+    window — RFC 7344 §6.1: the CDS RRset *is* the desired DS RRset."""
+    keys = transition_keys(spec)[3] or [zone_keys(spec)]
+    return _keys_cds_rrset(spec, keys)
+
+
+def _bootstrap_ds(world: World, spec: ZoneSpec, scenarios=None) -> ZoneSpec:
     from repro.provisioning.engine import install_ds
 
     new = _replace_spec(world, spec, status=StatusScenario.SECURE)
@@ -183,17 +220,60 @@ def bootstrap_zone(world: World, zone: str) -> ZoneSpec:
     return _bootstrap_ds(world, world.specs[zone])
 
 
-def _roll_key(world: World, spec: ZoneSpec) -> ZoneSpec:
+def _roll_key(world: World, spec: ZoneSpec, scenarios=None) -> ZoneSpec:
+    """Open a key-rollover window (RFC 7344 remove-then-add).
+
+    The old behaviour was an atomic key swap — DNSKEY, CDS, and parent
+    DS all flipped between epochs, a transition no real operator can
+    perform.  Now the event *enters* a window: the spec records the
+    transition kind and phase, the zone publishes and signs per the
+    phase (see :func:`repro.ecosystem.generator.transition_keys`), and
+    the forced ``advance_rollover`` event completes recoverable windows
+    one epoch later.  Mishap kinds (stranded KSK, dangling DS) are
+    terminal states the event stream never repairs.
+    """
     from repro.provisioning.engine import install_ds
 
-    new = _replace_spec(world, spec, key_generation=spec.key_generation + 1)
+    kind = choose_roll_kind(scenarios, spec.name, spec.key_generation)
+    if spec.status != StatusScenario.SECURE and kind in (
+        KIND_STRANDED_KSK,
+        KIND_DANGLING_DS,
+    ):
+        # Mishaps are parent-DS pathologies; an island has no DS to
+        # strand or dangle, so degrade to the conservative window.
+        kind = KIND_DOUBLE_DS
+    new = _replace_spec(
+        world, spec, rollover_kind=kind, rollover_phase=PHASE_FOR_KIND[kind]
+    )
     if new.status == StatusScenario.SECURE:
-        # Keep the chain of trust unbroken: the parent DS follows the key.
+        # The parent DS follows the phase's DS key set (both keys in a
+        # double-DS window; unchanged for stranded/dangling mishaps).
+        install_ds(world, new.name, _keys_cds_rrset(new, transition_keys(new)[2]))
+    return new
+
+
+def _advance_rollover(world: World, spec: ZoneSpec, scenarios=None) -> ZoneSpec:
+    """Close a recoverable rollover window: the successor key becomes
+    the incumbent and the parent DS (for secured zones) follows."""
+    from repro.provisioning.engine import install_ds
+
+    algorithm = spec.algorithm
+    if spec.rollover_kind == KIND_ALGORITHM:
+        algorithm = ALGORITHM_ROLL_TARGET.get(spec.algorithm, "ecdsap256")
+    new = _replace_spec(
+        world,
+        spec,
+        key_generation=spec.key_generation + 1,
+        algorithm=algorithm,
+        rollover_kind="",
+        rollover_phase="",
+    )
+    if new.status == StatusScenario.SECURE:
         install_ds(world, new.name, _own_cds_rrset(new))
     return new
 
 
-def _remove_ds(world: World, spec: ZoneSpec) -> ZoneSpec:
+def _remove_ds(world: World, spec: ZoneSpec, scenarios=None) -> ZoneSpec:
     from repro.provisioning.engine import remove_ds
 
     new = _replace_spec(world, spec, status=StatusScenario.ISLAND)
@@ -215,7 +295,7 @@ def _churn_candidates(world: World, spec: ZoneSpec):
     ]
 
 
-def _churn_ns(world: World, spec: ZoneSpec) -> ZoneSpec:
+def _churn_ns(world: World, spec: ZoneSpec, scenarios=None) -> ZoneSpec:
     builder = world.builder
     candidates = _churn_candidates(world, spec)
     old_hosts = tuple(dict.fromkeys(spec.ns_hosts))
@@ -257,4 +337,5 @@ _APPLIERS = {
     "roll_key": _roll_key,
     "churn_ns": _churn_ns,
     "remove_ds": _remove_ds,
+    ADVANCE_EVENT: _advance_rollover,
 }

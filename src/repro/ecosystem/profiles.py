@@ -34,6 +34,9 @@ class OperatorProfile:
     v6_per_host: int = 1
     publishes_signal: bool = False
     signal_includes_delete: bool = False  # Cloudflare/Glauca do, deSEC doesn't
+    signal_unsigned: bool = False  # signal zones exist but the operator
+    # never secured their delegation (no DS for _signal.<host>), so the
+    # chain of trust to every signal record is broken
     legacy: bool = False  # servers error on unknown query types
     known: bool = True  # appears in the operator database (suffix match)
     # Customer zones gravitate to these public suffixes (the §6
@@ -64,8 +67,15 @@ def _generic_profile(name: str, suffix: str = "net", pool: int = 4, **kwargs) ->
     return OperatorProfile(name=name, ns_zones=(zone,), hosts=hosts, **kwargs)
 
 
-def build_profiles() -> Dict[str, OperatorProfile]:
-    """All operator profiles keyed by operator name."""
+def build_profiles(adversarial: bool = False) -> Dict[str, OperatorProfile]:
+    """All operator profiles keyed by operator name.
+
+    With ``adversarial`` the scenario-plane operators join the roster:
+    the honest-but-mid-rollover KeyCycle plus the hostile fleet a
+    conformant RFC 9615 parental agent must reject (see
+    :mod:`repro.scenarios`).  Off by default so non-scenario worlds and
+    their operator databases are byte-identical to earlier builds.
+    """
     profiles: Dict[str, OperatorProfile] = {}
     # Operators whose signers emit NSEC3 in the wild (BIND/Knot defaults
     # at big European hosters).
@@ -137,6 +147,35 @@ def build_profiles() -> Dict[str, OperatorProfile]:
         )
     # Dark infrastructure for unresolvable zones.
     profiles["DarkHost"] = _generic_profile("DarkHost", pool=2, known=False)
+
+    if adversarial:
+        # KeyCycle: an honest signal-publishing operator whose customer
+        # zones are perpetually mid-key-transition.
+        profiles["KeyCycle"] = _generic_profile(
+            "KeyCycle", pool=2, publishes_signal=True, signal_includes_delete=True
+        )
+        # SpoofSign: serves signal records with their RRSIGs stripped
+        # (the wire behavior is installed by the world builder).
+        profiles["SpoofSign"] = _generic_profile(
+            "SpoofSign", pool=2, publishes_signal=True
+        )
+        # NullSign: runs signal zones behind an insecure delegation.
+        profiles["NullSign"] = _generic_profile(
+            "NullSign", pool=2, publishes_signal=True, signal_unsigned=True
+        )
+        # SplitBrain: each NS answers with a different CDS RRset.
+        profiles["SplitBrain"] = _generic_profile(
+            "SplitBrain", pool=2, publishes_signal=True
+        )
+        # DowngradeCo: advertises deprecated-algorithm (RSASHA1) CDS.
+        profiles["DowngradeCo"] = _generic_profile(
+            "DowngradeCo", pool=2, publishes_signal=True
+        )
+        # Phantom: DarkHost-style unattributable NS hostnames that do
+        # publish signals — but no suffix rule ties them to anyone.
+        profiles["Phantom"] = _generic_profile(
+            "Phantom", pool=2, publishes_signal=True, known=False
+        )
     return profiles
 
 

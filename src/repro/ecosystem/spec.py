@@ -39,6 +39,8 @@ class CdsScenario(enum.Enum):
     MULTISIGNER = "multisigner"  # RFC 8901 model-2: two operators, each
     # signing with its own key, publishing the combined DNSKEY/CDS sets
     # — the *coordinated* counterpart of INCONSISTENT
+    DOWNGRADE = "downgrade"  # CDS advertising a deprecated algorithm
+    # (RSASHA1) — a conformant parental agent must refuse to install it
 
 
 class SignalScenario(enum.Enum):
@@ -50,6 +52,10 @@ class SignalScenario(enum.Enum):
     ZONE_CUT = "zone_cut"  # spurious NS RRset inside the signaling zone
     SIG_EXPIRED = "sig_expired"  # signal CDS RRSIGs are expired
     SIG_TRANSIENT = "sig_transient"  # first query returns bogus, rescan fine
+    SPOOFED = "spoofed"  # signal records served with RRSIGs stripped —
+    # an off-path-injection lookalike that must fail DNSSEC validation
+    UNSIGNED_CHAIN = "unsigned_chain"  # signal zone reachable only over
+    # an insecure delegation (operator never secured _signal.<host>)
 
 
 @dataclass(frozen=True)
@@ -67,6 +73,9 @@ class Cell:
     secondary_operator: Optional[str] = None
     # NSes answer CDS queries with an error (pre-RFC 3597 servers).
     legacy_ns: bool = False
+    # Key-transition cells: zones in this cell are born mid-rollover of
+    # the named kind (see repro.scenarios.transitions); "" = no window.
+    rollover_kind: str = ""
 
     def slug(self) -> str:
         parts = [
@@ -79,6 +88,8 @@ class Cell:
             parts.append("multi")
         if self.legacy_ns:
             parts.append("legacy")
+        if self.rollover_kind:
+            parts.append(self.rollover_kind.replace("_", ""))
         return "-".join(parts)
 
 
@@ -100,6 +111,14 @@ class ZoneSpec:
     # Bumped by the monitoring plane's key-rollover events; generation 0
     # derives the historical "ksk" seed so existing worlds are unchanged.
     key_generation: int = 0
+    # Key-transition window state (repro.scenarios): the transition kind
+    # being performed and the observable mid-roll phase.  Both empty for
+    # a zone at rest, so pre-scenario specs are byte-identical.
+    rollover_kind: str = ""
+    rollover_phase: str = ""
+    # Signing algorithm name ("" = the historical ED25519 default; see
+    # repro.scenarios.transitions.ALGORITHM_ROLL_TARGET for the others).
+    algorithm: str = ""
 
     @property
     def is_signed(self) -> bool:

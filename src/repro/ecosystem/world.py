@@ -16,6 +16,13 @@ from repro.ecosystem.generator import InfrastructureBuilder
 from repro.ecosystem.paper_targets import PaperTargets, build_cells
 from repro.ecosystem.profiles import build_profiles, operator_db_config
 from repro.ecosystem.spec import Cell, CdsScenario, SignalScenario, StatusScenario, ZoneSpec
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.transitions import (
+    KIND_DANGLING_DS,
+    KIND_STRANDED_KSK,
+    PHASE_FOR_KIND,
+    scenario_cells,
+)
 from repro.server.network import SimulatedNetwork
 
 # Zones in the input list that never resolved (the paper excludes them
@@ -84,7 +91,7 @@ class World:
 # Operators whose NS hostnames are not in the operator database (the
 # pipeline attributes their zones to "unknown", or to the known partner
 # in a multi-operator setup).
-UNKNOWN_PROFILE_OPERATORS = frozenset({"indie", "DarkHost"})
+UNKNOWN_PROFILE_OPERATORS = frozenset({"indie", "DarkHost", "Phantom"})
 
 
 def attributed_operator(cell: Cell) -> str:
@@ -107,6 +114,14 @@ def expected_classification(
 ) -> Tuple[DnssecStatus, BootstrapEligibility, SignalOutcome]:
     """The classification the pipeline *should* produce for a cell's
     zones — the generator's ground truth, used by tests and reports."""
+    if cell.rollover_kind in (KIND_STRANDED_KSK, KIND_DANGLING_DS):
+        # Rollover mishaps: the declared status is what the operator
+        # *intended*; what a scanner finds is a broken chain.
+        return (
+            DnssecStatus.INVALID,
+            BootstrapEligibility.INVALID_DNSSEC,
+            SignalOutcome.NO_SIGNAL,
+        )
     status_map = {
         StatusScenario.UNSIGNED: DnssecStatus.UNSIGNED,
         StatusScenario.SECURE: DnssecStatus.SECURE,
@@ -132,7 +147,12 @@ def expected_classification(
         eligibility = BootstrapEligibility.ISLAND_NO_CDS
     elif cell.cds == CdsScenario.DELETE:
         eligibility = BootstrapEligibility.ISLAND_CDS_DELETE
-    elif cell.cds in (CdsScenario.MISMATCH, CdsScenario.BADSIG, CdsScenario.INCONSISTENT):
+    elif cell.cds in (
+        CdsScenario.MISMATCH,
+        CdsScenario.BADSIG,
+        CdsScenario.INCONSISTENT,
+        CdsScenario.DOWNGRADE,
+    ):
         eligibility = BootstrapEligibility.ISLAND_CDS_INVALID
     else:
         eligibility = BootstrapEligibility.BOOTSTRAPPABLE
@@ -149,13 +169,17 @@ def expected_classification(
         outcome = SignalOutcome.CANNOT_ZONE_INVALID
     elif cell.cds == CdsScenario.INCONSISTENT:
         outcome = SignalOutcome.CANNOT_CDS_INCONSISTENT
-    elif cell.cds in (CdsScenario.BADSIG, CdsScenario.MISMATCH):
+    elif cell.cds in (CdsScenario.BADSIG, CdsScenario.MISMATCH, CdsScenario.DOWNGRADE):
         outcome = SignalOutcome.CANNOT_CDS_SIG_INVALID
     elif cell.signal == SignalScenario.ZONE_CUT:
         outcome = SignalOutcome.INCORRECT_ZONE_CUT
     elif cell.signal == SignalScenario.NS_COVERAGE:
         outcome = SignalOutcome.INCORRECT_NS_COVERAGE
-    elif cell.signal == SignalScenario.SIG_EXPIRED:
+    elif cell.signal in (
+        SignalScenario.SIG_EXPIRED,
+        SignalScenario.SPOOFED,
+        SignalScenario.UNSIGNED_CHAIN,
+    ):
         outcome = SignalOutcome.INCORRECT_SIGNAL_DNSSEC
     elif cell.signal == SignalScenario.SIG_TRANSIENT:
         outcome = (
@@ -172,6 +196,7 @@ def build_world(
     with_unresolved: bool = True,
     tld_nsec_limit: int = 20_000,
     cells_override: Optional[List[Cell]] = None,
+    scenarios: Optional[ScenarioSpec] = None,
 ) -> World:
     """Build a complete synthetic DNS ecosystem at *scale*.
 
@@ -180,7 +205,10 @@ def build_world(
     while remaining scannable in well under a minute of CPU.
     *cells_override* substitutes a different paper-scale population
     (used by the longitudinal snapshots in
-    :mod:`repro.ecosystem.evolution`).
+    :mod:`repro.ecosystem.evolution`).  *scenarios* appends the
+    key-transition and adversarial cells of :mod:`repro.scenarios`
+    after the scaled paper population, leaving the honest zones' labels
+    and host assignments untouched.
     """
     cells = scale_cells(cells_override if cells_override is not None else build_cells(), scale)
     if with_unresolved:
@@ -194,8 +222,10 @@ def build_world(
                 count=dark,
             )
         ]
+    if scenarios is not None and scenarios.enabled:
+        cells = cells + scenario_cells(scenarios)
 
-    profiles = build_profiles()
+    profiles = build_profiles(adversarial=scenarios is not None and scenarios.enabled)
     network = SimulatedNetwork()
     builder = InfrastructureBuilder(network, profiles)
     builder.build_registries()
@@ -208,6 +238,7 @@ def build_world(
     signal_index: Dict[str, List[ZoneSpec]] = {}
     transient_names: Dict[str, List[Name]] = {}
     cut_names: Dict[str, List[Name]] = {}
+    spoof_names: Dict[str, List[Name]] = {}
     index = seed * 1_000_003  # offsets suffix/host assignment per seed
 
     for cell in cells:
@@ -239,6 +270,8 @@ def build_world(
                 secondary_operator=cell.secondary_operator,
                 legacy_ns=cell.legacy_ns,
                 denial_mode=primary.denial_mode,
+                rollover_kind=cell.rollover_kind,
+                rollover_phase=PHASE_FOR_KIND.get(cell.rollover_kind, ""),
             )
             specs[name] = spec
             builder.delegate_customer(spec)
@@ -258,11 +291,13 @@ def build_world(
                         transient_names.setdefault(cell.operator, []).append(boot)
                     if spec.signal == SignalScenario.ZONE_CUT:
                         cut_names.setdefault(cell.operator, []).append(boot.parent())
+                    if spec.signal == SignalScenario.SPOOFED:
+                        spoof_names.setdefault(cell.operator, []).append(boot)
 
     builder.finalize_registries(nsec_limit=tld_nsec_limit)
     builder.install_customer_provider(specs_by_host)
     builder.install_signal_providers(signal_index)
-    builder.install_quirks(transient_names, cut_names)
+    builder.install_quirks(transient_names, cut_names, spoof_names)
 
     suffix_map, anycast = operator_db_config(profiles)
     operator_db = OperatorDB(suffixes=suffix_map)

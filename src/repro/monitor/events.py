@@ -20,6 +20,7 @@ from repro.ecosystem import mutate
 from repro.ecosystem.mutate import EVENT_KINDS
 from repro.ecosystem.world import World
 from repro.monitor.spec import MonitorSpec
+from repro.scenarios.transitions import ADVANCE_EVENT, RECOVERABLE_PHASES
 
 
 @dataclass(frozen=True)
@@ -45,6 +46,14 @@ def events_for_epoch(world: World, monitor: MonitorSpec, epoch: int) -> List[Eve
     events: List[Event] = []
     for name in sorted(world.specs):
         spec = world.specs[name]
+        if spec.rollover_phase in RECOVERABLE_PHASES:
+            # A rollover window always closes after exactly one epoch:
+            # the advance event fires with probability 1, ahead of the
+            # rate-gated kinds, so window length never depends on rates
+            # or layout.  Mishap phases (stranded/dangling) never
+            # advance — the zone is out of the event stream for good.
+            events.append(Event(epoch=epoch, kind=ADVANCE_EVENT, zone=name))
+            continue
         if not mutate.eligible(world, spec):
             continue
         for kind in EVENT_KINDS:
@@ -60,7 +69,7 @@ def apply_epoch(world: World, monitor: MonitorSpec, epoch: int) -> List[Event]:
     """Advance *world* in place by one epoch; returns the applied events."""
     events = events_for_epoch(world, monitor, epoch)
     for event in events:
-        mutate.apply_event(world, event.kind, event.zone)
+        mutate.apply_event(world, event.kind, event.zone, scenarios=monitor.scenarios)
     return events
 
 

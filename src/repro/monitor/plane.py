@@ -371,8 +371,11 @@ class Monitor:
 
     def operator_db(self) -> OperatorDB:
         """The NS-suffix attribution database (world-free — profiles
-        only), for re-analysing stored records."""
-        suffix_map, _ = operator_db_config(build_profiles())
+        only), for re-analysing stored records.  Scenario-enabled
+        monitors attribute the adversarial operators too."""
+        scenarios = self.config.monitor.scenarios
+        adversarial = scenarios is not None and scenarios.enabled
+        suffix_map, _ = operator_db_config(build_profiles(adversarial=adversarial))
         return OperatorDB(suffixes=suffix_map)
 
     def classifications(self, epoch: Optional[int] = None) -> Dict[str, ZoneClassification]:

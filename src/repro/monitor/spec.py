@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields, replace
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from repro.scenarios.spec import ScenarioSpec
+
 
 @dataclass(frozen=True)
 class EventRates:
@@ -68,6 +70,12 @@ class MonitorSpec:
     #: (:func:`repro.monitor.events.events_for_epoch`) never see this
     #: field, so agent action shifts outcomes only through world state.
     installs: Tuple[Tuple[int, str], ...] = ()
+    #: Key-transition / adversarial-operator plane (None = the plain
+    #: honest world).  Riding the monitor spec means every participant
+    #: that rebuilds the world — sequential runner, parallel parent,
+    #: every spawn worker, a resumed campaign — sees the same scenario
+    #: population and rollover-kind draws.
+    scenarios: Optional[ScenarioSpec] = None
 
     def scaled(self, factor: float) -> "MonitorSpec":
         return replace(self, rates=self.rates.scaled(factor))
@@ -87,6 +95,9 @@ class MonitorSpec:
         if self.installs:
             # Omitted when empty so pre-agent manifests stay byte-stable.
             out["installs"] = [[epoch, zone] for epoch, zone in self.installs]
+        if self.scenarios is not None:
+            # Omitted when None so pre-scenario manifests stay byte-stable.
+            out["scenarios"] = self.scenarios.to_dict()
         return out
 
     @classmethod
@@ -99,4 +110,5 @@ class MonitorSpec:
             installs=tuple(
                 (int(epoch), str(zone)) for epoch, zone in obj.get("installs", [])
             ),
+            scenarios=ScenarioSpec.from_dict(obj.get("scenarios")),
         )

@@ -17,6 +17,7 @@ from repro.ecosystem.mutate import bootstrap_zone
 from repro.ecosystem.world import World, build_world
 from repro.monitor.events import Event, apply_epoch, changed_zones
 from repro.monitor.spec import MonitorSpec
+from repro.scenarios.spec import ScenarioSpec
 
 
 def world_at_epoch(
@@ -35,7 +36,7 @@ def world_at_epoch(
     """
     if epoch < 0:
         raise ValueError("epoch must be >= 0")
-    world = build_world(scale=scale, seed=seed)
+    world = build_world(scale=scale, seed=seed, scenarios=monitor.scenarios)
     history: List[List[Event]] = []
     for e in range(1, epoch + 1):
         for zone in monitor.installs_at(e - 1):
@@ -49,6 +50,7 @@ def scan_world(
     seed: int,
     monitor: Optional[MonitorSpec] = None,
     epoch: Optional[int] = None,
+    scenarios: Optional[ScenarioSpec] = None,
 ):
     """The world a campaign should scan, plus its scan-subset.
 
@@ -63,7 +65,7 @@ def scan_world(
     like and which zones changed.
     """
     if epoch is None:
-        return build_world(scale=scale, seed=seed), None
+        return build_world(scale=scale, seed=seed, scenarios=scenarios), None
     world, history = world_at_epoch(scale, seed, monitor, epoch)
     if epoch == 0:
         return world, None

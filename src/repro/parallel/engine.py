@@ -296,6 +296,7 @@ def run_parallel_campaign(
     epoch: Optional[int] = None,
     parent_epoch: Optional[int] = None,
     monitor=None,
+    scenarios=None,
 ):
     """Run one campaign across *workers* processes (see module docs).
 
@@ -336,6 +337,8 @@ def run_parallel_campaign(
             manifest_config["in_flight"] = in_flight
         if monitor is not None:
             manifest_config["monitor"] = monitor.to_dict()
+        if scenarios is not None:
+            manifest_config["scenarios"] = scenarios.to_dict()
     store = CampaignStore.create(
         root,
         seed=seed,
@@ -368,6 +371,7 @@ def run_parallel_campaign(
             crash_after=(faults or {}).get(index),
             epoch=epoch,
             monitor=monitor,
+            scenarios=scenarios,
         )
         for index, bucket_range in enumerate(ranges)
     ]
@@ -375,7 +379,7 @@ def run_parallel_campaign(
 
     # Overlap: the parent rebuilds (and, for epochs, replays) its world
     # while the workers scan.
-    world, subset = scan_world(scale, seed, monitor=monitor, epoch=epoch)
+    world, subset = scan_world(scale, seed, monitor=monitor, epoch=epoch, scenarios=scenarios)
     telemetry.bind_clock(world.network.clock)
     store.manifest.zones_total = len(
         subset if subset is not None else _scan_list(world, use_sources)
@@ -457,7 +461,8 @@ def resume_parallel_campaign(
 
     if manifest.complete:
         world, _ = scan_world(
-            manifest.scale, manifest.seed, monitor=stored.monitor, epoch=stored.epoch
+            manifest.scale, manifest.seed, monitor=stored.monitor, epoch=stored.epoch,
+            scenarios=stored.scenarios,
         )
         telemetry.bind_clock(world.network.clock)
         return _finish(store, world, recheck, telemetry=telemetry, chaos=chaos, retry=retry)
@@ -485,6 +490,7 @@ def resume_parallel_campaign(
             in_flight=in_flight,
             epoch=stored.epoch,
             monitor=stored.monitor,
+            scenarios=stored.scenarios,
         )
         for index, bucket_range in enumerate(ranges)
     ]
@@ -499,7 +505,8 @@ def resume_parallel_campaign(
 
     processes = _spawn_workers(specs)
     world, subset = scan_world(
-        manifest.scale, manifest.seed, monitor=stored.monitor, epoch=stored.epoch
+        manifest.scale, manifest.seed, monitor=stored.monitor, epoch=stored.epoch,
+        scenarios=stored.scenarios,
     )
     telemetry.bind_clock(world.network.clock)
     _join_workers(root, specs, processes, telemetry=telemetry)

@@ -23,6 +23,7 @@ from typing import Any, Dict, Optional, Tuple
 
 from repro.chaos import ChaosConfig, RetryPolicy
 from repro.monitor.spec import MonitorSpec
+from repro.scenarios.spec import ScenarioSpec
 from repro.obs.events import events_path
 from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
 from repro.store.checkpoint import DEFAULT_CHECKPOINT_EVERY, CampaignStore
@@ -77,6 +78,10 @@ class WorkerSpec:
     # event stream is layout-independent, so no zone lists are shipped.
     epoch: Optional[int] = None
     monitor: Optional[MonitorSpec] = None
+    # Scenario plane for *plain* parallel campaigns (epoch campaigns
+    # carry it inside the monitor spec); frozen and picklable, so every
+    # worker rebuilds the exact same scenario population.
+    scenarios: Optional[ScenarioSpec] = None
 
 
 def worker_stats_path(store_dir: Path) -> Path:
@@ -139,7 +144,8 @@ def run_worker(spec: WorkerSpec) -> Dict[str, Any]:
 
     telemetry = Telemetry() if spec.telemetry else NULL_TELEMETRY
     world, scan_override = scan_world(
-        spec.scale, spec.seed, monitor=spec.monitor, epoch=spec.epoch
+        spec.scale, spec.seed, monitor=spec.monitor, epoch=spec.epoch,
+        scenarios=spec.scenarios,
     )
     world.network.enable_response_cache()
     if spec.chaos is not None and spec.chaos.enabled:

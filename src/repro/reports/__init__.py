@@ -7,6 +7,7 @@ from repro.reports.table1 import compute_table1, render_table1
 from repro.reports.table2 import compute_table2, render_table2
 from repro.reports.table3 import compute_table3, render_table3
 from repro.reports.figure1 import compute_figure1, render_figure1
+from repro.reports.table_security import compute_security, render_security
 from repro.reports.tld import compute_tld_report, render_tld_report
 from repro.reports.compare import ShapeCheck, check_shapes
 
@@ -15,6 +16,7 @@ __all__ = [
     "check_shapes",
     "compute_dashboard",
     "compute_figure1",
+    "compute_security",
     "compute_table1",
     "compute_table2",
     "compute_table3",
@@ -23,6 +25,7 @@ __all__ = [
     "format_count",
     "format_pct",
     "render_figure1",
+    "render_security",
     "render_table",
     "render_table1",
     "render_table2",

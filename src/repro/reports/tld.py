@@ -52,7 +52,9 @@ def compute_tld_report(report: AnalysisReport) -> List[TldRow]:
             row.secured += 1
         if assessment.cds.present:
             row.with_cds += 1
-    return sorted(rows.values(), key=lambda r: -r.domains)
+    # Ties break on the suffix so the table is identical regardless of
+    # assessment order (serial vs. merged parallel shards).
+    return sorted(rows.values(), key=lambda r: (-r.domains, r.suffix))
 
 
 def render_tld_report(rows: List[TldRow]) -> str:

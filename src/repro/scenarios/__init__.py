@@ -1,0 +1,53 @@
+"""repro.scenarios — key-transition and adversarial operator plane.
+
+A :class:`ScenarioSpec` enables two orthogonal families of ecosystem
+diversity on top of the calibrated paper population:
+
+* **Key transitions** ("From the Beginning: Key Transitions", Osterweil
+  et al.): zones born mid-rollover (pre-publish, double-DS, algorithm
+  rollover) or stuck in the classic mishap states (stranded KSK,
+  dangling DS), plus hash-chosen rollover lifecycles that unfold across
+  monitor epochs via the windowed ``roll_key`` / ``advance_rollover``
+  event pair in :mod:`repro.ecosystem.mutate`.
+* **Adversarial operators** (the DNS-abuse taxonomy): spoofed and
+  unsigned signal chains, split-brain CDS, algorithm-downgrade CDS, and
+  DarkHost-style unattributable NS sets — everything a conformant
+  RFC 9615 parental agent must reject, quantified by the bootstrap
+  security table (:mod:`repro.reports.table_security`).
+
+Every decision the plane makes is a pure BLAKE2b hash of
+``(seed, zone, step)`` in the chaos-plane idiom
+(:func:`repro.chaos.retry.stable_unit`), so scenario-enabled worlds are
+byte-identical across serial / ``workers=N`` / ``in_flight=N`` /
+kill-and-resume layouts.
+"""
+
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.transitions import (
+    ADVANCE_EVENT,
+    KIND_ALGORITHM,
+    KIND_DANGLING_DS,
+    KIND_DOUBLE_DS,
+    KIND_PREPUBLISH,
+    KIND_STRANDED_KSK,
+    PHASE_FOR_KIND,
+    RECOVERABLE_PHASES,
+    ROLLOVER_KINDS,
+    choose_roll_kind,
+    scenario_cells,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "ADVANCE_EVENT",
+    "KIND_ALGORITHM",
+    "KIND_DANGLING_DS",
+    "KIND_DOUBLE_DS",
+    "KIND_PREPUBLISH",
+    "KIND_STRANDED_KSK",
+    "PHASE_FOR_KIND",
+    "RECOVERABLE_PHASES",
+    "ROLLOVER_KINDS",
+    "choose_roll_kind",
+    "scenario_cells",
+]

@@ -1,0 +1,81 @@
+"""The scenario plane's configuration leaf.
+
+:class:`ScenarioSpec` follows the :class:`~repro.chaos.ChaosConfig`
+conventions exactly: a frozen dataclass of numbers and booleans, a
+``field=value,...`` CLI spec parser, and a non-default-only dict form
+so store manifests and monitor configs stay byte-stable — a world
+without scenarios serialises to *nothing at all*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.chaos.retry import _non_default_fields, _parse_fields
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """Knobs for the key-transition and adversarial operator plane.
+
+    The spec is picklable (spawn workers carry it inside the
+    :class:`~repro.monitor.MonitorSpec` in their ``WorkerSpec``) and a
+    pure value: every scenario decision derives from ``(seed, zone,
+    step)`` hashes, never from process state.
+    """
+
+    #: Seed for the scenario hash streams (independent of the world and
+    #: monitor seeds, so the same world can host different transitions).
+    seed: int = 1
+    #: Populate key-transition cells and window rollover events.
+    transitions: bool = True
+    #: Populate the adversarial operator cells (spoofed / unsigned
+    #: signal chains, split-brain CDS, downgrade CDS, phantom NS sets).
+    adversarial: bool = True
+    #: Zones per scenario cell (each transition phase and adversarial
+    #: operator gets this many zones regardless of world scale).
+    intensity: int = 2
+    #: Probability that a windowed ``roll_key`` event turns into a
+    #: rollover mishap (stranded KSK or dangling DS) instead of a clean
+    #: transition.  Only consulted when ``transitions`` is on.
+    mishap: float = 0.2
+
+    @property
+    def enabled(self) -> bool:
+        return self.transitions or self.adversarial
+
+    @classmethod
+    def default(cls) -> "ScenarioSpec":
+        return cls()
+
+    @classmethod
+    def from_spec(cls, spec: str) -> Optional["ScenarioSpec"]:
+        """Parse a CLI ``--scenarios`` value.
+
+        ``off``/``none`` → ``None``; ``default`` → every family on;
+        otherwise ``field=value`` pairs over the dataclass fields
+        (``seed=7,adversarial=1,transitions=0,intensity=3``).
+        """
+        text = spec.strip().lower()
+        if text in ("off", "none", ""):
+            return None
+        if text == "default":
+            return cls.default()
+        return cls(**_parse_fields(cls, spec))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Non-default fields only (manifest byte-stability)."""
+        return _non_default_fields(self)
+
+    @classmethod
+    def from_dict(cls, obj: Optional[Dict[str, Any]]) -> Optional["ScenarioSpec"]:
+        if obj is None:
+            return None
+        return cls(
+            seed=int(obj.get("seed", 1)),
+            transitions=bool(obj.get("transitions", True)),
+            adversarial=bool(obj.get("adversarial", True)),
+            intensity=int(obj.get("intensity", 2)),
+            mishap=float(obj.get("mishap", 0.2)),
+        )

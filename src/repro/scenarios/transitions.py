@@ -1,0 +1,169 @@
+"""Key-transition vocabulary and the scenario population cells.
+
+The rollover lifecycle follows RFC 7344/RFC 6781 practice and the
+states catalogued by "From the Beginning: Key Transitions":
+
+* ``prepublish`` — the successor DNSKEY is published next to the
+  incumbent, the zone still signs with the incumbent, the parent DS
+  still names only the incumbent.
+* ``double_ds``  — both DNSKEYs are published and the parent carries
+  DS for *both* (the conservative remove-then-add window of RFC 7344
+  §6.1: the chain of trust never breaks mid-roll).
+* ``double_sig`` — an algorithm rollover: both algorithms' DNSKEYs are
+  published, the zone is signed with both, and the parent carries DS
+  for both (RFC 6781 §4.1.4).  The wild's canonical roll is
+  RSASHA256 → ECDSAP256; we model it as ED25519 → ECDSAP256SHA256
+  because RSA key generation cannot be seeded (see
+  :func:`repro.dnssec.algorithms.generate_private_key`) and scenario
+  worlds must rebuild byte-identically on every layout.
+* ``stranded``   — the mishap state: the zone moved to the successor
+  key but the parent DS was never updated (a stranded KSK — the chain
+  validates against nothing and the zone goes bogus).
+* ``dangling``   — the other mishap: the operator unsigned the zone
+  but the parent DS remains (a dangling DS).
+
+A kind names the transition being performed; a phase names the
+observable mid-roll state.  Clean kinds advance to completion via the
+forced ``advance_rollover`` event one epoch after entering the window;
+mishap kinds are terminal until an operator (or the chaos of the event
+stream) is taught to repair them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.chaos.retry import stable_unit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.ecosystem.spec import Cell
+    from repro.scenarios.spec import ScenarioSpec
+
+# Transition kinds (what the operator is doing).
+KIND_PREPUBLISH = "prepublish"
+KIND_DOUBLE_DS = "double_ds"
+KIND_ALGORITHM = "algorithm"
+KIND_STRANDED_KSK = "stranded_ksk"
+KIND_DANGLING_DS = "dangling_ds"
+
+ROLLOVER_KINDS = (
+    KIND_PREPUBLISH,
+    KIND_DOUBLE_DS,
+    KIND_ALGORITHM,
+    KIND_STRANDED_KSK,
+    KIND_DANGLING_DS,
+)
+
+# Mid-roll phases (what a scanner observes).
+PHASE_PREPUBLISH = "prepublish"
+PHASE_DOUBLE_DS = "double_ds"
+PHASE_DOUBLE_SIG = "double_sig"
+PHASE_STRANDED = "stranded"
+PHASE_DANGLING = "dangling"
+
+PHASE_FOR_KIND = {
+    KIND_PREPUBLISH: PHASE_PREPUBLISH,
+    KIND_DOUBLE_DS: PHASE_DOUBLE_DS,
+    KIND_ALGORITHM: PHASE_DOUBLE_SIG,
+    KIND_STRANDED_KSK: PHASE_STRANDED,
+    KIND_DANGLING_DS: PHASE_DANGLING,
+}
+
+#: Phases the forced ``advance_rollover`` event completes next epoch.
+RECOVERABLE_PHASES = frozenset({PHASE_PREPUBLISH, PHASE_DOUBLE_DS, PHASE_DOUBLE_SIG})
+
+#: The event kind that closes a rollover window (emitted with
+#: probability 1, ahead of the rate-gated kinds, so a window lasts
+#: exactly one epoch regardless of rates or layout).
+ADVANCE_EVENT = "advance_rollover"
+
+# Signing-algorithm vocabulary for ZoneSpec.algorithm ("" = the
+# historical ED25519 default, kept blank so pre-scenario specs and key
+# seeds are byte-identical).  Only the deterministically-derivable
+# algorithms appear; an algorithm roll flips between them.
+ALGORITHM_ROLL_TARGET = {
+    "": "ecdsap256",
+    "ed25519": "ecdsap256",
+    "ecdsap256": "ed25519",
+}
+
+_CLEAN_KINDS = (KIND_DOUBLE_DS, KIND_PREPUBLISH, KIND_ALGORITHM)
+
+
+def choose_roll_kind(
+    scenarios: Optional["ScenarioSpec"], zone: str, generation: int
+) -> str:
+    """Which transition a ``roll_key`` event performs for *zone*.
+
+    Without a scenario spec every roll is the conservative double-DS
+    window (the RFC 7344 fix for the old atomic swap).  With
+    transitions enabled, the kind is a pure BLAKE2b hash of
+    ``(scenario seed, zone, key generation)`` — layout-independent by
+    construction, mishaps included.
+    """
+    if scenarios is None or not scenarios.transitions:
+        return KIND_DOUBLE_DS
+    draw = stable_unit("scenario", scenarios.seed, zone, generation, "roll_kind")
+    mishap = min(max(scenarios.mishap, 0.0), 1.0)
+    if draw < mishap:
+        flip = stable_unit("scenario", scenarios.seed, zone, generation, "mishap")
+        return KIND_STRANDED_KSK if flip < 0.5 else KIND_DANGLING_DS
+    if mishap >= 1.0:
+        return KIND_STRANDED_KSK
+    clean = (draw - mishap) / (1.0 - mishap)
+    return _CLEAN_KINDS[min(int(clean * len(_CLEAN_KINDS)), len(_CLEAN_KINDS) - 1)]
+
+
+def scenario_cells(spec: "ScenarioSpec") -> List["Cell"]:
+    """The extra population cells a scenario-enabled world carries.
+
+    Appended *after* the scaled paper cells (like the DarkHost
+    unresolved cell), so the honest population's zone labels, suffix
+    draws, and host assignments are untouched — a scenario world is the
+    honest world plus these zones, nothing reshuffled.
+    """
+    from repro.ecosystem.spec import Cell, CdsScenario, SignalScenario, StatusScenario
+
+    cells: List[Cell] = []
+    count = max(1, int(spec.intensity))
+
+    def add(operator, status, cds, signal, kind: str = "") -> None:
+        cells.append(
+            Cell(
+                operator=operator,
+                status=status,
+                cds=cds,
+                signal=signal,
+                count=count,
+                rollover_kind=kind,
+            )
+        )
+
+    if spec.transitions:
+        # KeyCycle: an honest operator forever mid-rollover, one cell
+        # per catalogued transition state.
+        add("KeyCycle", StatusScenario.SECURE, CdsScenario.OK, SignalScenario.NONE, KIND_PREPUBLISH)
+        add("KeyCycle", StatusScenario.SECURE, CdsScenario.OK, SignalScenario.NONE, KIND_DOUBLE_DS)
+        add("KeyCycle", StatusScenario.SECURE, CdsScenario.OK, SignalScenario.NONE, KIND_ALGORITHM)
+        add("KeyCycle", StatusScenario.SECURE, CdsScenario.OK, SignalScenario.NONE, KIND_STRANDED_KSK)
+        add("KeyCycle", StatusScenario.SECURE, CdsScenario.NONE, SignalScenario.NONE, KIND_DANGLING_DS)
+        # A signalling island caught inside its double-DS window: the
+        # one transition a parental agent should still accept (its CDS
+        # carries both keys, both matching published DNSKEYs).
+        add("KeyCycle", StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.OK, KIND_DOUBLE_DS)
+
+    if spec.adversarial:
+        # SpoofSign serves signal records whose RRSIGs are stripped —
+        # off-path-injection lookalikes that must fail validation.
+        add("SpoofSign", StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.SPOOFED)
+        # NullSign runs signal zones with no secure delegation at all.
+        add("NullSign", StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.UNSIGNED_CHAIN)
+        # SplitBrain answers with a different CDS RRset on each NS.
+        add("SplitBrain", StatusScenario.ISLAND, CdsScenario.INCONSISTENT, SignalScenario.OK)
+        # DowngradeCo advertises an RSASHA1 CDS (algorithm downgrade).
+        add("DowngradeCo", StatusScenario.ISLAND, CdsScenario.DOWNGRADE, SignalScenario.OK)
+        # Phantom signals from NS hostnames no suffix rule attributes,
+        # with a fabricated zone cut inside the signalling name.
+        add("Phantom", StatusScenario.ISLAND, CdsScenario.OK, SignalScenario.ZONE_CUT)
+
+    return cells

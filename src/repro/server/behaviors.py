@@ -161,6 +161,32 @@ class CorruptSignaturesBehavior(ServerBehavior):
         return response
 
 
+class StripSignaturesBehavior(ServerBehavior):
+    """Serve answers for listed names with every RRSIG removed.
+
+    Models spoofed signal records (the scenario plane's SpoofSign
+    operator): the data looks plausible but carries no proof of origin,
+    exactly what an off-path injector can produce.  Unlike
+    :class:`CorruptSignaturesBehavior` this is stateless and permanent —
+    a rescan sees the same stripped answer on every layout, which is
+    what keeps scenario worlds byte-identical across worker counts.
+    """
+
+    def __init__(self, names: Iterable[Name]):
+        self.names = set(names)
+
+    def postprocess(
+        self, server: "AuthoritativeServer", query: Message, response: Message
+    ) -> Message:
+        if query.question is None or query.question.name not in self.names:
+            return response
+        for section in (response.answer, response.authority):
+            section[:] = [
+                rrset for rrset in section if int(rrset.rrtype) != int(RRType.RRSIG)
+            ]
+        return response
+
+
 class SyntheticCutBehavior(ServerBehavior):
     """Answer NS queries at specific names with a fabricated NS RRset.
 
